@@ -1,0 +1,29 @@
+"""E12 — The client–server architecture (Section 6 / Appendix E).
+
+Computes the augmented timestamp graphs for a chain of servers accessed by
+roaming clients and runs a simulated client–server workload.  Expected shape:
+client links add loop edges the peer-to-peer deployment did not need (the
+end-of-chain servers grow from 2 to 6 counters), client timestamps index the
+union of their servers' edge sets, and the execution is causally consistent
+under the ↪' relation.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import exp_client_server, render_client_server
+
+
+def test_e12_client_server_architecture(benchmark):
+    """Augmented metadata + a consistent simulated client–server run."""
+    result = run_once(benchmark, exp_client_server, 4)
+    print()
+    print("[E12] Client–server architecture (Figure 3 chain + roaming clients)")
+    print(render_client_server(result))
+    assert result.consistent
+    for rid, p2p in result.peer_to_peer_edge_counts.items():
+        assert result.server_edge_counts[rid] >= p2p
+    # The roaming client closes a cycle: the end servers now track more edges.
+    assert result.server_edge_counts[1] > result.peer_to_peer_edge_counts[1]
+    assert result.server_edge_counts[4] > result.peer_to_peer_edge_counts[4]

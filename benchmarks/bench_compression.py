@@ -1,0 +1,39 @@
+"""E8 — Timestamp compression (Section 5 / Appendix D).
+
+Computes uncompressed vs. best-case compressed timestamp lengths across the
+topology suite.  Expected shape: full replication compresses from R(R-1)
+counters to R; pairwise-register topologies (rings, trees, grids) do not
+compress; overlap-rich placements compress partially.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import exp_compression, render_compression
+from repro.core.share_graph import ShareGraph
+from repro.optimizations import compression_report
+from repro.sim.topologies import clique_placement
+
+
+def test_e8_compression_across_topologies(benchmark):
+    """System-wide uncompressed vs compressed counters."""
+    result = run_once(benchmark, exp_compression)
+    print()
+    print("[E8] Timestamp compression")
+    print(render_compression(result))
+    for name, (before, after) in result.items():
+        assert after <= before
+    # Full replication (clique4) compresses down to R per replica.
+    before, after = result["clique4"]
+    assert before == 4 * 12 and after == 4 * 4
+    # Pairwise-register families do not compress.
+    assert result["ring6"][0] == result["ring6"][1]
+    assert result["tree7"][0] == result["tree7"][1]
+
+
+def test_e8_compression_speed(benchmark):
+    """Micro-benchmark: compressing a 6-replica full-replication system."""
+    graph = ShareGraph.from_placement(clique_placement(6))
+    report = benchmark(compression_report, graph)
+    assert report.total_compressed == 6 * 6

@@ -1,0 +1,43 @@
+"""E1 — Figure 3 / Figure 5 worked examples: timestamp-graph construction.
+
+Regenerates the edge sets the paper draws in Figure 5(b) (replica 1 tracks
+``e_43`` but not ``e_34``) and times the timestamp-graph construction itself.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import exp_figure5, render_figure5
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp_graph import build_all_timestamp_graphs
+from repro.sim.topologies import figure3_placement, figure5_placement
+
+
+def test_e1_figure5_edge_sets(benchmark):
+    """Recompute the Figure 5 timestamp graphs and check the paper's asymmetry."""
+    result = run_once(benchmark, exp_figure5)
+    print()
+    print("[E1] Figure 5 timestamp graphs")
+    print(render_figure5(result))
+    assert (4, 3) in result.replica1_edges
+    assert (3, 4) not in result.replica1_edges
+    assert (3, 2) in result.replica1_edges
+    assert (2, 3) not in result.replica1_edges
+
+
+def test_e1_figure3_edge_sets(benchmark):
+    """The Figure 3 path needs only incident edges (no loops)."""
+    graph = ShareGraph.from_placement(figure3_placement())
+    graphs = run_once(benchmark, build_all_timestamp_graphs, graph)
+    print()
+    print("[E1] Figure 3 counters per replica:",
+          {rid: tg.num_counters for rid, tg in sorted(graphs.items())})
+    for rid, tg in graphs.items():
+        assert tg.edges == graph.incident_edges(rid)
+
+
+def test_e1_timestamp_graph_construction_speed(benchmark):
+    """Micro-benchmark: building all timestamp graphs of the Figure 5 system."""
+    graph = ShareGraph.from_placement(figure5_placement())
+    benchmark(build_all_timestamp_graphs, graph)

@@ -1,0 +1,32 @@
+"""E2 / E3 — The Hélary–Milani counterexamples (Section 3.2, Appendix A).
+
+Regenerates both counterexamples: the original minimal-hoop criterion demands
+edges Theorem 8 proves unnecessary (counterexample 1), and the modified
+criterion waives edges Theorem 8 proves necessary (counterexample 2).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import exp_helary_milani, render_helary_milani
+from repro.sim.topologies import COUNTEREXAMPLE_IDS
+
+
+def test_e2_e3_counterexamples(benchmark):
+    """Both counterexamples, as a head-to-head edge-set comparison."""
+    results = run_once(benchmark, exp_helary_milani)
+    print()
+    print("[E2/E3] Hélary–Milani minimal hoops vs Theorem 8")
+    print(render_helary_milani(results))
+
+    j, k = COUNTEREXAMPLE_IDS["j"], COUNTEREXAMPLE_IDS["k"]
+    original, modified = results
+
+    # E2: the original criterion over-demands — the x-edges it asks replica i
+    # to track are NOT in the Theorem-8 edge set.
+    assert {(j, k), (k, j)} <= original.only_hoop
+    assert original.only_theorem8 == frozenset()
+
+    # E3: the modified criterion under-demands — Theorem 8 requires e_kj.
+    assert (k, j) in modified.only_theorem8

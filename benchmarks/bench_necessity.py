@@ -1,0 +1,26 @@
+"""E4 — Necessity of the timestamp-graph edges (Theorem 8, executable form).
+
+Runs the adversarial delivery schedules from the Theorem 8 proof against the
+exact algorithm and against protocols made oblivious to one timestamp-graph
+edge.  The oblivious protocols violate safety; the exact algorithm does not.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import exp_necessity, render_necessity
+
+
+def test_e4_oblivious_protocols_violate_consistency(benchmark):
+    """The executable counterpart of the Theorem 8 proof cases."""
+    results = run_once(benchmark, exp_necessity)
+    print()
+    print("[E4] Necessity: adversarial schedules vs oblivious protocols")
+    print(render_necessity(results))
+    for result in results:
+        assert result.paper_ok, f"paper algorithm violated on {result.scenario}"
+        assert result.oblivious_violated, (
+            f"the oblivious protocol survived {result.scenario}; the adversarial "
+            "schedule should have broken it"
+        )

@@ -1,0 +1,66 @@
+"""E13 — Protocol micro-benchmarks: advance / merge / predicate / end-to-end.
+
+Times the hot operations of the edge-indexed algorithm and a full end-to-end
+simulated workload, so regressions in the protocol path are visible.
+"""
+
+from __future__ import annotations
+
+from repro.core.replica import EdgeIndexedReplica
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp_graph import TimestampGraph
+from repro.core.timestamps import EdgeTimestamp, advance, delivery_predicate, merge
+from repro.sim.cluster import build_cluster
+from repro.sim.delays import UniformDelay
+from repro.sim.topologies import figure5_placement, random_partial_placement, ring_placement
+from repro.sim.workloads import run_workload, uniform_workload
+
+
+def test_e13_advance_speed(benchmark):
+    """advance() on the Figure 5 system."""
+    graph = ShareGraph.from_placement(figure5_placement())
+    tgraph = TimestampGraph.build(graph, 4)
+    tau = EdgeTimestamp.zero(tgraph.edges)
+    benchmark(advance, graph, tgraph, tau, "y")
+
+
+def test_e13_merge_speed(benchmark):
+    """merge() between two ring-replica timestamps."""
+    graph = ShareGraph.from_placement(ring_placement(8))
+    tg1 = TimestampGraph.build(graph, 1)
+    tg2 = TimestampGraph.build(graph, 2)
+    tau1 = EdgeTimestamp.zero(tg1.edges)
+    tau2 = EdgeTimestamp.zero(tg2.edges).incremented([(2, 1), (2, 3)])
+    benchmark(merge, tg1, tau1, tg2, tau2)
+
+
+def test_e13_delivery_predicate_speed(benchmark):
+    """Predicate J on a ring-replica pending update."""
+    graph = ShareGraph.from_placement(ring_placement(8))
+    tg1 = TimestampGraph.build(graph, 1)
+    tg2 = TimestampGraph.build(graph, 2)
+    tau1 = EdgeTimestamp.zero(tg1.edges)
+    remote = EdgeTimestamp.zero(tg2.edges).incremented([(2, 1)])
+    benchmark(delivery_predicate, tg1, tau1, 2, tg2, remote)
+
+
+def test_e13_local_write_speed(benchmark):
+    """A local write (advance + message construction) on a 10-replica system."""
+    graph = ShareGraph.from_placement(
+        random_partial_placement(10, 20, replication_factor=3, seed=1)
+    )
+    replica = EdgeIndexedReplica(graph, 1)
+    register = sorted(replica.registers)[0]
+    benchmark(replica.write, register, "value")
+
+
+def test_e13_end_to_end_throughput(benchmark):
+    """A 300-operation workload on the Figure 5 system, end to end."""
+    graph = ShareGraph.from_placement(figure5_placement())
+
+    def run():
+        cluster = build_cluster(graph, delay_model=UniformDelay(1, 10), seed=3)
+        return run_workload(cluster, uniform_workload(graph, 300, seed=3), check=False)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.messages_sent > 0

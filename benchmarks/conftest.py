@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one experiment from the DESIGN.md index
+(E1–E13).  The ``run_once`` helper wraps ``benchmark.pedantic`` so that heavy
+end-to-end experiments are executed exactly once (their value is the table
+they print, not a statistically tight timing), while micro-benchmarks use the
+normal ``benchmark(...)`` calibration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Execute ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so the package can be installed in editable mode on machines whose
+setuptools/wheel combination predates PEP 660 support (legacy
+``pip install -e . --no-use-pep517`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro — Partially replicated causally consistent shared memory.
+
+A from-scratch Python implementation of the algorithm, lower bounds and
+optimizations of *"Partially Replicated Causally Consistent Shared Memory:
+Lower Bounds and An Algorithm"* (Xiang & Vaidya), together with a
+discrete-event simulation substrate, baselines, and an evaluation harness
+that regenerates every worked example, counterexample and bound in the
+paper.
+
+Quickstart
+----------
+>>> from repro import RegisterPlacement, ShareGraph, build_cluster
+>>> placement = RegisterPlacement.from_dict(
+...     {1: {"x"}, 2: {"x", "y"}, 3: {"y", "z"}, 4: {"z"}})
+>>> graph = ShareGraph.from_placement(placement)
+>>> cluster = build_cluster(graph, seed=7)
+>>> cluster.write(2, "x", "hello")
+>>> cluster.run_until_quiescent()
+>>> cluster.read(1, "x")
+'hello'
+
+See ``examples/`` for complete, runnable scenarios and ``EXPERIMENTS.md`` for
+the per-experiment reproduction index.
+"""
+
+from .core import (
+    CausalReplica,
+    ConsistencyChecker,
+    ConsistencyReport,
+    EdgeIndexedReplica,
+    EdgeTimestamp,
+    HappenedBefore,
+    RegisterPlacement,
+    ShareGraph,
+    TimestampGraph,
+    Update,
+    UpdateMessage,
+    VectorTimestamp,
+    build_all_timestamp_graphs,
+    check_execution,
+    timestamp_edges,
+)
+from .sim import Cluster, SimNetwork, build_cluster, run_workload
+from .sim.topologies import (
+    clique_placement,
+    counterexample1_placement,
+    counterexample2_placement,
+    figure3_placement,
+    figure5_placement,
+    random_partial_placement,
+    ring_placement,
+    star_placement,
+    tree_placement,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CausalReplica",
+    "Cluster",
+    "ConsistencyChecker",
+    "ConsistencyReport",
+    "EdgeIndexedReplica",
+    "EdgeTimestamp",
+    "HappenedBefore",
+    "RegisterPlacement",
+    "ShareGraph",
+    "SimNetwork",
+    "TimestampGraph",
+    "Update",
+    "UpdateMessage",
+    "VectorTimestamp",
+    "__version__",
+    "build_all_timestamp_graphs",
+    "build_cluster",
+    "check_execution",
+    "clique_placement",
+    "counterexample1_placement",
+    "counterexample2_placement",
+    "figure3_placement",
+    "figure5_placement",
+    "random_partial_placement",
+    "ring_placement",
+    "run_workload",
+    "star_placement",
+    "timestamp_edges",
+    "tree_placement",
+]

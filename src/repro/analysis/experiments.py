@@ -1,0 +1,802 @@
+"""The evaluation harness: one function per experiment in DESIGN.md / EXPERIMENTS.md.
+
+Every function is pure given its arguments (all randomness is seeded), returns
+a plain data structure, and has a matching ``render_*`` helper producing the
+text table recorded in ``EXPERIMENTS.md``.  The benchmark modules under
+``benchmarks/`` call these functions so that the numbers in the benchmark
+output, the experiment log and the tests all come from the same code path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..baselines import (
+    all_edges_factory,
+    full_replication_factory,
+    full_track_factory,
+    hoop_tracking_factory,
+    incident_only_factory,
+)
+from ..core.consistency import ConsistencyReport
+from ..core.hoops import compare_with_theorem8
+from ..core.protocol import CausalReplica
+from ..core.registers import RegisterPlacement, ReplicaId
+from ..core.replica import EdgeIndexedReplica
+from ..core.share_graph import Edge, ShareGraph
+from ..core.timestamp_graph import TimestampGraph, build_all_timestamp_graphs, timestamp_edges
+from ..clientserver import (
+    AugmentedShareGraph,
+    ClientAssignment,
+    ClientServerCluster,
+    build_all_augmented_timestamp_edges,
+    client_index_edges,
+)
+from ..lower_bounds import (
+    algorithm_bits,
+    algorithm_counters,
+    clique_lower_bound_bits,
+    cycle_lower_bound_bits,
+    timestamp_space_lower_bound,
+    tree_lower_bound_bits,
+)
+from ..optimizations import (
+    analyze_ring_breaking,
+    analyze_star_restriction,
+    bounded_factory,
+    bounded_metadata_savings,
+    compression_report,
+    dummy_emulation_report,
+    dummy_register_factory,
+    full_replication_dummies,
+    loop_cover_dummies,
+)
+from ..sim.cluster import Cluster, ReplicaFactory, edge_indexed_factory
+from ..sim.delays import FixedDelay, PerChannelDelay, UniformDelay
+from ..sim.metrics import (
+    ComparisonRow,
+    compare_protocols,
+    edge_indexed_profile,
+    full_replication_profile,
+)
+from ..sim.topologies import (
+    COUNTEREXAMPLE_IDS,
+    clique_placement,
+    counterexample1_placement,
+    counterexample2_placement,
+    figure3_placement,
+    figure5_placement,
+    geo_replication_placement,
+    grid_placement,
+    pairwise_clique_placement,
+    path_placement,
+    random_partial_placement,
+    ring_placement,
+    star_placement,
+    tree_placement,
+    triangle_placement,
+)
+from ..sim.workloads import causal_chain_workload, uniform_workload, run_workload
+from .tables import edge_label, render_table
+
+
+# ======================================================================
+# E1 — Figure 3 / Figure 5 worked examples
+# ======================================================================
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """Timestamp graphs of the Figure 5 example."""
+
+    edge_sets: Mapping[ReplicaId, FrozenSet[Edge]]
+
+    @property
+    def replica1_edges(self) -> FrozenSet[Edge]:
+        """``E_1``, the edge set the paper draws in Figure 5(b)."""
+        return self.edge_sets[1]
+
+
+def exp_figure5() -> Figure5Result:
+    """Recompute the timestamp graphs of the paper's Figure 5 example (E1)."""
+    graph = ShareGraph.from_placement(figure5_placement())
+    return Figure5Result(
+        edge_sets={rid: timestamp_edges(graph, rid) for rid in graph.replica_ids}
+    )
+
+
+def render_figure5(result: Figure5Result) -> str:
+    """Text table of the Figure 5 edge sets."""
+    rows = [
+        (rid, len(edges), ", ".join(edge_label(e) for e in sorted(edges)))
+        for rid, edges in sorted(result.edge_sets.items())
+    ]
+    return render_table(["replica", "|E_i|", "edges"], rows)
+
+
+# ======================================================================
+# E2 / E3 — Hélary–Milani counterexamples
+# ======================================================================
+
+@dataclass(frozen=True)
+class HoopComparisonResult:
+    """Theorem 8 vs. the (original or modified) minimal-hoop criterion at replica i."""
+
+    name: str
+    modified: bool
+    theorem8_edges: FrozenSet[Edge]
+    hoop_edges: FrozenSet[Edge]
+    only_hoop: FrozenSet[Edge]
+    only_theorem8: FrozenSet[Edge]
+
+
+def exp_helary_milani() -> List[HoopComparisonResult]:
+    """Recompute both counterexamples of Section 3.2 / Appendix A (E2, E3)."""
+    results: List[HoopComparisonResult] = []
+    observer = COUNTEREXAMPLE_IDS["i"]
+
+    graph1 = ShareGraph.from_placement(counterexample1_placement())
+    original = compare_with_theorem8(graph1, observer, modified=False)
+    results.append(
+        HoopComparisonResult(
+            name="counterexample 1 (Fig. 6/8a), original minimal hoops",
+            modified=False,
+            theorem8_edges=original.theorem8_edges,
+            hoop_edges=original.hoop_edges,
+            only_hoop=original.only_hoop,
+            only_theorem8=original.only_theorem8,
+        )
+    )
+
+    graph2 = ShareGraph.from_placement(counterexample2_placement())
+    modified = compare_with_theorem8(graph2, observer, modified=True)
+    results.append(
+        HoopComparisonResult(
+            name="counterexample 2 (Fig. 8b), modified minimal hoops",
+            modified=True,
+            theorem8_edges=modified.theorem8_edges,
+            hoop_edges=modified.hoop_edges,
+            only_hoop=modified.only_hoop,
+            only_theorem8=modified.only_theorem8,
+        )
+    )
+    return results
+
+
+def render_helary_milani(results: Sequence[HoopComparisonResult]) -> str:
+    """Text table of the counterexample comparisons."""
+    j, k = COUNTEREXAMPLE_IDS["j"], COUNTEREXAMPLE_IDS["k"]
+    rows = []
+    for r in results:
+        rows.append(
+            (
+                r.name,
+                len(r.theorem8_edges),
+                len(r.hoop_edges),
+                ", ".join(edge_label(e) for e in sorted(r.only_hoop & {(j, k), (k, j)})),
+                ", ".join(edge_label(e) for e in sorted(r.only_theorem8 & {(j, k), (k, j)})),
+            )
+        )
+    return render_table(
+        [
+            "case",
+            "|E_i| (Thm 8)",
+            "|hoop edges|",
+            "x-edges only hoops demand",
+            "x-edges only Thm 8 demands",
+        ],
+        rows,
+    )
+
+
+# ======================================================================
+# E4 — Necessity: an oblivious protocol violates consistency
+# ======================================================================
+
+def oblivious_factory(missing: Mapping[ReplicaId, FrozenSet[Edge]]) -> ReplicaFactory:
+    """A factory producing the paper's algorithm with selected edges dropped.
+
+    ``missing`` maps replica ids to the timestamp-graph edges they must be
+    made oblivious to; all other replicas run the exact algorithm.
+    """
+
+    def factory(graph: ShareGraph, replica_id: ReplicaId) -> CausalReplica:
+        edges = timestamp_edges(graph, replica_id)
+        if replica_id in missing:
+            edges = edges - frozenset(missing[replica_id])
+        tgraph = TimestampGraph.from_edges(graph, replica_id, edges)
+        return EdgeIndexedReplica(graph, replica_id, timestamp_graph=tgraph)
+
+    return factory
+
+
+@dataclass(frozen=True)
+class NecessityResult:
+    """Outcome of one adversarial schedule under two protocols."""
+
+    scenario: str
+    paper_report: ConsistencyReport
+    oblivious_report: ConsistencyReport
+
+    @property
+    def paper_ok(self) -> bool:
+        """The exact algorithm stayed causally consistent."""
+        return self.paper_report.is_causally_consistent
+
+    @property
+    def oblivious_violated(self) -> bool:
+        """The oblivious protocol violated safety or liveness."""
+        return not self.oblivious_report.is_causally_consistent
+
+
+def _run_triangle_schedule(factory: ReplicaFactory) -> ConsistencyReport:
+    """Theorem 8, Case 3 on the triangle: delay the direct dependency."""
+    graph = ShareGraph.from_placement(triangle_placement())
+    cluster = Cluster(graph, replica_factory=factory, delay_model=FixedDelay(1.0), seed=1)
+    # Replica 1 writes z (shared with 3) but the 1 -> 3 channel is held back.
+    cluster.network.hold(1, 3)
+    cluster.write(1, "z", "z1")
+    # Replica 1 then writes x (shared with 2); 2 applies it and writes y.
+    cluster.write(1, "x", "x1")
+    cluster.run_until_quiescent()
+    cluster.write(2, "y", "y1")
+    cluster.run_until_quiescent()
+    # Now release the delayed direct update and drain.
+    cluster.network.release_all()
+    cluster.run_until_quiescent()
+    return cluster.check_consistency()
+
+
+def _run_figure5_schedule(factory: ReplicaFactory) -> ConsistencyReport:
+    """Theorem 8, Case 3 on the Figure 5 loop ``(1, 2, 3, 4)`` for edge ``e_43``."""
+    graph = ShareGraph.from_placement(figure5_placement())
+    cluster = Cluster(graph, replica_factory=factory, delay_model=FixedDelay(1.0), seed=1)
+    # u0: replica 4 writes z (edge e_43); the 4 -> 3 channel is held back.
+    cluster.network.hold(4, 3)
+    cluster.write(4, "z", "z0")
+    # u1: replica 4 writes w (edge e_41, register not stored at 2 or 3).
+    cluster.write(4, "w", "w1")
+    cluster.run_until_quiescent()
+    # u'0: replica 1 writes y (towards replica 2 along the l-side).
+    cluster.write(1, "y", "y1")
+    cluster.run_until_quiescent()
+    # u'1: replica 2 writes x (towards replica 3 = l_s).
+    cluster.write(2, "x", "x1")
+    cluster.run_until_quiescent()
+    # Finally deliver the held direct update and drain.
+    cluster.network.release_all()
+    cluster.run_until_quiescent()
+    return cluster.check_consistency()
+
+
+def exp_necessity() -> List[NecessityResult]:
+    """Run the Theorem-8 adversarial schedules against exact and oblivious protocols (E4)."""
+    results: List[NecessityResult] = []
+
+    results.append(
+        NecessityResult(
+            scenario="triangle, replica 3 oblivious to e_12 (incident-only baseline)",
+            paper_report=_run_triangle_schedule(edge_indexed_factory),
+            oblivious_report=_run_triangle_schedule(incident_only_factory),
+        )
+    )
+
+    fig5_oblivious = oblivious_factory({1: frozenset({(4, 3)})})
+    results.append(
+        NecessityResult(
+            scenario="figure 5, replica 1 oblivious to loop edge e_43",
+            paper_report=_run_figure5_schedule(edge_indexed_factory),
+            oblivious_report=_run_figure5_schedule(fig5_oblivious),
+        )
+    )
+    return results
+
+
+def render_necessity(results: Sequence[NecessityResult]) -> str:
+    """Text table of the necessity experiment."""
+    rows = []
+    for r in results:
+        rows.append(
+            (
+                r.scenario,
+                "consistent" if r.paper_ok else "VIOLATED",
+                len(r.oblivious_report.safety_violations),
+                len(r.oblivious_report.liveness_violations),
+            )
+        )
+    return render_table(
+        ["scenario", "paper algorithm", "oblivious safety viol.", "oblivious liveness viol."],
+        rows,
+    )
+
+
+# ======================================================================
+# E5 — Sufficiency: randomized executions over many topologies
+# ======================================================================
+
+@dataclass(frozen=True)
+class SufficiencyResult:
+    """Consistency verdicts of randomized runs of the paper's algorithm."""
+
+    rows: Tuple[Tuple[str, int, int, bool], ...]
+
+    @property
+    def all_consistent(self) -> bool:
+        """``True`` iff every run was causally consistent."""
+        return all(row[3] for row in self.rows)
+
+
+def standard_topologies() -> Dict[str, RegisterPlacement]:
+    """The topology suite used by the sufficiency and overhead experiments."""
+    return {
+        "figure3": figure3_placement(),
+        "figure5": figure5_placement(),
+        "triangle": triangle_placement(),
+        "ring6": ring_placement(6),
+        "tree7": tree_placement(7),
+        "star5": star_placement(5),
+        "grid3x3": grid_placement(3, 3),
+        "clique4": clique_placement(4),
+        "pairwise4": pairwise_clique_placement(4),
+        "random8": random_partial_placement(8, 12, replication_factor=3, seed=11),
+        "geo3": geo_replication_placement(3, shards_per_dc=3, global_registers=2),
+    }
+
+
+def exp_sufficiency(ops_per_topology: int = 150, seeds: Sequence[int] = (1, 2, 3)) -> SufficiencyResult:
+    """Randomized + chain workloads on the full topology suite (E5)."""
+    rows: List[Tuple[str, int, int, bool]] = []
+    for name, placement in standard_topologies().items():
+        graph = ShareGraph.from_placement(placement)
+        for seed in seeds:
+            cluster = Cluster(graph, delay_model=UniformDelay(1, 20), seed=seed)
+            workload = uniform_workload(graph, ops_per_topology, seed=seed)
+            result = run_workload(cluster, workload, interleave_steps=1)
+            rows.append((name, seed, result.messages_sent, result.consistent))
+            chain_cluster = Cluster(graph, delay_model=UniformDelay(1, 20), seed=seed + 100)
+            chain = causal_chain_workload(graph, num_chains=10, chain_length=4, seed=seed)
+            chain_result = run_workload(chain_cluster, chain, interleave_steps=2)
+            rows.append((f"{name}/chain", seed, chain_result.messages_sent, chain_result.consistent))
+    return SufficiencyResult(rows=tuple(rows))
+
+
+def render_sufficiency(result: SufficiencyResult) -> str:
+    """Text table of the sufficiency experiment."""
+    return render_table(
+        ["topology", "seed", "messages", "causally consistent"],
+        [(n, s, m, "yes" if ok else "NO") for n, s, m, ok in result.rows],
+    )
+
+
+# ======================================================================
+# E6 — Lower bounds vs. the algorithm's timestamp sizes
+# ======================================================================
+
+@dataclass(frozen=True)
+class LowerBoundRow:
+    """One topology/replica row of the lower-bound tightness table."""
+
+    topology: str
+    replica_id: ReplicaId
+    lower_bound_bits: float
+    algorithm_bits: float
+    algorithm_counters: int
+
+
+def exp_lower_bounds(max_updates: int = 16) -> List[LowerBoundRow]:
+    """Closed-form lower bounds vs. the algorithm's sizes (E6)."""
+    rows: List[LowerBoundRow] = []
+
+    tree = ShareGraph.from_placement(tree_placement(7))
+    for rid in tree.replica_ids:
+        rows.append(
+            LowerBoundRow(
+                topology="tree7",
+                replica_id=rid,
+                lower_bound_bits=tree_lower_bound_bits(tree, rid, max_updates),
+                algorithm_bits=algorithm_bits(tree, rid, max_updates),
+                algorithm_counters=algorithm_counters(tree, rid),
+            )
+        )
+
+    for n in (4, 6, 8):
+        ring = ShareGraph.from_placement(ring_placement(n))
+        rid = 1
+        rows.append(
+            LowerBoundRow(
+                topology=f"ring{n}",
+                replica_id=rid,
+                lower_bound_bits=cycle_lower_bound_bits(n, max_updates),
+                algorithm_bits=algorithm_bits(ring, rid, max_updates),
+                algorithm_counters=algorithm_counters(ring, rid),
+            )
+        )
+
+    clique = ShareGraph.from_placement(clique_placement(5))
+    rows.append(
+        LowerBoundRow(
+            topology="clique5 (full replication, after compression)",
+            replica_id=1,
+            lower_bound_bits=clique_lower_bound_bits(5, max_updates),
+            algorithm_bits=compression_report(clique).compressed[1] * math.log2(max_updates),
+            algorithm_counters=compression_report(clique).compressed[1],
+        )
+    )
+    return rows
+
+
+def render_lower_bounds(rows: Sequence[LowerBoundRow]) -> str:
+    """Text table for the closed-form tightness comparison."""
+    return render_table(
+        ["topology", "replica", "lower bound (bits)", "algorithm (bits)", "algorithm (counters)"],
+        [
+            (r.topology, r.replica_id, r.lower_bound_bits, r.algorithm_bits, r.algorithm_counters)
+            for r in rows
+        ],
+    )
+
+
+@dataclass(frozen=True)
+class ConflictBoundResult:
+    """Theorem 15 evaluated explicitly on a small instance."""
+
+    topology: str
+    replica_id: ReplicaId
+    max_updates: int
+    space_size: int
+    bits: float
+    closed_form_bits: float
+
+
+def exp_conflict_bound(max_updates: int = 2) -> ConflictBoundResult:
+    """Explicit conflict-graph bound on a small ring, vs. the closed form (E6)."""
+    n = 3
+    graph = ShareGraph.from_placement(ring_placement(n))
+    size, bits = timestamp_space_lower_bound(graph, 1, max_updates)
+    return ConflictBoundResult(
+        topology=f"ring{n}",
+        replica_id=1,
+        max_updates=max_updates,
+        space_size=size,
+        bits=bits,
+        closed_form_bits=cycle_lower_bound_bits(n, max_updates),
+    )
+
+
+# ======================================================================
+# E7 — Metadata overhead comparison across protocols
+# ======================================================================
+
+def protocol_suite() -> Dict[str, ReplicaFactory]:
+    """The protocols compared in the metadata-overhead experiment."""
+    return {
+        "edge-indexed (paper)": edge_indexed_factory,
+        "all share-graph edges": all_edges_factory,
+        "full-track matrix": full_track_factory,
+        "full replication (vector)": full_replication_factory,
+        "hoop tracking (original)": hoop_tracking_factory,
+    }
+
+
+def exp_metadata_overhead(ops: int = 120, seed: int = 7) -> List[ComparisonRow]:
+    """Per-protocol metadata and traffic across the topology suite (E7)."""
+    rows: List[ComparisonRow] = []
+    for name, placement in standard_topologies().items():
+        graph = ShareGraph.from_placement(placement)
+        workload = uniform_workload(graph, ops, seed=seed)
+        rows.extend(
+            compare_protocols(
+                graph,
+                protocol_suite(),
+                workload,
+                topology_name=name,
+                delay_model=UniformDelay(1, 10),
+                seed=seed,
+            )
+        )
+    return rows
+
+
+# ======================================================================
+# E8 — Compression
+# ======================================================================
+
+def exp_compression() -> Dict[str, Tuple[int, int]]:
+    """Uncompressed vs. compressed system-wide counters per topology (E8)."""
+    out: Dict[str, Tuple[int, int]] = {}
+    for name, placement in standard_topologies().items():
+        graph = ShareGraph.from_placement(placement)
+        report = compression_report(graph)
+        out[name] = (report.total_uncompressed, report.total_compressed)
+    return out
+
+
+def render_compression(result: Mapping[str, Tuple[int, int]]) -> str:
+    """Text table of the compression experiment."""
+    rows = [
+        (name, before, after, (before - after))
+        for name, (before, after) in sorted(result.items())
+    ]
+    return render_table(["topology", "uncompressed", "compressed", "saved"], rows)
+
+
+# ======================================================================
+# E9 — Dummy registers
+# ======================================================================
+
+@dataclass(frozen=True)
+class DummyTradeoffRow:
+    """One row of the dummy-register trade-off table."""
+
+    topology: str
+    scheme: str
+    mean_counters_before: float
+    mean_counters_after: float
+    mean_compressed_after: float
+    extra_messages_per_round: int
+    total_dummies: int
+
+
+def exp_dummy_registers() -> List[DummyTradeoffRow]:
+    """Static trade-off of the two dummy-register schemes (E9)."""
+    rows: List[DummyTradeoffRow] = []
+    for name in ("ring6", "figure5", "figure3"):
+        placement = standard_topologies()[name]
+        for scheme, builder in (
+            ("full-replication emulation", full_replication_dummies),
+            ("loop cover", loop_cover_dummies),
+        ):
+            assignment = builder(placement)
+            report = dummy_emulation_report(assignment)
+            rows.append(
+                DummyTradeoffRow(
+                    topology=name,
+                    scheme=scheme,
+                    mean_counters_before=report.mean_counters_before,
+                    mean_counters_after=report.mean_counters_after,
+                    mean_compressed_after=report.mean_compressed_after,
+                    extra_messages_per_round=report.total_extra_messages_per_round,
+                    total_dummies=report.total_dummies,
+                )
+            )
+    return rows
+
+
+def render_dummy_registers(rows: Sequence[DummyTradeoffRow]) -> str:
+    """Text table of the dummy-register trade-off."""
+    return render_table(
+        [
+            "topology",
+            "scheme",
+            "mean counters before",
+            "after (uncompressed)",
+            "after (compressed)",
+            "extra msgs / write round",
+            "dummy copies",
+        ],
+        [
+            (
+                r.topology,
+                r.scheme,
+                r.mean_counters_before,
+                r.mean_counters_after,
+                r.mean_compressed_after,
+                r.extra_messages_per_round,
+                r.total_dummies,
+            )
+            for r in rows
+        ],
+    )
+
+
+def exp_dummy_registers_dynamic(ops: int = 100, seed: int = 5) -> Dict[str, Dict[str, float]]:
+    """Run the loop-cover dummy scheme on the ring and measure the dynamic costs (E9)."""
+    placement = ring_placement(6)
+    graph = ShareGraph.from_placement(placement)
+    workload = uniform_workload(graph, ops, seed=seed)
+
+    base_cluster = Cluster(graph, delay_model=UniformDelay(1, 10), seed=seed)
+    base = run_workload(base_cluster, workload)
+
+    assignment = loop_cover_dummies(placement)
+    augmented = ShareGraph.from_placement(assignment.augmented_placement())
+    dummy_cluster = Cluster(
+        augmented,
+        replica_factory=dummy_register_factory(assignment),
+        delay_model=UniformDelay(1, 10),
+        seed=seed,
+    )
+    for operation in workload.operations:
+        if operation.kind == "write":
+            dummy_cluster.write(operation.replica_id, operation.register, operation.value)
+        else:
+            dummy_cluster.read(operation.replica_id, operation.register)
+        dummy_cluster.step()
+    dummy_cluster.run_until_quiescent()
+    # Check against the ORIGINAL share graph: dummies carry no obligations.
+    from ..core.consistency import ConsistencyChecker
+
+    dummy_report = ConsistencyChecker(graph).check(
+        dummy_cluster.events_by_replica(), check_liveness=True
+    )
+    return {
+        "baseline": {
+            "messages": float(base.messages_sent),
+            "counters_shipped": float(base.metadata_counters_sent),
+            "consistent": float(base.consistent),
+        },
+        "loop-cover dummies": {
+            "messages": float(dummy_cluster.network.stats.messages_sent),
+            "counters_shipped": float(dummy_cluster.network.stats.metadata_counters_sent),
+            "consistent": float(dummy_report.is_causally_consistent),
+        },
+    }
+
+
+# ======================================================================
+# E10 — Ring breaking / restricted communication
+# ======================================================================
+
+def exp_ring_breaking(sizes: Sequence[int] = (4, 6, 8, 12)) -> List[Dict[str, Any]]:
+    """Metadata vs. hop-count trade-off of breaking rings of several sizes (E10)."""
+    rows: List[Dict[str, Any]] = []
+    for n in sizes:
+        analysis = analyze_ring_breaking(n)
+        rows.append(
+            {
+                "ring size": n,
+                "counters before": analysis.total_counters_before,
+                "counters after": analysis.total_counters_after,
+                "saved": analysis.counters_saved,
+                "max hops before": analysis.max_hops_before,
+                "max hops after": analysis.max_hops_after,
+                "extra relays per update": analysis.extra_relay_messages_per_update,
+            }
+        )
+    star = analyze_star_restriction(8)
+    rows.append(
+        {
+            "ring size": "8 (star hub)",
+            "counters before": star.total_counters_before,
+            "counters after": star.total_counters_after,
+            "saved": star.counters_saved,
+            "max hops before": star.max_hops_before,
+            "max hops after": star.max_hops_after,
+            "extra relays per update": star.extra_relay_messages_per_update,
+        }
+    )
+    return rows
+
+
+def render_ring_breaking(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Text table of the ring-breaking analysis."""
+    headers = list(rows[0].keys()) if rows else []
+    return render_table(headers, [[r[h] for h in headers] for r in rows])
+
+
+# ======================================================================
+# E11 — Bounded loop length
+# ======================================================================
+
+@dataclass(frozen=True)
+class BoundedLoopsResult:
+    """Metadata savings and consistency verdicts under bounded tracking."""
+
+    topology: str
+    max_loop_length: int
+    exact_counters: int
+    bounded_counters: int
+    consistent_under_loose_synchrony: bool
+    consistent_under_adversary: bool
+
+
+def exp_bounded_loops(ring_size: int = 6) -> BoundedLoopsResult:
+    """Bounded-loop tracking on a ring: safe with loose synchrony, unsafe without (E11)."""
+    placement = ring_placement(ring_size)
+    graph = ShareGraph.from_placement(placement)
+    bound = 3  # track only triangles: drops all ring-loop counters
+    savings = bounded_metadata_savings(graph, bound)
+    factory = bounded_factory(bound)
+
+    # Loose synchrony: every hop takes exactly one unit, so a chain of k hops
+    # always arrives after the direct one-hop message it depends on.
+    def run(delay_model, seed: int) -> bool:
+        cluster = Cluster(graph, replica_factory=factory, delay_model=delay_model, seed=seed)
+        workload = causal_chain_workload(graph, num_chains=12, chain_length=ring_size, seed=seed)
+        result = run_workload(cluster, workload, interleave_steps=3)
+        return result.consistent
+
+    loose = run(FixedDelay(1.0), seed=2)
+
+    # Adversarial: the Theorem-8 schedule around the whole ring with the
+    # direct edge held back.  Replica `ring_size` is oblivious to the loop
+    # edges, so it applies the chain's last update before the held update.
+    cluster = Cluster(graph, replica_factory=factory, delay_model=FixedDelay(1.0), seed=3)
+    cluster.network.hold(1, ring_size)
+    cluster.write(1, f"ring_{ring_size}", "direct")  # shared by 1 and ring_size
+    for hop in range(1, ring_size):
+        cluster.write(hop, f"ring_{hop}", f"chain{hop}")
+        cluster.run_until_quiescent()
+    cluster.network.release_all()
+    cluster.run_until_quiescent()
+    adversarial_consistent = cluster.check_consistency().is_causally_consistent
+
+    return BoundedLoopsResult(
+        topology=f"ring{ring_size}",
+        max_loop_length=bound,
+        exact_counters=savings.total_exact,
+        bounded_counters=savings.total_bounded,
+        consistent_under_loose_synchrony=loose,
+        consistent_under_adversary=adversarial_consistent,
+    )
+
+
+# ======================================================================
+# E12 — Client–server architecture
+# ======================================================================
+
+@dataclass(frozen=True)
+class ClientServerResult:
+    """Augmented metadata sizes and a consistency verdict for a client–server run."""
+
+    server_edge_counts: Mapping[ReplicaId, int]
+    peer_to_peer_edge_counts: Mapping[ReplicaId, int]
+    client_counter_counts: Mapping[str, int]
+    consistent: bool
+
+
+def exp_client_server(seed: int = 4) -> ClientServerResult:
+    """Augmented timestamp graphs + a simulated client–server run (E12).
+
+    Uses the Figure 3 path topology with a client spanning the two end
+    replicas (which share no register): the client link adds a cycle to the
+    augmented share graph, so servers must track loop edges a peer-to-peer
+    deployment would not need.
+    """
+    placement = figure3_placement()
+    graph = ShareGraph.from_placement(placement)
+    clients = ClientAssignment.from_dict({"c1": {1, 4}, "c2": {2, 3}, "c3": {1, 2}})
+    augmented = AugmentedShareGraph(graph, clients)
+    augmented_edges = build_all_augmented_timestamp_edges(augmented)
+    p2p_edges = {rid: timestamp_edges(graph, rid) for rid in graph.replica_ids}
+
+    cluster = ClientServerCluster(graph, clients, delay_model=UniformDelay(1, 5), seed=seed)
+    # c1 alternates between the two end replicas, propagating dependencies
+    # across them; c2 and c3 add concurrent traffic.
+    for round_index in range(6):
+        cluster.client_write("c1", "x", f"x{round_index}", replica_id=1)
+        cluster.client_write("c1", "z", f"z{round_index}", replica_id=4)
+        cluster.client_write("c2", "y", f"y{round_index}", replica_id=2)
+        cluster.client_read("c2", "z", replica_id=3)
+        cluster.client_write("c3", "x", f"x'{round_index}", replica_id=2)
+        cluster.client_read("c3", "x", replica_id=1)
+    cluster.run_until_quiescent()
+    report = cluster.check_consistency()
+
+    return ClientServerResult(
+        server_edge_counts={rid: len(edges) for rid, edges in augmented_edges.items()},
+        peer_to_peer_edge_counts={rid: len(edges) for rid, edges in p2p_edges.items()},
+        client_counter_counts=dict(cluster.client_metadata_sizes()),
+        consistent=report.is_causally_consistent,
+    )
+
+
+def render_client_server(result: ClientServerResult) -> str:
+    """Text table of the client–server experiment."""
+    rows = [
+        (
+            rid,
+            result.peer_to_peer_edge_counts[rid],
+            result.server_edge_counts[rid],
+        )
+        for rid in sorted(result.server_edge_counts)
+    ]
+    table = render_table(
+        ["replica", "|E_i| peer-to-peer", "|Ê_i| client-server"], rows
+    )
+    clients = render_table(
+        ["client", "counters"], sorted(result.client_counter_counts.items())
+    )
+    status = "consistent" if result.consistent else "VIOLATED"
+    return f"{table}\n\n{clients}\n\nexecution: {status}"

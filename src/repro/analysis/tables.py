@@ -1,0 +1,43 @@
+"""Small text-table rendering helpers shared by benchmarks and examples.
+
+The evaluation harness prints its results as plain fixed-width tables so that
+``pytest benchmarks/ --benchmark-only -s`` and the example scripts produce
+the rows recorded in ``EXPERIMENTS.md`` verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Mapping, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render a fixed-width table with a header rule."""
+    str_rows: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        str_rows.append([_fmt(cell) for cell in row])
+    widths = [max(len(r[c]) for r in str_rows) for c in range(len(headers))]
+    lines = []
+    for index, row in enumerate(str_rows):
+        lines.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_mapping(title: str, mapping: Mapping[Any, Any]) -> str:
+    """Render a ``{key: value}`` mapping as a two-column table with a title."""
+    body = render_table(["key", "value"], sorted(mapping.items(), key=lambda kv: str(kv[0])))
+    return f"{title}\n{body}"
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    if isinstance(cell, (tuple, frozenset, set, list)):
+        return ", ".join(str(x) for x in sorted(cell, key=str))
+    return str(cell)
+
+
+def edge_label(edge: tuple) -> str:
+    """Human-readable label for a directed edge, e.g. ``e_43``."""
+    return f"e_{edge[0]}{edge[1]}"

@@ -1,0 +1,43 @@
+"""Baseline protocols the paper compares against (conceptually or implicitly).
+
+Every baseline implements the same :class:`~repro.core.protocol.CausalReplica`
+interface as the paper's algorithm, so the simulator, checker and metrics
+treat them interchangeably:
+
+* :class:`~repro.baselines.vector_clock_full.FullReplicationReplica` — the
+  classical Lazy-Replication-style design: full replication with a vector
+  timestamp of length ``R``.
+* :class:`~repro.baselines.all_edges.AllEdgesReplica` — partial replication
+  that conservatively tracks *every* directed share-graph edge; always safe,
+  never smaller than the paper's timestamp graph.
+* :class:`~repro.baselines.incident_only.IncidentOnlyReplica` — partial
+  replication tracking only edges incident on the replica (FIFO-per-channel
+  information only).  Provably unsafe on loop topologies: it is the
+  "oblivious" protocol used to demonstrate the necessity half of Theorem 8.
+* :class:`~repro.baselines.hoop_tracking.HoopTrackingReplica` — edge sets
+  derived from Hélary–Milani minimal hoops (original or modified
+  definition), used to reproduce the paper's correction.
+* :class:`~repro.baselines.full_track.FullTrackReplica` — a
+  Full-Track-style matrix clock (Shen, Kshemkalyani & Hsu) adapted to the
+  replica-centric model: one counter per (writer replica, destination
+  replica) pair.
+"""
+
+from .all_edges import AllEdgesReplica, all_edges_factory
+from .full_track import FullTrackReplica, full_track_factory
+from .hoop_tracking import HoopTrackingReplica, hoop_tracking_factory
+from .incident_only import IncidentOnlyReplica, incident_only_factory
+from .vector_clock_full import FullReplicationReplica, full_replication_factory
+
+__all__ = [
+    "AllEdgesReplica",
+    "FullReplicationReplica",
+    "FullTrackReplica",
+    "HoopTrackingReplica",
+    "IncidentOnlyReplica",
+    "all_edges_factory",
+    "full_replication_factory",
+    "full_track_factory",
+    "hoop_tracking_factory",
+    "incident_only_factory",
+]

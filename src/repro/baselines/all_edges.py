@@ -1,0 +1,29 @@
+"""Conservative partial replication: track every directed share-graph edge.
+
+A simple, always-safe way to achieve causal consistency under partial
+replication is to run the edge-indexed algorithm with *every* directed edge
+of the share graph in every replica's index set.  The paper's timestamp graph
+``E_i`` is a subset of this, so this baseline upper-bounds the metadata the
+optimal edge selection saves (experiment E7).
+"""
+
+from __future__ import annotations
+
+from ..core.protocol import CausalReplica
+from ..core.registers import ReplicaId
+from ..core.replica import EdgeIndexedReplica
+from ..core.share_graph import ShareGraph
+from ..core.timestamp_graph import TimestampGraph
+
+
+class AllEdgesReplica(EdgeIndexedReplica):
+    """The edge-indexed algorithm indexed by *all* share-graph edges."""
+
+    def __init__(self, share_graph: ShareGraph, replica_id: ReplicaId) -> None:
+        tgraph = TimestampGraph.from_edges(share_graph, replica_id, share_graph.edges)
+        super().__init__(share_graph, replica_id, timestamp_graph=tgraph)
+
+
+def all_edges_factory(graph: ShareGraph, replica_id: ReplicaId) -> CausalReplica:
+    """Replica factory for :class:`~repro.sim.cluster.Cluster`."""
+    return AllEdgesReplica(graph, replica_id)

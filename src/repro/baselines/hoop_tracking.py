@@ -1,0 +1,54 @@
+"""Edge tracking derived from Hélary–Milani minimal hoops (Section 3.2).
+
+Hélary and Milani's criterion says a replica must keep/transmit information
+about register ``x`` iff it stores ``x`` or belongs to a minimal x-hoop.
+This baseline turns that register-level criterion into an edge-indexed
+protocol: replica ``i`` indexes its timestamp by every share-graph edge whose
+label set contains a register the criterion asks ``i`` to track
+(:func:`repro.core.hoops.hoop_tracked_edges`).
+
+With the **original** minimality definition the resulting edge sets are safe
+but can be strictly larger than the paper's timestamp graph (counterexample 1
+— wasted metadata).  With the **modified** definition of Appendix A they can
+miss edges Theorem 8 proves necessary (counterexample 2 — the protocol is
+unsafe), which the necessity experiment demonstrates by execution.
+"""
+
+from __future__ import annotations
+
+from ..core.hoops import hoop_tracked_edges
+from ..core.protocol import CausalReplica
+from ..core.registers import ReplicaId
+from ..core.replica import EdgeIndexedReplica
+from ..core.share_graph import ShareGraph
+from ..core.timestamp_graph import TimestampGraph
+
+
+class HoopTrackingReplica(EdgeIndexedReplica):
+    """The edge-indexed algorithm indexed by the Hélary–Milani edge sets."""
+
+    def __init__(
+        self,
+        share_graph: ShareGraph,
+        replica_id: ReplicaId,
+        modified: bool = False,
+    ) -> None:
+        edges = hoop_tracked_edges(share_graph, replica_id, modified=modified)
+        # Incident edges are always tracked: the prototype's FIFO-per-channel
+        # bookkeeping needs them regardless of the hoop criterion.
+        edges = edges | share_graph.incident_edges(replica_id)
+        tgraph = TimestampGraph.from_edges(share_graph, replica_id, edges)
+        super().__init__(share_graph, replica_id, timestamp_graph=tgraph)
+        self.modified = modified
+
+
+def hoop_tracking_factory(graph: ShareGraph, replica_id: ReplicaId) -> CausalReplica:
+    """Factory using the original minimal-hoop definition."""
+    return HoopTrackingReplica(graph, replica_id, modified=False)
+
+
+def modified_hoop_tracking_factory(
+    graph: ShareGraph, replica_id: ReplicaId
+) -> CausalReplica:
+    """Factory using the modified minimal-hoop definition (can be unsafe)."""
+    return HoopTrackingReplica(graph, replica_id, modified=True)

@@ -1,0 +1,37 @@
+"""The oblivious baseline: track only edges incident on the replica.
+
+A replica that indexes its timestamp only by its own incoming and outgoing
+share-graph edges can enforce per-channel FIFO ordering but is *oblivious*
+(in the sense of Theorem 8) to every loop edge of its timestamp graph.  On
+any topology whose timestamp graphs contain loop edges — the triangle of
+:func:`repro.sim.topologies.triangle_placement` is the smallest — adversarial
+message delays make it apply an update before one of its causal
+dependencies, violating safety.
+
+This is the executable counterpart of the necessity half of Theorem 8
+(experiment E4): the paper proves *some* execution breaks any protocol that
+ignores a timestamp-graph edge, and the simulator exhibits one.
+"""
+
+from __future__ import annotations
+
+from ..core.protocol import CausalReplica
+from ..core.registers import ReplicaId
+from ..core.replica import EdgeIndexedReplica
+from ..core.share_graph import ShareGraph
+from ..core.timestamp_graph import TimestampGraph
+
+
+class IncidentOnlyReplica(EdgeIndexedReplica):
+    """The edge-indexed algorithm restricted to incident edges (unsafe)."""
+
+    def __init__(self, share_graph: ShareGraph, replica_id: ReplicaId) -> None:
+        tgraph = TimestampGraph.from_edges(
+            share_graph, replica_id, share_graph.incident_edges(replica_id)
+        )
+        super().__init__(share_graph, replica_id, timestamp_graph=tgraph)
+
+
+def incident_only_factory(graph: ShareGraph, replica_id: ReplicaId) -> CausalReplica:
+    """Replica factory for :class:`~repro.sim.cluster.Cluster`."""
+    return IncidentOnlyReplica(graph, replica_id)

@@ -1,0 +1,77 @@
+"""Full replication with classical vector clocks (Lazy Replication style).
+
+The standard pre-partial-replication design: every replica stores a copy of
+*every* register and maintains a vector timestamp with one entry per replica
+(``R`` counters).  A write increments the writer's own entry and is broadcast
+to all other replicas; a remote update from ``k`` with vector ``T`` is applied
+once ``T[k] = τ[k] + 1`` and ``T[j] ≤ τ[j]`` for every other ``j`` — the
+classical causal-broadcast delivery condition [Birman et al.; Lazy
+Replication].
+
+This baseline trades storage (every register everywhere) for the smallest
+possible metadata, which is exactly the trade-off the paper's introduction
+frames partial replication against (experiment E7).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.protocol import CausalReplica, UpdateMessage
+from ..core.registers import Register, ReplicaId
+from ..core.share_graph import ShareGraph
+from ..core.timestamps import VectorTimestamp
+
+
+class FullReplicationReplica(CausalReplica):
+    """A fully replicated causally consistent replica with a length-``R`` vector.
+
+    The replica stores *all* registers of the placement (not just its ``X_i``)
+    — that is what "full replication" means — and therefore applies every
+    update in the system.
+    """
+
+    def __init__(self, share_graph: ShareGraph, replica_id: ReplicaId) -> None:
+        super().__init__(replica_id, share_graph.placement.registers)
+        self.share_graph = share_graph
+        self.vector = VectorTimestamp.zero(share_graph.replica_ids)
+
+    # ------------------------------------------------------------------
+    # Protocol hooks
+    # ------------------------------------------------------------------
+    def destinations(self, register: Register) -> Sequence[ReplicaId]:
+        """Broadcast: every other replica stores every register."""
+        return tuple(
+            rid for rid in self.share_graph.replica_ids if rid != self.replica_id
+        )
+
+    def make_metadata(self, register: Register) -> Tuple[VectorTimestamp, int]:
+        """Increment the local entry of the vector clock."""
+        self.vector = self.vector.incremented(self.replica_id)
+        return self.vector, self.vector.size_counters()
+
+    def can_apply(self, message: UpdateMessage) -> bool:
+        """Classical causal-broadcast delivery condition."""
+        remote: VectorTimestamp = message.metadata
+        sender = message.sender
+        if remote.get(sender) != self.vector.get(sender) + 1:
+            return False
+        for rid, value in remote.items():
+            if rid == sender:
+                continue
+            if value > self.vector.get(rid):
+                return False
+        return True
+
+    def absorb_metadata(self, message: UpdateMessage) -> None:
+        """Element-wise maximum of the two vectors."""
+        self.vector = self.vector.merged_with(message.metadata)
+
+    def metadata_size(self) -> int:
+        """``R`` counters."""
+        return self.vector.size_counters()
+
+
+def full_replication_factory(graph: ShareGraph, replica_id: ReplicaId) -> CausalReplica:
+    """Replica factory for :class:`~repro.sim.cluster.Cluster`."""
+    return FullReplicationReplica(graph, replica_id)

@@ -1,0 +1,196 @@
+"""A simulated client–server deployment (Figure 1b).
+
+Wires :class:`~repro.clientserver.server.ClientServerReplica` servers,
+:class:`~repro.clientserver.client.ClientAgent` clients and a
+:class:`~repro.sim.network.SimNetwork` together.  Client operations are
+synchronous from the client's perspective (the client waits for the
+response), but a request buffered behind predicate ``J1/J2`` is unblocked by
+delivering inter-replica update messages, so issuing an operation may advance
+the simulation.
+
+The cluster records, alongside the servers' issue/apply traces, the
+happened-before edges that clients propagate by touching several replicas
+(condition (ii) of the ``↪'`` relation, Definition 25); consistency checking
+injects those into the checker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.consistency import ConsistencyChecker, ConsistencyReport
+from ..core.errors import SimulationError
+from ..core.protocol import ReplicaEvent, UpdateId
+from ..core.registers import Register, ReplicaId
+from ..core.share_graph import ShareGraph
+from ..sim.delays import DelayModel
+from ..sim.network import SimNetwork
+from .augmented import AugmentedShareGraph, ClientAssignment, ClientId
+from .client import ClientAgent
+from .server import ClientRequest, ClientServerReplica
+
+
+class ClientServerCluster:
+    """Servers + clients + network for the client–server architecture."""
+
+    def __init__(
+        self,
+        share_graph: ShareGraph,
+        clients: ClientAssignment,
+        delay_model: Optional[DelayModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.share_graph = share_graph
+        self.augmented = AugmentedShareGraph(share_graph, clients)
+        self.network = SimNetwork(delay_model=delay_model, seed=seed)
+        self.servers: Dict[ReplicaId, ClientServerReplica] = {
+            rid: ClientServerReplica(self.augmented, rid)
+            for rid in share_graph.replica_ids
+        }
+        self.clients: Dict[ClientId, ClientAgent] = {
+            cid: ClientAgent(self.augmented, cid) for cid in clients.client_ids
+        }
+        #: Updates each client has (transitively) observed, for ↪' bookkeeping.
+        self._client_seen: Dict[ClientId, Set[UpdateId]] = {
+            cid: set() for cid in clients.client_ids
+        }
+        #: Extra ↪' edges induced by client sessions: (observed update, issued update).
+        self._client_edges: List[Tuple[UpdateId, UpdateId]] = []
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+    def client_read(
+        self,
+        client_id: ClientId,
+        register: Register,
+        replica_id: Optional[ReplicaId] = None,
+        max_steps: int = 100_000,
+    ) -> Any:
+        """Perform a client read; blocks (simulating) until the server can serve it."""
+        client = self.clients[client_id]
+        target = client.choose_replica(register, preferred=replica_id)
+        request = ClientRequest(
+            kind="read",
+            client_id=client_id,
+            register=register,
+            value=None,
+            client_timestamp=client.timestamp,
+            sim_time=self.network.now,
+        )
+        response = self._submit_and_wait(target, request, max_steps)
+        client.absorb_response(response.server_timestamp)
+        client.record("read", target, register, response.value, self.network.now)
+        self._note_client_observation(client_id, target)
+        return response.value
+
+    def client_write(
+        self,
+        client_id: ClientId,
+        register: Register,
+        value: Any,
+        replica_id: Optional[ReplicaId] = None,
+        max_steps: int = 100_000,
+    ) -> None:
+        """Perform a client write; blocks (simulating) until the server can serve it."""
+        client = self.clients[client_id]
+        target = client.choose_replica(register, preferred=replica_id)
+        request = ClientRequest(
+            kind="write",
+            client_id=client_id,
+            register=register,
+            value=value,
+            client_timestamp=client.timestamp,
+            sim_time=self.network.now,
+        )
+        response = self._submit_and_wait(target, request, max_steps)
+        issued = self.servers[target].applied[-1]
+        # Everything the client had observed before this write happens-before it.
+        for seen in self._client_seen[client_id]:
+            if seen != issued.uid:
+                self._client_edges.append((seen, issued.uid))
+        self.network.send_all(response.update_messages)
+        client.absorb_response(response.server_timestamp)
+        client.record("write", target, register, value, self.network.now)
+        self._note_client_observation(client_id, target)
+        self._client_seen[client_id].add(issued.uid)
+
+    def _submit_and_wait(self, target: ReplicaId, request: ClientRequest,
+                         max_steps: int):
+        server = self.servers[target]
+        response = server.submit(request)
+        steps = 0
+        while response is None:
+            made_progress = self.step()
+            server.serve_waiting(sim_time=self.network.now)
+            response = server.take_response(
+                request.client_id, request.kind, request.register
+            )
+            if response is not None:
+                break
+            if not made_progress:
+                raise SimulationError(
+                    f"client request at replica {target} cannot be served: the "
+                    "network is quiescent but predicate J1/J2 still fails"
+                )
+            steps += 1
+            if steps > max_steps:
+                raise SimulationError("client request exceeded the step budget")
+        return response
+
+    def _note_client_observation(self, client_id: ClientId, replica_id: ReplicaId) -> None:
+        """After touching a replica, the client has observed its applied updates."""
+        applied = {u.uid for u in self.servers[replica_id].applied}
+        self._client_seen[client_id] |= applied
+
+    # ------------------------------------------------------------------
+    # Simulation control
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Deliver one inter-replica update message and run apply/serve loops."""
+        delivery = self.network.deliver_next()
+        if delivery is None:
+            return False
+        message = delivery.message
+        server = self.servers[message.destination]
+        server.receive(message)
+        server.apply_ready(sim_time=self.network.now)
+        server.serve_waiting(sim_time=self.network.now)
+        return True
+
+    def run_until_quiescent(self, max_steps: int = 1_000_000) -> int:
+        """Deliver all in-flight update messages."""
+        steps = 0
+        while self.network.pending_count() > 0:
+            if steps >= max_steps:
+                raise SimulationError("run_until_quiescent exceeded the step budget")
+            self.step()
+            steps += 1
+        for server in self.servers.values():
+            server.apply_ready(sim_time=self.network.now)
+            server.serve_waiting(sim_time=self.network.now)
+        return steps
+
+    # ------------------------------------------------------------------
+    # Checking and metrics
+    # ------------------------------------------------------------------
+    def events_by_replica(self) -> Dict[ReplicaId, Sequence[ReplicaEvent]]:
+        """Each server's local trace."""
+        return {rid: tuple(s.events) for rid, s in self.servers.items()}
+
+    def check_consistency(self, check_liveness: bool = True) -> ConsistencyReport:
+        """Validate against Definition 26 (safety/liveness under ``↪'``)."""
+        checker = ConsistencyChecker(self.share_graph)
+        return checker.check(
+            self.events_by_replica(),
+            check_liveness=check_liveness,
+            extra_happened_before=self._client_edges,
+        )
+
+    def server_metadata_sizes(self) -> Dict[ReplicaId, int]:
+        """Counters per server (``|Ê_i|``)."""
+        return {rid: s.metadata_size() for rid, s in sorted(self.servers.items())}
+
+    def client_metadata_sizes(self) -> Dict[ClientId, int]:
+        """Counters per client (``|∪_{i∈R_c} Ê_i|``)."""
+        return {cid: c.metadata_size() for cid, c in sorted(self.clients.items())}

@@ -1,0 +1,243 @@
+"""Replica-centric causal consistency checking (Definition 2 of the paper).
+
+The checker validates an execution *after the fact*, purely from the
+replicas' issue/apply traces:
+
+* **Safety** — whenever a replica ``i`` applied an update ``u1`` on a
+  register it stores, every update ``u2 ↪ u1`` on a register stored at ``i``
+  had already been applied at ``i`` at that moment.
+* **Liveness** — at quiescence (all messages delivered, all pending buffers
+  drained), every update issued on register ``x`` has been applied at every
+  replica that stores ``x``.
+
+The happened-before relation is recomputed independently of the protocol
+under test (:mod:`repro.core.causal`), so the checker catches protocols whose
+metadata is too weak — which is exactly what the necessity experiments (E4)
+rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .causal import HappenedBefore
+from .errors import ConsistencyViolationError, LivenessViolationError
+from .protocol import EventKind, ReplicaEvent, Update, UpdateId
+from .registers import ReplicaId
+from .share_graph import ShareGraph
+
+# (Optional/Tuple are used in the checker's signature below.)
+
+
+@dataclass(frozen=True)
+class SafetyViolation:
+    """One detected violation of the safety property.
+
+    Replica ``replica_id`` applied ``applied`` while its causal predecessor
+    ``missing`` (also on a register stored at the replica) had not been
+    applied yet.
+    """
+
+    replica_id: ReplicaId
+    applied: Update
+    missing: Update
+    position: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"replica {self.replica_id} applied {self.applied} at local position "
+            f"{self.position} before its causal dependency {self.missing}"
+        )
+
+
+@dataclass(frozen=True)
+class LivenessViolation:
+    """One update that was never applied at a replica that stores its register."""
+
+    replica_id: ReplicaId
+    update: Update
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"update {self.update} was never applied at replica {self.replica_id} "
+            f"although the replica stores register {self.update.register!r}"
+        )
+
+
+@dataclass
+class ConsistencyReport:
+    """The full verdict of the checker over one execution."""
+
+    safety_violations: List[SafetyViolation] = field(default_factory=list)
+    liveness_violations: List[LivenessViolation] = field(default_factory=list)
+    checked_applications: int = 0
+    checked_updates: int = 0
+
+    @property
+    def is_safe(self) -> bool:
+        """``True`` iff no safety violation was found."""
+        return not self.safety_violations
+
+    @property
+    def is_live(self) -> bool:
+        """``True`` iff no liveness violation was found."""
+        return not self.liveness_violations
+
+    @property
+    def is_causally_consistent(self) -> bool:
+        """``True`` iff the execution satisfies Definition 2 end to end."""
+        return self.is_safe and self.is_live
+
+    def raise_on_violation(self) -> None:
+        """Raise a descriptive exception if any violation was recorded."""
+        if self.safety_violations:
+            raise ConsistencyViolationError(
+                f"{len(self.safety_violations)} safety violation(s); first: "
+                f"{self.safety_violations[0]}",
+                self.safety_violations,
+            )
+        if self.liveness_violations:
+            raise LivenessViolationError(
+                f"{len(self.liveness_violations)} liveness violation(s); first: "
+                f"{self.liveness_violations[0]}",
+                self.liveness_violations,
+            )
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"checked {self.checked_applications} applications of "
+            f"{self.checked_updates} updates: "
+            f"{len(self.safety_violations)} safety violation(s), "
+            f"{len(self.liveness_violations)} liveness violation(s)"
+        )
+
+
+class ConsistencyChecker:
+    """Validates executions against replica-centric causal consistency.
+
+    Parameters
+    ----------
+    share_graph:
+        The share graph of the system under test; used to know which
+        registers each replica stores (safety is only required for registers
+        in ``X_i``) and which replicas must eventually apply each update
+        (liveness).
+    """
+
+    def __init__(self, share_graph: ShareGraph) -> None:
+        self.share_graph = share_graph
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        events_by_replica: Mapping[ReplicaId, Sequence[ReplicaEvent]],
+        check_liveness: bool = True,
+        extra_happened_before: Optional[Sequence[Tuple[UpdateId, UpdateId]]] = None,
+    ) -> ConsistencyReport:
+        """Check a complete execution given each replica's local event trace.
+
+        ``extra_happened_before`` adds direct ``↪`` edges beyond those implied
+        by the replica traces.  The client–server architecture uses this to
+        inject the dependencies a client propagates by accessing several
+        replicas (condition (ii) of Definition 25's ``↪'``).
+        """
+        relation = HappenedBefore.from_events(events_by_replica)
+        if extra_happened_before:
+            for u1, u2 in extra_happened_before:
+                if u1 != u2:
+                    relation.direct_edges.add((u1, u2))
+            relation._closure = None
+        report = ConsistencyReport()
+        report.checked_updates = len(relation.updates)
+
+        for replica_id, events in events_by_replica.items():
+            self._check_replica_safety(replica_id, events, relation, report)
+
+        if check_liveness:
+            self._check_liveness(events_by_replica, relation, report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Safety
+    # ------------------------------------------------------------------
+    def _check_replica_safety(
+        self,
+        replica_id: ReplicaId,
+        events: Sequence[ReplicaEvent],
+        relation: HappenedBefore,
+        report: ConsistencyReport,
+    ) -> None:
+        stored = self.share_graph.registers_at(replica_id)
+        applied_so_far: set = set()
+        for position, event in enumerate(events):
+            if event.kind not in (EventKind.ISSUE, EventKind.APPLY):
+                continue
+            update = event.update
+            if update is None:
+                continue
+            report.checked_applications += 1
+            # Safety only constrains applications of updates to registers the
+            # replica stores; metadata-only applications (dummy registers) are
+            # exempt from the "u1 for register x in X_i" premise but still
+            # extend the applied set used for later checks.
+            if update.register in stored:
+                for missing_uid in relation.predecessors(update.uid):
+                    missing = relation.updates[missing_uid]
+                    if missing.register not in stored:
+                        continue
+                    if missing_uid not in applied_so_far:
+                        report.safety_violations.append(
+                            SafetyViolation(
+                                replica_id=replica_id,
+                                applied=update,
+                                missing=missing,
+                                position=position,
+                            )
+                        )
+            applied_so_far.add(update.uid)
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+    def _check_liveness(
+        self,
+        events_by_replica: Mapping[ReplicaId, Sequence[ReplicaEvent]],
+        relation: HappenedBefore,
+        report: ConsistencyReport,
+    ) -> None:
+        applied_at: Dict[ReplicaId, set] = {}
+        for replica_id, events in events_by_replica.items():
+            applied_at[replica_id] = {
+                e.update.uid
+                for e in events
+                if e.kind in (EventKind.ISSUE, EventKind.APPLY) and e.update is not None
+            }
+        for update in relation.all_updates():
+            try:
+                owners = self.share_graph.replicas_storing(update.register)
+            except Exception:
+                # Registers unknown to the share graph (e.g. virtual registers
+                # introduced by optimizations) impose no liveness obligation.
+                continue
+            for replica_id in owners:
+                if replica_id not in events_by_replica:
+                    continue
+                if update.uid not in applied_at.get(replica_id, set()):
+                    report.liveness_violations.append(
+                        LivenessViolation(replica_id=replica_id, update=update)
+                    )
+
+
+def check_execution(
+    share_graph: ShareGraph,
+    events_by_replica: Mapping[ReplicaId, Sequence[ReplicaEvent]],
+    check_liveness: bool = True,
+) -> ConsistencyReport:
+    """Convenience wrapper: build a checker and validate one execution."""
+    return ConsistencyChecker(share_graph).check(
+        events_by_replica, check_liveness=check_liveness
+    )

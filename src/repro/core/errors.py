@@ -1,0 +1,82 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes from protocol
+violations detected at run time.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters.
+
+    Examples: a replica id that does not exist in the share graph, a
+    register placed at no replica, a client associated with an unknown
+    replica.
+    """
+
+
+class UnknownReplicaError(ConfigurationError):
+    """A replica id was referenced that is not part of the system."""
+
+    def __init__(self, replica_id: object) -> None:
+        super().__init__(f"unknown replica id: {replica_id!r}")
+        self.replica_id = replica_id
+
+
+class UnknownRegisterError(ConfigurationError):
+    """A register name was referenced that is not stored anywhere."""
+
+    def __init__(self, register: object) -> None:
+        super().__init__(f"unknown register: {register!r}")
+        self.register = register
+
+
+class RegisterNotStoredError(ReproError):
+    """An operation targeted a register not stored at the chosen replica."""
+
+    def __init__(self, register: object, replica_id: object) -> None:
+        super().__init__(
+            f"register {register!r} is not stored at replica {replica_id!r}"
+        )
+        self.register = register
+        self.replica_id = replica_id
+
+
+class ProtocolError(ReproError):
+    """The messaging protocol was used incorrectly.
+
+    Raised, for instance, when an update message is delivered to a replica
+    that does not store the register being updated, or when a timestamp is
+    merged against an incompatible index set in a way the algorithm forbids.
+    """
+
+
+class ConsistencyViolationError(ReproError):
+    """The execution checker detected a causal-consistency violation.
+
+    Carries the human-readable explanation produced by the checker, which
+    identifies the update applied out of order and the missing dependency.
+    """
+
+    def __init__(self, message: str, violations: list | None = None) -> None:
+        super().__init__(message)
+        self.violations = list(violations or [])
+
+
+class LivenessViolationError(ReproError):
+    """The execution checker detected that an update was never applied."""
+
+    def __init__(self, message: str, missing: list | None = None) -> None:
+        super().__init__(message)
+        self.missing = list(missing or [])
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid internal state."""

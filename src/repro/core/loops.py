@@ -1,0 +1,246 @@
+"""``(i, e_jk)``-loops (Definition 4 of the paper).
+
+An ``(i, e_jk)``-loop is a simple cycle through replica ``i`` of the form::
+
+    i, l_1, l_2, ..., l_s = k,  j = r_1, r_2, ..., r_t,  i        (s, t >= 1)
+
+i.e. a cycle that, when traversed starting at ``i``, first walks the "l-side"
+and reaches ``k``, then crosses the share-graph edge between ``k`` and ``j``,
+and finally returns to ``i`` along the "r-side" ``j = r_1, ..., r_t``.  With
+``r_{t+1} = i``, the register-set conditions are:
+
+``(i)``   ``X_jk  −  ∪_{1≤p≤s−1} X_{l_p}  ≠ ∅``
+``(ii)``  ``X_{j r_2}  −  ∪_{1≤p≤s−1} X_{l_p}  ≠ ∅``
+``(iii)`` for ``2 ≤ q ≤ t``:  ``X_{r_q r_{q+1}}  −  ∪_{1≤p≤s} X_{l_p}  ≠ ∅``
+
+Intuitively the conditions guarantee that a chain of causally dependent
+updates can be driven from ``j`` around the r-side to ``i`` without touching
+any replica on the l-side, so the only way ``i`` can learn that the chain
+causally depends on ``j``'s update on ``X_jk`` is by tracking edge ``e_jk``
+explicitly.  The existence of such a loop is exactly the criterion that puts
+``e_jk`` into replica ``i``'s timestamp graph
+(:mod:`repro.core.timestamp_graph`).
+
+The enumeration is exponential in the worst case because the object itself
+ranges over simple cycles; the ``max_loop_length`` knob restricts the search
+and doubles as the Appendix-D "sacrificing causality" optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .registers import Register, ReplicaId
+from .share_graph import Edge, ShareGraph
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A concrete ``(i, e_jk)``-loop.
+
+    Attributes
+    ----------
+    observer:
+        The replica ``i`` from whose perspective the loop is defined.
+    edge:
+        The directed share-graph edge ``e_jk`` witnessed by the loop.
+    l_side:
+        The vertices ``(l_1, ..., l_s)``; the last element is ``k``.
+    r_side:
+        The vertices ``(r_1, ..., r_t)``; the first element is ``j``.
+    """
+
+    observer: ReplicaId
+    edge: Edge
+    l_side: Tuple[ReplicaId, ...]
+    r_side: Tuple[ReplicaId, ...]
+
+    @property
+    def j(self) -> ReplicaId:
+        """The tail of the witnessed edge (``j``)."""
+        return self.edge[0]
+
+    @property
+    def k(self) -> ReplicaId:
+        """The head of the witnessed edge (``k``)."""
+        return self.edge[1]
+
+    @property
+    def vertices(self) -> Tuple[ReplicaId, ...]:
+        """The full cycle ``(i, l_1, ..., l_s, r_1, ..., r_t)``."""
+        return (self.observer, *self.l_side, *self.r_side)
+
+    @property
+    def length(self) -> int:
+        """Number of vertices on the cycle."""
+        return len(self.vertices)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        cycle = " -> ".join(str(v) for v in (*self.vertices, self.observer))
+        return f"({self.observer}, e_{self.j}{self.k})-loop: {cycle}"
+
+
+def _union_registers(graph: ShareGraph, replicas: Iterable[ReplicaId]) -> FrozenSet[Register]:
+    out: Set[Register] = set()
+    for rid in replicas:
+        out |= graph.registers_at(rid)
+    return frozenset(out)
+
+
+def check_loop_conditions(
+    graph: ShareGraph,
+    observer: ReplicaId,
+    jk: Edge,
+    l_side: Sequence[ReplicaId],
+    r_side: Sequence[ReplicaId],
+) -> bool:
+    """Check conditions (i)–(iii) of Definition 4 for a candidate cycle.
+
+    ``l_side`` must end with ``k`` and ``r_side`` must start with ``j``; the
+    cycle itself (adjacency of consecutive vertices in the share graph) is
+    assumed to have been validated by the caller.
+    """
+    j, k = jk
+    if not l_side or not r_side:
+        return False
+    if l_side[-1] != k or r_side[0] != j:
+        return False
+
+    # Registers stored by l_1 .. l_{s-1}  (excluding l_s = k).
+    blockers_excl_k = _union_registers(graph, l_side[:-1])
+    # Registers stored by l_1 .. l_s  (including l_s = k).
+    blockers_incl_k = _union_registers(graph, l_side)
+
+    # Condition (i): X_jk minus registers of l_1..l_{s-1} is non-empty.
+    if not (graph.shared_registers(j, k) - blockers_excl_k):
+        return False
+
+    # r_{t+1} = i (the observer).
+    r_extended: List[ReplicaId] = list(r_side) + [observer]
+
+    # Condition (ii): X_{j r_2} minus registers of l_1..l_{s-1} is non-empty.
+    r2 = r_extended[1]
+    if not (graph.shared_registers(j, r2) - blockers_excl_k):
+        return False
+
+    # Condition (iii): for 2 <= q <= t, X_{r_q r_{q+1}} minus registers of
+    # l_1..l_s is non-empty.
+    for q in range(2, len(r_side) + 1):
+        rq = r_extended[q - 1]
+        rq_next = r_extended[q]
+        if not (graph.shared_registers(rq, rq_next) - blockers_incl_k):
+            return False
+    return True
+
+
+def _loops_from_cycle(
+    graph: ShareGraph,
+    observer: ReplicaId,
+    cycle: Sequence[ReplicaId],
+    target_edge: Optional[Edge] = None,
+) -> Iterator[Loop]:
+    """Yield every ``(observer, e_jk)``-loop realised by one oriented cycle.
+
+    ``cycle`` is a tuple of distinct vertices starting with ``observer``; the
+    closing edge back to ``observer`` is implicit.  Every split point
+    ``m`` (``1 <= m <= len(cycle) - 2``) is tried: the l-side is
+    ``cycle[1:m+1]`` (so ``k = cycle[m]``) and the r-side is ``cycle[m+1:]``
+    (so ``j = cycle[m+1]``).
+    """
+    n = len(cycle)
+    for m in range(1, n - 1):
+        k = cycle[m]
+        j = cycle[m + 1]
+        jk = (j, k)
+        if target_edge is not None and jk != target_edge:
+            continue
+        if jk not in graph.edges:
+            continue
+        l_side = tuple(cycle[1:m + 1])
+        r_side = tuple(cycle[m + 1:])
+        if check_loop_conditions(graph, observer, jk, l_side, r_side):
+            yield Loop(observer=observer, edge=jk, l_side=l_side, r_side=r_side)
+
+
+def iter_loops(
+    graph: ShareGraph,
+    observer: ReplicaId,
+    target_edge: Optional[Edge] = None,
+    max_loop_length: Optional[int] = None,
+) -> Iterator[Loop]:
+    """Iterate over ``(observer, e_jk)``-loops in the share graph.
+
+    Parameters
+    ----------
+    graph:
+        The share graph.
+    observer:
+        The replica ``i``.
+    target_edge:
+        If given, only loops witnessing this specific edge are produced.
+    max_loop_length:
+        If given, only loops with at most this many vertices are considered
+        (Appendix D's bounded-loop-length relaxation).
+    """
+    for cycle in graph.simple_cycles_through(observer, max_length=max_loop_length):
+        yield from _loops_from_cycle(graph, observer, cycle, target_edge=target_edge)
+
+
+def has_loop(
+    graph: ShareGraph,
+    observer: ReplicaId,
+    jk: Edge,
+    max_loop_length: Optional[int] = None,
+) -> bool:
+    """``True`` iff at least one ``(observer, e_jk)``-loop exists."""
+    j, k = jk
+    if observer in (j, k):
+        return False
+    if jk not in graph.edges:
+        return False
+    for _ in iter_loops(graph, observer, target_edge=jk, max_loop_length=max_loop_length):
+        return True
+    return False
+
+
+def find_loop(
+    graph: ShareGraph,
+    observer: ReplicaId,
+    jk: Edge,
+    max_loop_length: Optional[int] = None,
+) -> Optional[Loop]:
+    """Return a witnessing ``(observer, e_jk)``-loop, or ``None``."""
+    for loop in iter_loops(graph, observer, target_edge=jk, max_loop_length=max_loop_length):
+        return loop
+    return None
+
+
+def loop_edges(
+    graph: ShareGraph,
+    observer: ReplicaId,
+    max_loop_length: Optional[int] = None,
+) -> FrozenSet[Edge]:
+    """All edges ``e_jk`` (``j ≠ i ≠ k``) witnessed by some ``(i, e_jk)``-loop.
+
+    This is the "loop part" of replica ``i``'s timestamp graph edge set; the
+    full edge set additionally contains all edges incident on ``i``
+    (:func:`repro.core.timestamp_graph.timestamp_edges`).
+    """
+    witnessed: Set[Edge] = set()
+    for cycle in graph.simple_cycles_through(observer, max_length=max_loop_length):
+        for loop in _loops_from_cycle(graph, observer, cycle):
+            witnessed.add(loop.edge)
+    return frozenset(witnessed)
+
+
+def loops_by_edge(
+    graph: ShareGraph,
+    observer: ReplicaId,
+    max_loop_length: Optional[int] = None,
+) -> Dict[Edge, List[Loop]]:
+    """Group every ``(observer, ·)``-loop by the edge it witnesses."""
+    grouped: Dict[Edge, List[Loop]] = {}
+    for loop in iter_loops(graph, observer, max_loop_length=max_loop_length):
+        grouped.setdefault(loop.edge, []).append(loop)
+    return grouped

@@ -1,0 +1,310 @@
+"""Messages, update records and the abstract replica protocol.
+
+This module defines the vocabulary shared by every protocol implementation
+in the library (the paper's edge-indexed algorithm and all the baselines):
+
+* :class:`Update` — a uniquely identified write issued by some replica.
+* :class:`UpdateMessage` — the ``update(i, τ_i, x, v)`` message of the
+  algorithm prototype: an update plus the metadata (timestamp) attached by
+  the issuing protocol.
+* :class:`ReplicaEvent` / :class:`EventKind` — the issue/apply trace entries
+  consumed by the consistency checker (:mod:`repro.core.consistency`).
+* :class:`CausalReplica` — the abstract base class every replica
+  implementation (paper algorithm, full replication, track-all-edges,
+  incident-only, hoop tracking, …) conforms to, so the simulator, checker
+  and metrics treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from .errors import RegisterNotStoredError
+from .registers import Register, ReplicaId
+
+#: A globally unique update identifier: ``(issuing replica, per-replica sequence number)``.
+UpdateId = Tuple[ReplicaId, int]
+
+
+@dataclass(frozen=True)
+class Update:
+    """A single write operation issued by a replica.
+
+    Attributes
+    ----------
+    issuer:
+        The replica that issued (and locally applied) the update.
+    seq:
+        The issuer-local sequence number, starting at 1.  ``(issuer, seq)``
+        is globally unique and is exposed as :attr:`uid`.
+    register:
+        The register written.
+    value:
+        The value written.  Values are opaque to the protocol.
+    """
+
+    issuer: ReplicaId
+    seq: int
+    register: Register
+    value: Any
+
+    @property
+    def uid(self) -> UpdateId:
+        """The globally unique identifier ``(issuer, seq)``."""
+        return (self.issuer, self.seq)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"u({self.issuer}:{self.seq} {self.register}={self.value!r})"
+
+
+@dataclass(frozen=True)
+class UpdateMessage:
+    """The ``update(i, τ_i, x, v)`` message sent from the issuer to peers.
+
+    Attributes
+    ----------
+    update:
+        The update being propagated.
+    sender:
+        The issuing replica ``i`` (always equal to ``update.issuer`` in the
+        peer-to-peer architecture; kept separate so routed/piggybacked
+        variants can forward messages through intermediaries).
+    destination:
+        The replica this copy of the message is addressed to.
+    metadata:
+        The protocol-specific timestamp attached to the update (an
+        :class:`~repro.core.timestamps.EdgeTimestamp`, a
+        :class:`~repro.core.timestamps.VectorTimestamp`, or whatever the
+        protocol uses).
+    metadata_size:
+        Number of integer counters carried by ``metadata``; recorded here so
+        metrics do not need to understand every metadata type.
+    payload:
+        ``True`` when the message carries the written value (a real update),
+        ``False`` for metadata-only messages such as the dummy-register
+        optimization's notifications.
+    """
+
+    update: Update
+    sender: ReplicaId
+    destination: ReplicaId
+    metadata: Any
+    metadata_size: int
+    payload: bool = True
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "update" if self.payload else "meta"
+        return (
+            f"{tag}({self.update}) {self.sender}->{self.destination} "
+            f"[{self.metadata_size} counters]"
+        )
+
+
+class EventKind(enum.Enum):
+    """The kinds of events a replica records in its local trace."""
+
+    #: The replica issued an update (and applied it locally, step 2).
+    ISSUE = "issue"
+    #: The replica applied a remote update from its pending buffer (step 4).
+    APPLY = "apply"
+    #: The replica served a client read (recorded for client-session analyses).
+    READ = "read"
+
+
+@dataclass(frozen=True)
+class ReplicaEvent:
+    """One entry of a replica's local trace.
+
+    Attributes
+    ----------
+    replica_id:
+        The replica at which the event occurred.
+    kind:
+        Issue, apply or read.
+    update:
+        The update issued/applied; for reads, ``None``.
+    register:
+        The register involved (for reads, the register read).
+    local_index:
+        Position of this event in the replica's local order (0-based).
+    sim_time:
+        Simulation time at which the event happened (0.0 outside the
+        simulator).
+    """
+
+    replica_id: ReplicaId
+    kind: EventKind
+    update: Optional[Update]
+    register: Optional[Register]
+    local_index: int
+    sim_time: float = 0.0
+
+
+class CausalReplica(abc.ABC):
+    """Abstract base class for every replica-protocol implementation.
+
+    The algorithm prototype of Section 2.1 fixes the *shape* of a protocol —
+    local reads answered immediately, local writes applied + timestamped +
+    multicast, remote updates buffered until a delivery predicate holds —
+    and leaves the timestamp structure, ``advance``/``merge`` and the
+    predicate open.  Concrete subclasses fill those in.
+
+    Subclasses must implement the five abstract methods; the base class
+    provides the register storage, the pending buffer, the local event trace
+    and the apply loop that repeatedly scans the pending buffer (step 4 of
+    the prototype).
+    """
+
+    def __init__(self, replica_id: ReplicaId, registers: Iterable[Register]) -> None:
+        self.replica_id = replica_id
+        self.registers: FrozenSet[Register] = frozenset(registers)
+        #: Current value of every locally stored register (None = never written).
+        self.store: Dict[Register, Any] = {r: None for r in self.registers}
+        #: Remote updates received but not yet applied.
+        self.pending: List[UpdateMessage] = []
+        #: Local issue/apply/read trace, consumed by the consistency checker.
+        self.events: List[ReplicaEvent] = []
+        #: Number of updates issued locally (used for sequence numbers).
+        self.issued_count: int = 0
+        #: Updates applied at this replica, in application order.
+        self.applied: List[Update] = []
+        self._applied_uids: set = set()
+
+    # ------------------------------------------------------------------
+    # Hooks each protocol must provide
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def destinations(self, register: Register) -> Sequence[ReplicaId]:
+        """Replicas (other than this one) that must receive updates to ``register``."""
+
+    @abc.abstractmethod
+    def make_metadata(self, register: Register) -> Tuple[Any, int]:
+        """Advance the local timestamp for a write of ``register``.
+
+        Returns the metadata to attach to the outgoing update message and its
+        size in counters.  Called exactly once per local write, *after* the
+        local store has been updated.
+        """
+
+    @abc.abstractmethod
+    def can_apply(self, message: UpdateMessage) -> bool:
+        """The protocol's delivery predicate ``J`` for a pending message."""
+
+    @abc.abstractmethod
+    def absorb_metadata(self, message: UpdateMessage) -> None:
+        """The protocol's ``merge``: fold an applied message's metadata into the local timestamp."""
+
+    @abc.abstractmethod
+    def metadata_size(self) -> int:
+        """Current number of integer counters held locally (the metadata overhead)."""
+
+    def payload_for(self, register: Register, destination: ReplicaId) -> bool:
+        """Whether the update message to ``destination`` carries the written value.
+
+        The default is ``True``; the dummy-register optimization overrides
+        this to send metadata-only messages to replicas that hold a register
+        only as a dummy copy (Appendix D).
+        """
+        return True
+
+    # ------------------------------------------------------------------
+    # The algorithm prototype (Section 2.1), common to all protocols
+    # ------------------------------------------------------------------
+    def read(self, register: Register, sim_time: float = 0.0) -> Any:
+        """Step 1: answer a client read from the local copy."""
+        if register not in self.registers:
+            raise RegisterNotStoredError(register, self.replica_id)
+        self._record(EventKind.READ, None, register, sim_time)
+        return self.store[register]
+
+    def write(self, register: Register, value: Any,
+              sim_time: float = 0.0) -> List[UpdateMessage]:
+        """Step 2: apply a client write locally and produce the update messages.
+
+        Returns one :class:`UpdateMessage` per destination replica; the caller
+        (simulator or application) is responsible for transporting them.
+        """
+        if register not in self.registers:
+            raise RegisterNotStoredError(register, self.replica_id)
+        self.issued_count += 1
+        update = Update(self.replica_id, self.issued_count, register, value)
+        self.store[register] = value
+        metadata, size = self.make_metadata(register)
+        self.applied.append(update)
+        self._applied_uids.add(update.uid)
+        self._record(EventKind.ISSUE, update, register, sim_time)
+        return [
+            UpdateMessage(
+                update=update,
+                sender=self.replica_id,
+                destination=dest,
+                metadata=metadata,
+                metadata_size=size,
+                payload=self.payload_for(register, dest),
+            )
+            for dest in self.destinations(register)
+        ]
+
+    def receive(self, message: UpdateMessage) -> None:
+        """Step 3: buffer a received update message."""
+        self.pending.append(message)
+
+    def apply_ready(self, sim_time: float = 0.0) -> List[Update]:
+        """Step 4: repeatedly apply pending updates whose predicate holds.
+
+        Returns the updates applied during this call, in application order.
+        """
+        applied_now: List[Update] = []
+        progress = True
+        while progress:
+            progress = False
+            for message in list(self.pending):
+                if not self.can_apply(message):
+                    continue
+                self.pending.remove(message)
+                self._apply(message, sim_time)
+                applied_now.append(message.update)
+                progress = True
+        return applied_now
+
+    def _apply(self, message: UpdateMessage, sim_time: float) -> None:
+        update = message.update
+        if message.payload and update.register in self.registers:
+            self.store[update.register] = update.value
+        self.absorb_metadata(message)
+        self.applied.append(update)
+        self._applied_uids.add(update.uid)
+        self._record(EventKind.APPLY, update, update.register, sim_time)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def has_applied(self, uid: UpdateId) -> bool:
+        """``True`` iff the update with this id has been applied here."""
+        return uid in self._applied_uids
+
+    def pending_count(self) -> int:
+        """Number of buffered, not-yet-applied update messages."""
+        return len(self.pending)
+
+    def _record(self, kind: EventKind, update: Optional[Update],
+                register: Optional[Register], sim_time: float) -> None:
+        self.events.append(
+            ReplicaEvent(
+                replica_id=self.replica_id,
+                kind=kind,
+                update=update,
+                register=register,
+                local_index=len(self.events),
+                sim_time=sim_time,
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} id={self.replica_id} "
+            f"registers={sorted(self.registers)} applied={len(self.applied)}>"
+        )

@@ -1,0 +1,187 @@
+"""Register placement: which replica stores which shared registers.
+
+The paper models a distributed shared memory of named read/write registers.
+Replica ``i`` stores copies of a subset of the registers, written ``X_i``.
+Partial replication means the ``X_i`` may differ between replicas; full
+replication is the special case in which they are all identical.
+
+This module provides :class:`RegisterPlacement`, an immutable description of
+the assignment of registers to replicas.  It is the single source of truth
+from which the share graph (:mod:`repro.core.share_graph`), the timestamp
+graphs (:mod:`repro.core.timestamp_graph`) and the simulation cluster
+(:mod:`repro.sim.cluster`) are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
+
+from .errors import ConfigurationError, UnknownRegisterError, UnknownReplicaError
+
+ReplicaId = int
+Register = str
+
+
+@dataclass(frozen=True)
+class RegisterPlacement:
+    """An immutable mapping from replica ids to the registers they store.
+
+    Parameters
+    ----------
+    stores:
+        Mapping from replica id to the set of register names stored at that
+        replica (the paper's ``X_i``).
+
+    Notes
+    -----
+    * Replica ids may be any hashable integers; the paper numbers them
+      ``1..R`` and the topology helpers in :mod:`repro.sim.topologies`
+      follow that convention, but nothing in the library requires it.
+    * Every register must be stored at at least one replica.  Registers
+      stored at exactly one replica never generate share-graph edges but are
+      still legal (purely local state).
+    """
+
+    stores: Mapping[ReplicaId, FrozenSet[Register]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        normalized: Dict[ReplicaId, FrozenSet[Register]] = {}
+        for replica_id, registers in dict(self.stores).items():
+            if not isinstance(replica_id, int):
+                raise ConfigurationError(
+                    f"replica ids must be integers, got {replica_id!r}"
+                )
+            normalized[replica_id] = frozenset(str(r) for r in registers)
+        if not normalized:
+            raise ConfigurationError("a placement needs at least one replica")
+        object.__setattr__(self, "stores", normalized)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, stores: Mapping[ReplicaId, Iterable[Register]]) -> "RegisterPlacement":
+        """Build a placement from any mapping of replica id to iterable of names."""
+        return cls({rid: frozenset(regs) for rid, regs in stores.items()})
+
+    @classmethod
+    def full_replication(cls, replica_ids: Iterable[ReplicaId],
+                         registers: Iterable[Register]) -> "RegisterPlacement":
+        """Every replica stores every register (the classical setting)."""
+        regs = frozenset(registers)
+        return cls({rid: regs for rid in replica_ids})
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def replica_ids(self) -> Tuple[ReplicaId, ...]:
+        """All replica ids, sorted."""
+        return tuple(sorted(self.stores))
+
+    @property
+    def num_replicas(self) -> int:
+        """Number of replicas ``R``."""
+        return len(self.stores)
+
+    @property
+    def registers(self) -> FrozenSet[Register]:
+        """The set of all register names stored anywhere."""
+        out: set = set()
+        for regs in self.stores.values():
+            out |= regs
+        return frozenset(out)
+
+    def registers_at(self, replica_id: ReplicaId) -> FrozenSet[Register]:
+        """``X_i``: registers stored at ``replica_id``."""
+        try:
+            return self.stores[replica_id]
+        except KeyError:
+            raise UnknownReplicaError(replica_id) from None
+
+    def shared_registers(self, i: ReplicaId, j: ReplicaId) -> FrozenSet[Register]:
+        """``X_ij = X_i ∩ X_j``: registers stored at both ``i`` and ``j``."""
+        return self.registers_at(i) & self.registers_at(j)
+
+    def stores_register(self, replica_id: ReplicaId, register: Register) -> bool:
+        """``True`` iff ``register ∈ X_{replica_id}``."""
+        return register in self.registers_at(replica_id)
+
+    def replicas_storing(self, register: Register) -> Tuple[ReplicaId, ...]:
+        """``C(x)``: all replicas storing ``register``, sorted."""
+        owners = tuple(
+            rid for rid in self.replica_ids if register in self.stores[rid]
+        )
+        if not owners:
+            raise UnknownRegisterError(register)
+        return owners
+
+    def is_fully_replicated(self) -> bool:
+        """``True`` iff every replica stores the same register set."""
+        sets = {self.stores[rid] for rid in self.replica_ids}
+        return len(sets) == 1
+
+    def replication_factor(self, register: Register) -> int:
+        """Number of replicas storing ``register``."""
+        return len(self.replicas_storing(register))
+
+    def storage_cost(self, replica_id: ReplicaId) -> int:
+        """Number of register copies stored at ``replica_id``."""
+        return len(self.registers_at(replica_id))
+
+    def total_storage_cost(self) -> int:
+        """Total number of register copies in the system."""
+        return sum(len(regs) for regs in self.stores.values())
+
+    # ------------------------------------------------------------------
+    # Derivation helpers
+    # ------------------------------------------------------------------
+    def with_additional_registers(
+        self, extra: Mapping[ReplicaId, Iterable[Register]]
+    ) -> "RegisterPlacement":
+        """Return a new placement with extra registers added at some replicas.
+
+        Used by the dummy-register and virtual-register optimizations
+        (Appendix D) which modify the share graph by pretending additional
+        registers are stored at selected replicas.
+        """
+        stores: Dict[ReplicaId, set] = {
+            rid: set(regs) for rid, regs in self.stores.items()
+        }
+        for rid, regs in extra.items():
+            if rid not in stores:
+                raise UnknownReplicaError(rid)
+            stores[rid] |= {str(r) for r in regs}
+        return RegisterPlacement.from_dict(stores)
+
+    def restricted_to(self, replica_ids: Iterable[ReplicaId]) -> "RegisterPlacement":
+        """Return the placement induced on a subset of replicas."""
+        keep = set(replica_ids)
+        missing = keep - set(self.stores)
+        if missing:
+            raise UnknownReplicaError(sorted(missing)[0])
+        return RegisterPlacement.from_dict(
+            {rid: self.stores[rid] for rid in sorted(keep)}
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[ReplicaId]:
+        return iter(self.replica_ids)
+
+    def __len__(self) -> int:
+        return self.num_replicas
+
+    def __contains__(self, replica_id: object) -> bool:
+        return replica_id in self.stores
+
+    def describe(self) -> str:
+        """Human-readable multi-line description of the placement."""
+        lines = [f"RegisterPlacement with {self.num_replicas} replicas, "
+                 f"{len(self.registers)} registers"]
+        for rid in self.replica_ids:
+            regs = ", ".join(sorted(self.stores[rid]))
+            lines.append(f"  replica {rid}: {{{regs}}}")
+        return "\n".join(lines)

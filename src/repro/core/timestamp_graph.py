@@ -1,0 +1,181 @@
+"""Timestamp graphs ``G_i`` (Definition 5 of the paper).
+
+The timestamp graph of replica ``i`` contains exactly the directed
+share-graph edges that replica ``i`` must "keep track of" to achieve
+replica-centric causal consistency:
+
+* every directed edge incident on ``i`` (both ``e_ij`` and ``e_ji``), and
+* every edge ``e_jk`` with ``j ≠ i ≠ k`` for which an ``(i, e_jk)``-loop
+  exists (:mod:`repro.core.loops`).
+
+Theorem 8 shows tracking these edges is *necessary*; the algorithm of
+Section 3.3 (:mod:`repro.core.timestamps`, :mod:`repro.core.replica`) shows
+it is *sufficient*.  The edge set ``E_i`` is therefore both the index set of
+replica ``i``'s vector timestamp and the exact measure of its metadata
+overhead in counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from .loops import loop_edges
+from .registers import ReplicaId
+from .share_graph import Edge, ShareGraph
+
+
+def timestamp_edges(
+    graph: ShareGraph,
+    replica_id: ReplicaId,
+    max_loop_length: Optional[int] = None,
+) -> FrozenSet[Edge]:
+    """Compute the edge set ``E_i`` of replica ``replica_id``'s timestamp graph.
+
+    Parameters
+    ----------
+    max_loop_length:
+        When given, only ``(i, e_jk)``-loops with at most this many vertices
+        contribute loop edges.  ``None`` (the default) computes the exact
+        timestamp graph of Definition 5; smaller values implement the
+        Appendix-D relaxation that may sacrifice causality.
+    """
+    incident = graph.incident_edges(replica_id)
+    loops = loop_edges(graph, replica_id, max_loop_length=max_loop_length)
+    return frozenset(incident | loops)
+
+
+@dataclass(frozen=True)
+class TimestampGraph:
+    """The timestamp graph ``G_i = (V_i, E_i)`` of a single replica.
+
+    Attributes
+    ----------
+    replica_id:
+        The replica ``i`` whose metadata requirement this graph describes.
+    edges:
+        The directed edge set ``E_i``.
+    share_graph:
+        The share graph the timestamp graph was derived from.
+    max_loop_length:
+        The loop-length bound used during construction (``None`` = exact).
+    """
+
+    replica_id: ReplicaId
+    share_graph: ShareGraph
+    edges: FrozenSet[Edge] = field(default=frozenset())
+    max_loop_length: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: ShareGraph,
+        replica_id: ReplicaId,
+        max_loop_length: Optional[int] = None,
+    ) -> "TimestampGraph":
+        """Derive ``G_i`` from the share graph (the normal constructor)."""
+        return cls(
+            replica_id=replica_id,
+            share_graph=graph,
+            edges=timestamp_edges(graph, replica_id, max_loop_length=max_loop_length),
+            max_loop_length=max_loop_length,
+        )
+
+    @classmethod
+    def from_edges(
+        cls,
+        graph: ShareGraph,
+        replica_id: ReplicaId,
+        edges: Iterable[Edge],
+    ) -> "TimestampGraph":
+        """Build a timestamp graph with an explicitly chosen edge set.
+
+        Baseline protocols (track-all-edges, incident-only, hoop tracking)
+        use this constructor to plug alternative edge sets into the same
+        timestamp machinery.
+        """
+        return cls(replica_id=replica_id, share_graph=graph, edges=frozenset(edges))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> FrozenSet[ReplicaId]:
+        """``V_i``: endpoints of the tracked edges."""
+        verts = set()
+        for (a, b) in self.edges:
+            verts.add(a)
+            verts.add(b)
+        return frozenset(verts)
+
+    @property
+    def num_counters(self) -> int:
+        """``|E_i|``: number of integer counters in replica ``i``'s timestamp."""
+        return len(self.edges)
+
+    def tracks(self, e: Edge) -> bool:
+        """``True`` iff edge ``e`` is tracked (``e ∈ E_i``)."""
+        return e in self.edges
+
+    def incident_edges(self) -> FrozenSet[Edge]:
+        """Tracked edges incident on the owning replica."""
+        rid = self.replica_id
+        return frozenset(e for e in self.edges if rid in e)
+
+    def remote_edges(self) -> FrozenSet[Edge]:
+        """Tracked edges between two *other* replicas (the loop edges)."""
+        rid = self.replica_id
+        return frozenset(e for e in self.edges if rid not in e)
+
+    def outgoing_edges_of(self, j: ReplicaId) -> FrozenSet[Edge]:
+        """Tracked edges whose tail is replica ``j`` (the set ``O_j`` of App. D)."""
+        return frozenset(e for e in self.edges if e[0] == j)
+
+    def shared_edges_with(self, other: "TimestampGraph") -> FrozenSet[Edge]:
+        """``E_i ∩ E_k``: the counters merged when applying ``other``'s update."""
+        return self.edges & other.edges
+
+    def size_bits(self, max_updates: int) -> float:
+        """Timestamp size in bits when each replica issues at most ``max_updates``.
+
+        Each counter counts updates on one edge, so it needs
+        ``log2(max_updates + 1)`` bits; the total is ``|E_i|`` times that.
+        Used when comparing with the Section-4 closed-form lower bounds.
+        """
+        import math
+
+        if max_updates < 1:
+            raise ValueError("max_updates must be at least 1")
+        return self.num_counters * math.log2(max_updates + 1)
+
+    def describe(self) -> str:
+        """Human-readable multi-line description of ``G_i``."""
+        lines = [
+            f"TimestampGraph of replica {self.replica_id}: "
+            f"{self.num_counters} counters"
+        ]
+        for (a, b) in sorted(self.edges):
+            kind = "incident" if self.replica_id in (a, b) else "loop"
+            lines.append(f"  e_{a}{b} ({kind})")
+        return "\n".join(lines)
+
+
+def build_all_timestamp_graphs(
+    graph: ShareGraph,
+    max_loop_length: Optional[int] = None,
+) -> Dict[ReplicaId, TimestampGraph]:
+    """Build the timestamp graph of every replica of a share graph."""
+    return {
+        rid: TimestampGraph.build(graph, rid, max_loop_length=max_loop_length)
+        for rid in graph.replica_ids
+    }
+
+
+def metadata_summary(
+    graphs: Mapping[ReplicaId, TimestampGraph],
+) -> Dict[ReplicaId, int]:
+    """Counters per replica, convenient for tables and benchmarks."""
+    return {rid: tg.num_counters for rid, tg in sorted(graphs.items())}

@@ -1,0 +1,41 @@
+"""Lower bounds on timestamp size (Section 4 of the paper).
+
+* :mod:`repro.lower_bounds.conflict` — the conflict relation between causal
+  pasts (Definition 13), conflict graphs and the chromatic-number bound of
+  Theorem 15, computable exactly on small instances.
+* :mod:`repro.lower_bounds.closed_form` — the closed-form corollaries for
+  trees, cycles and cliques/full replication, and the matching sizes achieved
+  by the paper's algorithm.
+"""
+
+from .closed_form import (
+    algorithm_bits,
+    algorithm_counters,
+    clique_lower_bound_bits,
+    cycle_lower_bound_bits,
+    full_replication_space_size,
+    lower_bound_bits,
+    tree_lower_bound_bits,
+)
+from .conflict import (
+    ConflictGraph,
+    canonical_causal_pasts,
+    conflicts,
+    restrict_to_edge,
+    timestamp_space_lower_bound,
+)
+
+__all__ = [
+    "ConflictGraph",
+    "algorithm_bits",
+    "algorithm_counters",
+    "canonical_causal_pasts",
+    "clique_lower_bound_bits",
+    "conflicts",
+    "cycle_lower_bound_bits",
+    "full_replication_space_size",
+    "lower_bound_bits",
+    "restrict_to_edge",
+    "timestamp_space_lower_bound",
+    "tree_lower_bound_bits",
+]

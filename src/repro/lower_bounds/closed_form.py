@@ -1,0 +1,113 @@
+"""Closed-form corollaries of Theorem 15 and the algorithm's matching sizes.
+
+The paper spells out three special cases of the timestamp-size lower bound:
+
+* **Tree share graphs** — replica ``i`` needs at least ``2 · N_i · log m``
+  bits, where ``N_i`` is its number of share-graph neighbours and ``m`` the
+  per-replica update budget.
+* **Cycle of n replicas** — every replica needs at least ``2 · n · log m``
+  bits.
+* **Full replication** (clique, identical register sets) — the timestamp
+  space has at least ``m^R`` members, i.e. ``R · log m`` bits; classical
+  vector timestamps meet this.
+
+In the first two cases the paper's algorithm is tight: its timestamp has
+exactly ``2·N_i`` (tree) or ``2·n`` (cycle) counters, each of ``log m`` bits.
+These helpers compute both sides so the benchmarks can print
+paper-vs-measured tables (experiment E6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.registers import ReplicaId
+from ..core.share_graph import ShareGraph
+from ..core.timestamp_graph import timestamp_edges
+
+
+def _check_m(max_updates: int) -> None:
+    if max_updates < 2:
+        raise ConfigurationError(
+            "the closed forms are stated for at least 2 updates per replica "
+            "(log m would otherwise be zero or negative)"
+        )
+
+
+def tree_lower_bound_bits(graph: ShareGraph, replica_id: ReplicaId,
+                          max_updates: int) -> float:
+    """``2 · N_i · log2(m)`` for a tree share graph."""
+    _check_m(max_updates)
+    if not graph.is_tree():
+        raise ConfigurationError("tree_lower_bound_bits requires a tree share graph")
+    return 2.0 * graph.degree(replica_id) * math.log2(max_updates)
+
+
+def cycle_lower_bound_bits(num_replicas: int, max_updates: int) -> float:
+    """``2 · n · log2(m)`` for a cycle of ``n`` replicas."""
+    _check_m(max_updates)
+    if num_replicas < 3:
+        raise ConfigurationError("a cycle needs at least 3 replicas")
+    return 2.0 * num_replicas * math.log2(max_updates)
+
+
+def full_replication_space_size(num_replicas: int, max_updates: int) -> int:
+    """``m^R``: the number of distinct timestamps needed under full replication."""
+    _check_m(max_updates)
+    if num_replicas < 1:
+        raise ConfigurationError("need at least one replica")
+    return max_updates ** num_replicas
+
+
+def clique_lower_bound_bits(num_replicas: int, max_updates: int) -> float:
+    """``R · log2(m)``: the full-replication bound expressed in bits."""
+    return math.log2(full_replication_space_size(num_replicas, max_updates))
+
+
+def algorithm_counters(graph: ShareGraph, replica_id: ReplicaId) -> int:
+    """``|E_i|``: counters the paper's algorithm keeps at ``replica_id``."""
+    return len(timestamp_edges(graph, replica_id))
+
+
+def algorithm_bits(graph: ShareGraph, replica_id: ReplicaId,
+                   max_updates: int) -> float:
+    """Size in bits of the algorithm's timestamp with counters bounded by ``m``."""
+    _check_m(max_updates)
+    return algorithm_counters(graph, replica_id) * math.log2(max_updates)
+
+
+def lower_bound_bits(graph: ShareGraph, replica_id: ReplicaId,
+                     max_updates: int) -> Optional[float]:
+    """The applicable closed-form lower bound for one replica, if any.
+
+    Returns ``None`` when the share graph is neither a tree, a cycle, nor a
+    single-register clique (the general case has no closed form — use
+    :func:`repro.lower_bounds.conflict.timestamp_space_lower_bound`).
+    """
+    _check_m(max_updates)
+    if graph.is_tree():
+        return tree_lower_bound_bits(graph, replica_id, max_updates)
+    if graph.is_cycle():
+        return cycle_lower_bound_bits(graph.num_replicas, max_updates)
+    if graph.is_clique() and graph.placement.is_fully_replicated():
+        return clique_lower_bound_bits(graph.num_replicas, max_updates)
+    return None
+
+
+def tightness_table(graph: ShareGraph, max_updates: int) -> Dict[ReplicaId, Dict[str, float]]:
+    """Per-replica comparison of the closed-form bound and the algorithm's size.
+
+    Each row contains ``lower_bound_bits`` (``None`` encoded as ``nan`` when
+    no closed form applies), ``algorithm_bits`` and ``algorithm_counters``.
+    """
+    table: Dict[ReplicaId, Dict[str, float]] = {}
+    for rid in graph.replica_ids:
+        bound = lower_bound_bits(graph, rid, max_updates)
+        table[rid] = {
+            "lower_bound_bits": float("nan") if bound is None else bound,
+            "algorithm_bits": algorithm_bits(graph, rid, max_updates),
+            "algorithm_counters": float(algorithm_counters(graph, rid)),
+        }
+    return table

@@ -1,0 +1,64 @@
+"""Practical timestamp-size reductions (Section 5 and Appendix D).
+
+Four mechanisms, each trading something for smaller metadata:
+
+* :mod:`repro.optimizations.compression` — exploit linear dependence between
+  edge counters (no semantic cost; pure encoding win);
+* :mod:`repro.optimizations.dummy_registers` — dummy register copies that
+  shrink the timestamp at the cost of extra (metadata-only) messages and
+  false dependencies, up to full-replication emulation;
+* :mod:`repro.optimizations.virtual_registers` — restrict inter-replica
+  communication (e.g. break a ring into a path, or route through a hub) via
+  virtual registers, trading propagation hops for metadata;
+* :mod:`repro.optimizations.bounded_loops` — track only loops up to a length
+  bound, which is safe under loose synchrony assumptions and sacrifices
+  causality otherwise.
+"""
+
+from .bounded_loops import (
+    bounded_factory,
+    bounded_metadata_savings,
+    bounded_timestamp_graphs,
+)
+from .compression import (
+    CompressionReport,
+    compress_timestamp,
+    compressed_counters,
+    compression_report,
+    independent_edge_count,
+)
+from .dummy_registers import (
+    DummyAssignment,
+    DummyRegisterReplica,
+    dummy_register_factory,
+    full_replication_dummies,
+    loop_cover_dummies,
+    dummy_emulation_report,
+)
+from .virtual_registers import (
+    RestrictionAnalysis,
+    analyze_ring_breaking,
+    analyze_star_restriction,
+    break_ring_placement,
+)
+
+__all__ = [
+    "CompressionReport",
+    "DummyAssignment",
+    "DummyRegisterReplica",
+    "RestrictionAnalysis",
+    "analyze_ring_breaking",
+    "analyze_star_restriction",
+    "bounded_factory",
+    "bounded_metadata_savings",
+    "bounded_timestamp_graphs",
+    "break_ring_placement",
+    "compress_timestamp",
+    "compressed_counters",
+    "compression_report",
+    "dummy_emulation_report",
+    "dummy_register_factory",
+    "full_replication_dummies",
+    "independent_edge_count",
+    "loop_cover_dummies",
+]

@@ -1,0 +1,84 @@
+"""Bounded-loop-length tracking: sacrificing causality for metadata (Appendix D).
+
+If single-hop messages are guaranteed to be delivered faster than messages
+propagated over ``l`` hops (a "loosely synchronous" system), a replica can
+safely drop the counters of edges whose only witnessing ``(i, e_jk)``-loops
+are longer than ``l + 1`` vertices: by the time a long dependency chain
+reaches the replica, the direct update it depends on has already arrived.
+
+When the timing assumption does *not* hold, the dropped counters translate
+into genuine causal-consistency violations; experiment E11 demonstrates both
+regimes by running the bounded protocol under a hop-proportional delay model
+(consistent) and under adversarial delays (violations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..core.protocol import CausalReplica
+from ..core.registers import ReplicaId
+from ..core.replica import EdgeIndexedReplica
+from ..core.share_graph import ShareGraph
+from ..core.timestamp_graph import TimestampGraph, build_all_timestamp_graphs
+from ..sim.cluster import ReplicaFactory
+
+
+def bounded_timestamp_graphs(
+    graph: ShareGraph, max_loop_length: int
+) -> Dict[ReplicaId, TimestampGraph]:
+    """Timestamp graphs tracking only loops of at most ``max_loop_length`` vertices."""
+    return build_all_timestamp_graphs(graph, max_loop_length=max_loop_length)
+
+
+def bounded_factory(max_loop_length: int) -> ReplicaFactory:
+    """A cluster factory for the bounded-loop-length edge-indexed protocol."""
+
+    def factory(graph: ShareGraph, replica_id: ReplicaId) -> CausalReplica:
+        tgraph = TimestampGraph.build(
+            graph, replica_id, max_loop_length=max_loop_length
+        )
+        return EdgeIndexedReplica(graph, replica_id, timestamp_graph=tgraph)
+
+    return factory
+
+
+@dataclass(frozen=True)
+class BoundedSavings:
+    """Counters kept by the exact and the bounded timestamp graphs."""
+
+    max_loop_length: int
+    exact: Mapping[ReplicaId, int]
+    bounded: Mapping[ReplicaId, int]
+
+    @property
+    def total_exact(self) -> int:
+        """System-wide counters under exact tracking."""
+        return sum(self.exact.values())
+
+    @property
+    def total_bounded(self) -> int:
+        """System-wide counters under bounded tracking."""
+        return sum(self.bounded.values())
+
+    @property
+    def counters_saved(self) -> int:
+        """Counters dropped by the bound."""
+        return self.total_exact - self.total_bounded
+
+
+def bounded_metadata_savings(
+    graph: ShareGraph, max_loop_length: int
+) -> BoundedSavings:
+    """Compare exact and bounded timestamp-graph sizes on one share graph."""
+    exact = {
+        rid: tg.num_counters for rid, tg in build_all_timestamp_graphs(graph).items()
+    }
+    bounded = {
+        rid: tg.num_counters
+        for rid, tg in bounded_timestamp_graphs(graph, max_loop_length).items()
+    }
+    return BoundedSavings(
+        max_loop_length=max_loop_length, exact=exact, bounded=bounded
+    )

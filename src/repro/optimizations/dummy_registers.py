@@ -1,0 +1,219 @@
+"""Dummy registers: trading messages and false dependencies for metadata (Appendix D).
+
+A *dummy* copy of register ``x`` at replica ``j`` is a copy no client will
+ever operate on: replica ``j`` still receives (metadata-only) update messages
+for ``x`` and folds them into its timestamp, but never stores the value.
+Adding dummies changes the share graph — in the limit, giving every replica a
+dummy copy of every register emulates full replication, whose (compressed)
+timestamps are the classical length-``R`` vectors — at the cost of
+
+* extra update messages (each write now also notifies the dummy holders), and
+* false dependencies (a replica's later updates become causally ordered after
+  dummy updates it never needed).
+
+This module provides the placement transformations, a runnable
+:class:`DummyRegisterReplica` so the trade-off can be *measured* in simulation
+(experiment E9), and a static report of the expected costs/savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.protocol import CausalReplica
+from ..core.registers import Register, RegisterPlacement, ReplicaId
+from ..core.replica import EdgeIndexedReplica
+from ..core.share_graph import ShareGraph
+from ..core.timestamp_graph import build_all_timestamp_graphs
+from ..sim.cluster import ReplicaFactory
+from .compression import compressed_counters
+
+
+@dataclass(frozen=True)
+class DummyAssignment:
+    """Which replicas hold which registers only as dummies.
+
+    Attributes
+    ----------
+    original:
+        The real register placement.
+    dummies:
+        Mapping from replica id to the registers it holds as dummy copies
+        (disjoint from the replica's real ``X_i``).
+    """
+
+    original: RegisterPlacement
+    dummies: Mapping[ReplicaId, FrozenSet[Register]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        clean: Dict[ReplicaId, FrozenSet[Register]] = {}
+        for rid, regs in dict(self.dummies).items():
+            real = self.original.registers_at(rid)
+            clean[rid] = frozenset(regs) - real
+        object.__setattr__(self, "dummies", clean)
+
+    def augmented_placement(self) -> RegisterPlacement:
+        """The placement after adding the dummy copies (dummies look real)."""
+        return self.original.with_additional_registers(
+            {rid: regs for rid, regs in self.dummies.items()}
+        )
+
+    def is_dummy(self, replica_id: ReplicaId, register: Register) -> bool:
+        """``True`` iff ``register`` is only a dummy at ``replica_id``."""
+        return register in self.dummies.get(replica_id, frozenset())
+
+    def total_dummies(self) -> int:
+        """Total number of dummy copies introduced."""
+        return sum(len(regs) for regs in self.dummies.values())
+
+
+def full_replication_dummies(placement: RegisterPlacement) -> DummyAssignment:
+    """Give every replica a dummy copy of every register it does not store."""
+    all_registers = placement.registers
+    dummies = {
+        rid: frozenset(all_registers - placement.registers_at(rid))
+        for rid in placement.replica_ids
+    }
+    return DummyAssignment(original=placement, dummies=dummies)
+
+
+def loop_cover_dummies(placement: RegisterPlacement) -> DummyAssignment:
+    """The paper's selective scheme: dummy only the registers on loops through each replica.
+
+    For each replica ``j`` and each remote edge ``e_ab`` of ``j``'s timestamp
+    graph (an edge witnessed by some ``(j, e_ab)``-loop), give ``j`` a dummy
+    copy of one register of ``X_ab``.  After the transformation every update
+    that previously had to be tracked transitively reaches ``j`` directly, so
+    ``j``'s timestamp graph in the *augmented* share graph needs only
+    neighbour counters.
+    """
+    graph = ShareGraph.from_placement(placement)
+    tgraphs = build_all_timestamp_graphs(graph)
+    dummies: Dict[ReplicaId, Set[Register]] = {rid: set() for rid in placement.replica_ids}
+    for rid, tgraph in tgraphs.items():
+        for (a, b) in sorted(tgraph.remote_edges()):
+            register = sorted(graph.shared_registers(a, b))[0]
+            if not placement.stores_register(rid, register):
+                dummies[rid].add(register)
+    return DummyAssignment(
+        original=placement,
+        dummies={rid: frozenset(regs) for rid, regs in dummies.items()},
+    )
+
+
+class DummyRegisterReplica(EdgeIndexedReplica):
+    """The edge-indexed algorithm running over a dummy-augmented share graph.
+
+    The replica behaves exactly like :class:`EdgeIndexedReplica` on the
+    augmented share graph, except that messages towards replicas holding the
+    written register only as a dummy are flagged metadata-only, and applying
+    a dummy update never touches the local store.
+    """
+
+    def __init__(
+        self,
+        assignment: DummyAssignment,
+        augmented_graph: ShareGraph,
+        replica_id: ReplicaId,
+    ) -> None:
+        super().__init__(augmented_graph, replica_id)
+        self.assignment = assignment
+
+    def payload_for(self, register: Register, destination: ReplicaId) -> bool:
+        """Dummy holders receive metadata-only messages."""
+        return not self.assignment.is_dummy(destination, register)
+
+
+def dummy_register_factory(assignment: DummyAssignment) -> ReplicaFactory:
+    """Build a :class:`~repro.sim.cluster.Cluster` factory for a dummy assignment.
+
+    The returned factory ignores the share graph handed to it by the cluster
+    and uses the augmented share graph instead, so build the cluster with the
+    *augmented* graph::
+
+        assignment = full_replication_dummies(placement)
+        augmented = ShareGraph.from_placement(assignment.augmented_placement())
+        cluster = Cluster(augmented, replica_factory=dummy_register_factory(assignment))
+
+    Note that consistency should then be checked against the *original*
+    share graph (dummy copies carry no safety or liveness obligations).
+    """
+    augmented_graph = ShareGraph.from_placement(assignment.augmented_placement())
+
+    def factory(graph: ShareGraph, replica_id: ReplicaId) -> CausalReplica:
+        return DummyRegisterReplica(assignment, augmented_graph, replica_id)
+
+    return factory
+
+
+@dataclass(frozen=True)
+class DummyEmulationReport:
+    """Static costs and savings of a dummy assignment."""
+
+    counters_before: Mapping[ReplicaId, int]
+    counters_after: Mapping[ReplicaId, int]
+    compressed_after: Mapping[ReplicaId, int]
+    extra_messages_per_register: Mapping[Register, int]
+    total_dummies: int
+
+    @property
+    def mean_counters_before(self) -> float:
+        """Mean per-replica counters before adding dummies."""
+        values = list(self.counters_before.values())
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def mean_counters_after(self) -> float:
+        """Mean per-replica counters after adding dummies (uncompressed)."""
+        values = list(self.counters_after.values())
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def mean_compressed_after(self) -> float:
+        """Mean per-replica counters after adding dummies and compressing."""
+        values = list(self.compressed_after.values())
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def total_extra_messages_per_round(self) -> int:
+        """Extra messages if every register were written once."""
+        return sum(self.extra_messages_per_register.values())
+
+
+def dummy_emulation_report(assignment: DummyAssignment) -> DummyEmulationReport:
+    """Quantify the metadata/message trade-off of a dummy assignment.
+
+    * counters before: ``|E_i|`` on the original share graph;
+    * counters after: ``|E_i|`` on the augmented share graph (uncompressed)
+      and the best-case compressed length;
+    * extra messages: for each register, the number of dummy holders (each
+      write now sends that many additional metadata-only messages).
+    """
+    original_graph = ShareGraph.from_placement(assignment.original)
+    augmented_graph = ShareGraph.from_placement(assignment.augmented_placement())
+    before = {
+        rid: tg.num_counters
+        for rid, tg in build_all_timestamp_graphs(original_graph).items()
+    }
+    after_graphs = build_all_timestamp_graphs(augmented_graph)
+    after = {rid: tg.num_counters for rid, tg in after_graphs.items()}
+    compressed = {
+        rid: compressed_counters(augmented_graph, tg)
+        for rid, tg in after_graphs.items()
+    }
+    extra: Dict[Register, int] = {}
+    for register in assignment.original.registers:
+        holders = sum(
+            1
+            for rid in assignment.original.replica_ids
+            if assignment.is_dummy(rid, register)
+        )
+        extra[register] = holders
+    return DummyEmulationReport(
+        counters_before=before,
+        counters_after=after,
+        compressed_after=compressed,
+        extra_messages_per_register=extra,
+        total_dummies=assignment.total_dummies(),
+    )

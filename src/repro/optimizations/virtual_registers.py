@@ -1,0 +1,132 @@
+"""Restricting inter-replica communication with virtual registers (Appendix D).
+
+The paper observes (Figure 13) that "breaking" a cycle in the share graph —
+forbidding direct communication between two adjacent replicas and instead
+piggybacking their shared register's updates on a chain of *virtual*
+registers along the remaining path — removes the loops from the share graph
+and therefore shrinks every replica's timestamp from the cycle size ``2n``
+down to its local degree, at the price of longer propagation paths (and, in
+general, false dependencies introduced by the piggybacking).
+
+This module provides the placement transformations and a static analysis of
+the trade-off: counters saved per replica versus worst-case propagation hops
+and extra relay messages per update on the broken edge.  (Experiment E10
+reports these numbers; the latency side can also be observed dynamically by
+simulating the path topology with per-channel delays.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.registers import RegisterPlacement, ReplicaId
+from ..core.share_graph import ShareGraph
+from ..core.timestamp_graph import build_all_timestamp_graphs
+from ..sim.topologies import path_placement, ring_placement, star_placement
+
+
+def break_ring_placement(num_replicas: int) -> Tuple[RegisterPlacement, RegisterPlacement]:
+    """The Figure-13 transformation: an ``n``-ring broken into a path.
+
+    Returns ``(ring, path)`` where ``ring`` is the original placement (each
+    adjacent pair shares one register, including the pair ``(n, 1)``) and
+    ``path`` is the broken placement in which replicas ``1`` and ``n`` no
+    longer share their register directly — its updates are piggybacked along
+    the path via virtual registers, which coincide with the registers the
+    path already shares, so the broken share graph is exactly the path.
+    """
+    if num_replicas < 3:
+        raise ConfigurationError("ring breaking needs at least 3 replicas")
+    return ring_placement(num_replicas), path_placement(num_replicas)
+
+
+@dataclass(frozen=True)
+class RestrictionAnalysis:
+    """Static trade-off of a communication-restriction transformation."""
+
+    name: str
+    counters_before: Mapping[ReplicaId, int]
+    counters_after: Mapping[ReplicaId, int]
+    max_hops_before: int
+    max_hops_after: int
+    extra_relay_messages_per_update: int
+
+    @property
+    def total_counters_before(self) -> int:
+        """System-wide counters before the restriction."""
+        return sum(self.counters_before.values())
+
+    @property
+    def total_counters_after(self) -> int:
+        """System-wide counters after the restriction."""
+        return sum(self.counters_after.values())
+
+    @property
+    def counters_saved(self) -> int:
+        """Total counters saved across the system."""
+        return self.total_counters_before - self.total_counters_after
+
+    @property
+    def hop_inflation(self) -> float:
+        """Worst-case propagation-path inflation factor."""
+        if self.max_hops_before == 0:
+            return 1.0
+        return self.max_hops_after / self.max_hops_before
+
+    def rows(self) -> List[Tuple[ReplicaId, int, int]]:
+        """``(replica, counters before, counters after)`` rows."""
+        return [
+            (rid, self.counters_before[rid], self.counters_after[rid])
+            for rid in sorted(self.counters_before)
+        ]
+
+
+def _counters(placement: RegisterPlacement) -> Dict[ReplicaId, int]:
+    graph = ShareGraph.from_placement(placement)
+    return {
+        rid: tg.num_counters for rid, tg in build_all_timestamp_graphs(graph).items()
+    }
+
+
+def analyze_ring_breaking(num_replicas: int) -> RestrictionAnalysis:
+    """Quantify breaking an ``n``-ring into a path (experiment E10).
+
+    * Before: every replica tracks ``2n`` counters; any update reaches its
+      co-owner in one hop.
+    * After: replica ``i`` tracks only its incident edges (2 or 4 counters);
+      updates to the broken register travel ``n − 1`` hops and generate
+      ``n − 2`` extra relay messages.
+    """
+    ring, path = break_ring_placement(num_replicas)
+    return RestrictionAnalysis(
+        name=f"break ring of {num_replicas}",
+        counters_before=_counters(ring),
+        counters_after=_counters(path),
+        max_hops_before=1,
+        max_hops_after=num_replicas - 1,
+        extra_relay_messages_per_update=num_replicas - 2,
+    )
+
+
+def analyze_star_restriction(num_replicas: int) -> RestrictionAnalysis:
+    """The extreme restriction: route every update through a single hub replica.
+
+    Starting from an ``n``-ring, all communication is funnelled through
+    replica 1 (a star share graph over virtual registers).  Leaf replicas
+    then track only 2 counters, while any update between two leaves costs an
+    extra relay and 2 hops.
+    """
+    if num_replicas < 3:
+        raise ConfigurationError("the star restriction needs at least 3 replicas")
+    ring = ring_placement(num_replicas)
+    star = star_placement(num_replicas - 1)
+    return RestrictionAnalysis(
+        name=f"star restriction of {num_replicas}",
+        counters_before=_counters(ring),
+        counters_after=_counters(star),
+        max_hops_before=1,
+        max_hops_after=2,
+        extra_relay_messages_per_update=1,
+    )

@@ -1,0 +1,75 @@
+"""Simulation substrate: asynchronous network, clusters, topologies, workloads.
+
+The paper assumes an asynchronous message-passing system with reliable,
+non-FIFO point-to-point channels.  This subpackage provides a deterministic,
+seeded discrete-event simulation of that system plus the topology and
+workload generators used by the evaluation harness.
+"""
+
+from .cluster import Cluster, ClusterMetrics, ReplicaFactory, build_cluster, edge_indexed_factory
+from .delays import (
+    AdversarialDelay,
+    DelayModel,
+    FixedDelay,
+    PerChannelDelay,
+    SlowChannelDelay,
+    UniformDelay,
+)
+from .metrics import (
+    ComparisonRow,
+    FalseDependencyStats,
+    MetadataProfile,
+    all_edges_profile,
+    compare_protocols,
+    edge_indexed_profile,
+    format_table,
+    full_replication_profile,
+    incident_only_profile,
+    measure_false_dependencies,
+)
+from .network import Delivery, NetworkStats, SimNetwork
+from .workloads import (
+    Operation,
+    Workload,
+    WorkloadResult,
+    causal_chain_workload,
+    hotspot_workload,
+    read_heavy_workload,
+    run_workload,
+    uniform_workload,
+)
+
+__all__ = [
+    "AdversarialDelay",
+    "Cluster",
+    "ClusterMetrics",
+    "ComparisonRow",
+    "DelayModel",
+    "Delivery",
+    "FalseDependencyStats",
+    "FixedDelay",
+    "MetadataProfile",
+    "NetworkStats",
+    "Operation",
+    "PerChannelDelay",
+    "ReplicaFactory",
+    "SimNetwork",
+    "SlowChannelDelay",
+    "UniformDelay",
+    "Workload",
+    "WorkloadResult",
+    "all_edges_profile",
+    "build_cluster",
+    "causal_chain_workload",
+    "compare_protocols",
+    "edge_indexed_factory",
+    "edge_indexed_profile",
+    "format_table",
+    "full_replication_profile",
+    "hotspot_workload",
+    "incident_only_profile",
+    "measure_false_dependencies",
+    "read_heavy_workload",
+    "run_workload",
+    "uniform_workload",
+]

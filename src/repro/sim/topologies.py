@@ -1,0 +1,332 @@
+"""Register placements / share-graph topologies used throughout the paper.
+
+Provides generators for the standard topology families analysed in Section 4
+(trees, cycles, cliques / full replication), random partial replication, and
+the exact worked examples of the paper:
+
+* :func:`figure3_placement` — the 4-replica example of Figure 3
+  (``X_1 = {x}``, ``X_2 = {x, y}``, ``X_3 = {y, z}``, ``X_4 = {z}``);
+* :func:`figure5_placement` — the 4-replica example of Figure 5
+  (``X_1 = {a, y, w}``, ``X_2 = {b, x, y}``, ``X_3 = {c, x, z}``,
+  ``X_4 = {d, y, z, w}``) whose timestamp graph for replica 1 contains
+  ``e_43`` but not ``e_34``;
+* :func:`triangle_placement` — the smallest loop topology (three replicas
+  pairwise sharing one register each), the minimal example on which
+  incident-only tracking is provably unsafe;
+* :func:`counterexample1_placement` / :func:`counterexample2_placement` — the
+  share graphs of Figures 6/8a and 8b used to correct Hélary–Milani;
+* :func:`ring_placement` — the R-replica ring of Figure 13 used by the
+  ring-breaking optimization.
+
+Every generator returns a :class:`~repro.core.registers.RegisterPlacement`;
+wrap it in :class:`~repro.core.share_graph.ShareGraph` to get the graph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.registers import Register, RegisterPlacement, ReplicaId
+from ..core.share_graph import ShareGraph
+
+
+# ----------------------------------------------------------------------
+# The paper's worked examples
+# ----------------------------------------------------------------------
+
+def figure3_placement() -> RegisterPlacement:
+    """The Figure 3 example: a path-shaped share graph over four replicas."""
+    return RegisterPlacement.from_dict(
+        {1: {"x"}, 2: {"x", "y"}, 3: {"y", "z"}, 4: {"z"}}
+    )
+
+
+def figure5_placement() -> RegisterPlacement:
+    """The Figure 5 example used to illustrate ``(i, e_jk)``-loops.
+
+    ``X_1 = {a, y, w}``, ``X_2 = {b, x, y}``, ``X_3 = {c, x, z}``,
+    ``X_4 = {d, y, z, w}``.  The paper shows ``(1, 2, 3, 4)`` is a
+    ``(1, e_43)``-loop and a ``(1, e_32)``-loop while ``(1, 4, 3, 2)`` is
+    neither a ``(1, e_34)``- nor a ``(1, e_23)``-loop, so ``G_1`` contains
+    ``e_43`` but not ``e_34``.
+    """
+    return RegisterPlacement.from_dict(
+        {
+            1: {"a", "y", "w"},
+            2: {"b", "x", "y"},
+            3: {"c", "x", "z"},
+            4: {"d", "y", "z", "w"},
+        }
+    )
+
+
+def triangle_placement() -> RegisterPlacement:
+    """Three replicas pairwise sharing one register each (a 3-cycle).
+
+    The smallest topology on which every replica must track *all* six
+    directed edges; tracking only incident edges loses causality.
+    """
+    return RegisterPlacement.from_dict(
+        {1: {"x", "z"}, 2: {"x", "y"}, 3: {"y", "z"}}
+    )
+
+
+def counterexample1_placement() -> RegisterPlacement:
+    """The share graph of Figures 6 / 8a (Hélary–Milani counterexample 1).
+
+    Seven replicas ``i, a1, a2, k, j, b1, b2`` arranged on a ring
+    ``j - b1 - b2 - i - a1 - a2 - k - j``; ``j`` and ``k`` share ``x``;
+    ``b1, b2, a1`` share ``y``; ``b2, a1, a2`` share ``z``; all other ring
+    edges carry unique registers.  Replica ids: ``i=1, b2=2, b1=3, j=4,
+    k=5, a2=6, a1=7``.
+
+    The ring is a minimal x-hoop under the original Hélary–Milani
+    definition, yet Theorem 8 shows replica ``i`` need not track ``e_jk`` or
+    ``e_kj`` — the two y-labelled chords make the information flow through
+    ``i`` unnecessary.
+    """
+    # q_* are the unique registers on the remaining ring edges.
+    return RegisterPlacement.from_dict(
+        {
+            COUNTEREXAMPLE_IDS["i"]: {"q_b2i", "q_ia1"},
+            COUNTEREXAMPLE_IDS["b2"]: {"y", "z", "q_b2i"},
+            COUNTEREXAMPLE_IDS["b1"]: {"y", "q_jb1"},
+            COUNTEREXAMPLE_IDS["j"]: {"x", "q_jb1"},
+            COUNTEREXAMPLE_IDS["k"]: {"x", "q_a2k"},
+            COUNTEREXAMPLE_IDS["a2"]: {"z", "q_a2k"},
+            COUNTEREXAMPLE_IDS["a1"]: {"y", "z", "q_ia1"},
+        }
+    )
+
+
+def counterexample2_placement() -> RegisterPlacement:
+    """The share graph of Figure 8b (Hélary–Milani counterexample 2).
+
+    Same ring as counterexample 1 but only ``y`` is shared three ways
+    (``b1, b2, a1``); the ``a1 - a2`` edge carries a unique register.  Under
+    the *modified* minimal-hoop definition the ring is not a minimal x-hoop,
+    which would waive tracking at ``i`` — yet Theorem 8 requires ``i`` to
+    track ``e_kj`` (updates to ``x`` by ``k``).
+    """
+    return RegisterPlacement.from_dict(
+        {
+            COUNTEREXAMPLE_IDS["i"]: {"q_b2i", "q_ia1"},
+            COUNTEREXAMPLE_IDS["b2"]: {"y", "q_b2i"},
+            COUNTEREXAMPLE_IDS["b1"]: {"y", "q_jb1"},
+            COUNTEREXAMPLE_IDS["j"]: {"x", "q_jb1"},
+            COUNTEREXAMPLE_IDS["k"]: {"x", "q_a2k"},
+            COUNTEREXAMPLE_IDS["a2"]: {"q_a1a2", "q_a2k"},
+            COUNTEREXAMPLE_IDS["a1"]: {"y", "q_a1a2", "q_ia1"},
+        }
+    )
+
+
+#: Mapping from the paper's replica names to the integer ids used by the
+#: counterexample placements.
+COUNTEREXAMPLE_IDS: Dict[str, ReplicaId] = {
+    "i": 1,
+    "b2": 2,
+    "b1": 3,
+    "j": 4,
+    "k": 5,
+    "a2": 6,
+    "a1": 7,
+}
+
+
+# ----------------------------------------------------------------------
+# Topology families (Section 4 closed forms and Appendix D)
+# ----------------------------------------------------------------------
+
+def ring_placement(num_replicas: int) -> RegisterPlacement:
+    """A ring of ``num_replicas`` replicas, one unique register per ring edge.
+
+    This is the Figure 13 topology: replica ``r`` shares register ``ring_r``
+    with its clockwise neighbour and ``ring_{r-1}`` with its anticlockwise
+    neighbour, and nothing with anyone else.
+    """
+    if num_replicas < 3:
+        raise ConfigurationError("a ring needs at least 3 replicas")
+    stores: Dict[ReplicaId, Set[Register]] = {r: set() for r in range(1, num_replicas + 1)}
+    for r in range(1, num_replicas + 1):
+        nxt = r % num_replicas + 1
+        register = f"ring_{r}"
+        stores[r].add(register)
+        stores[nxt].add(register)
+    return RegisterPlacement.from_dict(stores)
+
+
+def path_placement(num_replicas: int) -> RegisterPlacement:
+    """A path (the simplest tree): one unique register per consecutive pair."""
+    if num_replicas < 2:
+        raise ConfigurationError("a path needs at least 2 replicas")
+    stores: Dict[ReplicaId, Set[Register]] = {r: set() for r in range(1, num_replicas + 1)}
+    for r in range(1, num_replicas):
+        register = f"path_{r}"
+        stores[r].add(register)
+        stores[r + 1].add(register)
+    return RegisterPlacement.from_dict(stores)
+
+
+def star_placement(num_leaves: int) -> RegisterPlacement:
+    """A star: replica 1 is the hub sharing one unique register with each leaf."""
+    if num_leaves < 1:
+        raise ConfigurationError("a star needs at least 1 leaf")
+    stores: Dict[ReplicaId, Set[Register]] = {1: set()}
+    for leaf in range(2, num_leaves + 2):
+        register = f"spoke_{leaf}"
+        stores[1].add(register)
+        stores[leaf] = {register}
+    return RegisterPlacement.from_dict(stores)
+
+
+def tree_placement(num_replicas: int, branching: int = 2) -> RegisterPlacement:
+    """A balanced tree: each parent/child pair shares one unique register.
+
+    Replica 1 is the root; replica ``r`` has parent ``(r - 2) // branching + 1``.
+    """
+    if num_replicas < 2:
+        raise ConfigurationError("a tree needs at least 2 replicas")
+    if branching < 1:
+        raise ConfigurationError("branching factor must be positive")
+    stores: Dict[ReplicaId, Set[Register]] = {r: set() for r in range(1, num_replicas + 1)}
+    for child in range(2, num_replicas + 1):
+        parent = (child - 2) // branching + 1
+        register = f"tree_{parent}_{child}"
+        stores[parent].add(register)
+        stores[child].add(register)
+    return RegisterPlacement.from_dict(stores)
+
+
+def clique_placement(num_replicas: int, shared_register: str = "g") -> RegisterPlacement:
+    """Full replication: every replica stores the same single register set.
+
+    With every edge sharing the identical register, the share graph is a
+    clique and the edge-indexed timestamp compresses to the classical
+    length-``R`` vector (Section 5).
+    """
+    if num_replicas < 2:
+        raise ConfigurationError("a clique needs at least 2 replicas")
+    return RegisterPlacement.full_replication(
+        range(1, num_replicas + 1), {shared_register}
+    )
+
+
+def pairwise_clique_placement(num_replicas: int) -> RegisterPlacement:
+    """A clique where each replica *pair* shares its own unique register.
+
+    Unlike :func:`clique_placement`, the edge counters here are genuinely
+    independent, so no compression is possible — the worst case for
+    partial-replication metadata.
+    """
+    if num_replicas < 2:
+        raise ConfigurationError("a clique needs at least 2 replicas")
+    stores: Dict[ReplicaId, Set[Register]] = {r: set() for r in range(1, num_replicas + 1)}
+    for a in range(1, num_replicas + 1):
+        for b in range(a + 1, num_replicas + 1):
+            register = f"pair_{a}_{b}"
+            stores[a].add(register)
+            stores[b].add(register)
+    return RegisterPlacement.from_dict(stores)
+
+
+def grid_placement(rows: int, cols: int) -> RegisterPlacement:
+    """A ``rows × cols`` grid; each grid edge carries a unique register."""
+    if rows < 1 or cols < 1:
+        raise ConfigurationError("grid dimensions must be positive")
+    def rid(r: int, c: int) -> int:
+        return r * cols + c + 1
+
+    stores: Dict[ReplicaId, Set[Register]] = {
+        rid(r, c): set() for r in range(rows) for c in range(cols)
+    }
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                register = f"grid_h_{r}_{c}"
+                stores[rid(r, c)].add(register)
+                stores[rid(r, c + 1)].add(register)
+            if r + 1 < rows:
+                register = f"grid_v_{r}_{c}"
+                stores[rid(r, c)].add(register)
+                stores[rid(r + 1, c)].add(register)
+    return RegisterPlacement.from_dict(stores)
+
+
+def random_partial_placement(
+    num_replicas: int,
+    num_registers: int,
+    replication_factor: int = 2,
+    seed: int = 0,
+    ensure_connected: bool = True,
+) -> RegisterPlacement:
+    """A random partial replication: each register is placed at ``replication_factor`` replicas.
+
+    Parameters
+    ----------
+    ensure_connected:
+        When ``True`` (default) extra "link" registers are added along a
+        random spanning order so that the resulting share graph is connected,
+        matching the assumption made by the paper's proofs.
+    """
+    if replication_factor < 1 or replication_factor > num_replicas:
+        raise ConfigurationError(
+            "replication_factor must be between 1 and the number of replicas"
+        )
+    rng = random.Random(seed)
+    replica_ids = list(range(1, num_replicas + 1))
+    stores: Dict[ReplicaId, Set[Register]] = {r: set() for r in replica_ids}
+    for idx in range(num_registers):
+        owners = rng.sample(replica_ids, replication_factor)
+        for owner in owners:
+            stores[owner].add(f"r{idx}")
+    if ensure_connected:
+        order = replica_ids[:]
+        rng.shuffle(order)
+        for a, b in zip(order[:-1], order[1:]):
+            graph = ShareGraph.from_dict(stores)
+            if not graph.has_edge(a, b) and not _connected(stores, a, b):
+                register = f"link_{a}_{b}"
+                stores[a].add(register)
+                stores[b].add(register)
+    return RegisterPlacement.from_dict(stores)
+
+
+def _connected(stores: Dict[ReplicaId, Set[Register]], a: ReplicaId, b: ReplicaId) -> bool:
+    graph = ShareGraph.from_dict(stores)
+    components = graph.connected_components()
+    for component in components:
+        if a in component and b in component:
+            return True
+    return False
+
+
+def geo_replication_placement(
+    num_datacenters: int = 3,
+    shards_per_dc: int = 4,
+    global_registers: int = 2,
+) -> RegisterPlacement:
+    """A geo-replication-style placement: local shards plus a few global registers.
+
+    Each datacenter (replica) stores its own shard registers; consecutive
+    datacenters share a "regional" register, and every datacenter stores the
+    global registers.  This is the storage-efficiency scenario motivating
+    partial replication in the introduction.
+    """
+    if num_datacenters < 2:
+        raise ConfigurationError("need at least two datacenters")
+    stores: Dict[ReplicaId, Set[Register]] = {}
+    for dc in range(1, num_datacenters + 1):
+        local = {f"dc{dc}_shard{s}" for s in range(shards_per_dc)}
+        stores[dc] = local
+    for dc in range(1, num_datacenters):
+        register = f"regional_{dc}_{dc + 1}"
+        stores[dc].add(register)
+        stores[dc + 1].add(register)
+    for g in range(global_registers):
+        register = f"global_{g}"
+        for dc in stores:
+            stores[dc].add(register)
+    return RegisterPlacement.from_dict(stores)

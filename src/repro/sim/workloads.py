@@ -1,0 +1,256 @@
+"""Workload generation and execution.
+
+A *workload* is a finite sequence of client operations (writes and reads)
+addressed to specific replicas.  Workloads are plain data, so the same
+workload can be replayed against different protocols (the paper's algorithm
+and every baseline) under the same network seed — the comparison mode used
+by the metadata-overhead and optimization experiments.
+
+Generators provided:
+
+* :func:`uniform_workload` — every replica writes its own registers at random;
+* :func:`hotspot_workload` — a skewed register popularity distribution;
+* :func:`causal_chain_workload` — deliberate cross-replica dependency chains
+  (write at one replica, read/acknowledge at a sharer, write there, …), the
+  access pattern that exercises causality tracking hardest;
+* :func:`read_heavy_workload` — mostly reads with occasional writes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.registers import Register, ReplicaId
+from ..core.share_graph import ShareGraph
+from .cluster import Cluster
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One client operation addressed to a replica.
+
+    Attributes
+    ----------
+    kind:
+        ``"write"`` or ``"read"``.
+    replica_id:
+        The replica whose co-located client issues the operation.
+    register:
+        The target register (always stored at the replica).
+    value:
+        The value written (``None`` for reads).
+    """
+
+    kind: str
+    replica_id: ReplicaId
+    register: Register
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, replayable sequence of operations."""
+
+    name: str
+    operations: Tuple[Operation, ...]
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    @property
+    def write_count(self) -> int:
+        """Number of write operations."""
+        return sum(1 for op in self.operations if op.kind == "write")
+
+    @property
+    def read_count(self) -> int:
+        """Number of read operations."""
+        return sum(1 for op in self.operations if op.kind == "read")
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+def _writable_registers(graph: ShareGraph, replica_id: ReplicaId) -> List[Register]:
+    return sorted(graph.registers_at(replica_id))
+
+
+def uniform_workload(
+    graph: ShareGraph,
+    num_operations: int,
+    write_fraction: float = 0.7,
+    seed: int = 0,
+) -> Workload:
+    """Operations spread uniformly over replicas and their local registers."""
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigurationError("write_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    replica_ids = list(graph.replica_ids)
+    operations: List[Operation] = []
+    for index in range(num_operations):
+        replica_id = rng.choice(replica_ids)
+        registers = _writable_registers(graph, replica_id)
+        register = rng.choice(registers)
+        if rng.random() < write_fraction:
+            operations.append(
+                Operation("write", replica_id, register, value=f"v{index}")
+            )
+        else:
+            operations.append(Operation("read", replica_id, register))
+    return Workload("uniform", tuple(operations))
+
+
+def hotspot_workload(
+    graph: ShareGraph,
+    num_operations: int,
+    hot_fraction: float = 0.8,
+    write_fraction: float = 0.7,
+    seed: int = 0,
+) -> Workload:
+    """A skewed workload: ``hot_fraction`` of operations hit one popular register per replica."""
+    rng = random.Random(seed)
+    replica_ids = list(graph.replica_ids)
+    hot_register = {
+        rid: sorted(graph.registers_at(rid))[0] for rid in replica_ids
+    }
+    operations: List[Operation] = []
+    for index in range(num_operations):
+        replica_id = rng.choice(replica_ids)
+        registers = _writable_registers(graph, replica_id)
+        if rng.random() < hot_fraction:
+            register = hot_register[replica_id]
+        else:
+            register = rng.choice(registers)
+        if rng.random() < write_fraction:
+            operations.append(
+                Operation("write", replica_id, register, value=f"h{index}")
+            )
+        else:
+            operations.append(Operation("read", replica_id, register))
+    return Workload("hotspot", tuple(operations))
+
+
+def causal_chain_workload(
+    graph: ShareGraph,
+    num_chains: int,
+    chain_length: int = 4,
+    seed: int = 0,
+) -> Workload:
+    """Chains of writes that hop across share-graph neighbours.
+
+    Each chain starts at a random replica and repeatedly: writes a register
+    shared with a random neighbour, then continues from that neighbour.  The
+    resulting updates form long ``↪`` chains spanning many replicas — the
+    pattern that makes causality tracking under partial replication hard.
+    """
+    rng = random.Random(seed)
+    replica_ids = list(graph.replica_ids)
+    operations: List[Operation] = []
+    value = 0
+    for _ in range(num_chains):
+        current = rng.choice(replica_ids)
+        for _ in range(chain_length):
+            neighbours = list(graph.neighbors(current))
+            if not neighbours:
+                break
+            nxt = rng.choice(neighbours)
+            shared = sorted(graph.shared_registers(current, nxt))
+            register = rng.choice(shared)
+            operations.append(Operation("write", current, register, value=f"c{value}"))
+            value += 1
+            operations.append(Operation("read", nxt, register))
+            current = nxt
+    return Workload("causal_chain", tuple(operations))
+
+
+def read_heavy_workload(
+    graph: ShareGraph,
+    num_operations: int,
+    seed: int = 0,
+) -> Workload:
+    """A 90%-read workload (the common case for geo-replicated stores)."""
+    return uniform_workload(graph, num_operations, write_fraction=0.1, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+@dataclass
+class WorkloadResult:
+    """Everything measured while replaying a workload on a cluster."""
+
+    workload: Workload
+    steps: int
+    consistent: bool
+    safety_violations: int
+    liveness_violations: int
+    messages_sent: int
+    metadata_counters_sent: int
+    mean_apply_latency: float
+    metadata_sizes: Dict[ReplicaId, int]
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "OK" if self.consistent else "VIOLATED"
+        return (
+            f"{self.workload.name}: {len(self.workload)} ops, {self.steps} deliveries, "
+            f"{self.messages_sent} msgs, {self.metadata_counters_sent} counters shipped, "
+            f"consistency {status}"
+        )
+
+
+def run_workload(
+    cluster: Cluster,
+    workload: Workload,
+    interleave_steps: int = 1,
+    check: bool = True,
+) -> WorkloadResult:
+    """Replay a workload on a cluster and validate the execution.
+
+    Parameters
+    ----------
+    interleave_steps:
+        After each operation, up to this many network deliveries are
+        performed, interleaving propagation with new operations (0 delays all
+        propagation until the end — the most adversarial buffering pattern).
+    check:
+        When ``True`` the consistency checker runs at the end and its verdict
+        is included in the result.
+    """
+    steps = 0
+    for operation in workload.operations:
+        if operation.kind == "write":
+            cluster.write(operation.replica_id, operation.register, operation.value)
+        elif operation.kind == "read":
+            cluster.read(operation.replica_id, operation.register)
+        else:
+            raise ConfigurationError(f"unknown operation kind {operation.kind!r}")
+        for _ in range(interleave_steps):
+            if cluster.step():
+                steps += 1
+    steps += cluster.run_until_quiescent()
+
+    if check:
+        report = cluster.check_consistency()
+        consistent = report.is_causally_consistent
+        safety = len(report.safety_violations)
+        liveness = len(report.liveness_violations)
+    else:
+        consistent, safety, liveness = True, 0, 0
+
+    return WorkloadResult(
+        workload=workload,
+        steps=steps,
+        consistent=consistent,
+        safety_violations=safety,
+        liveness_violations=liveness,
+        messages_sent=cluster.network.stats.messages_sent,
+        metadata_counters_sent=cluster.network.stats.metadata_counters_sent,
+        mean_apply_latency=cluster.metrics.mean_apply_latency,
+        metadata_sizes=cluster.metadata_sizes(),
+    )

@@ -1,0 +1,101 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registers import RegisterPlacement
+from repro.core.share_graph import ShareGraph
+from repro.sim.topologies import (
+    COUNTEREXAMPLE_IDS,
+    clique_placement,
+    counterexample1_placement,
+    counterexample2_placement,
+    figure3_placement,
+    figure5_placement,
+    grid_placement,
+    pairwise_clique_placement,
+    path_placement,
+    random_partial_placement,
+    ring_placement,
+    star_placement,
+    tree_placement,
+    triangle_placement,
+)
+
+
+@pytest.fixture
+def figure3_graph() -> ShareGraph:
+    """The Figure 3 path-shaped share graph."""
+    return ShareGraph.from_placement(figure3_placement())
+
+
+@pytest.fixture
+def figure5_graph() -> ShareGraph:
+    """The Figure 5 example share graph."""
+    return ShareGraph.from_placement(figure5_placement())
+
+
+@pytest.fixture
+def triangle_graph() -> ShareGraph:
+    """The 3-replica triangle share graph."""
+    return ShareGraph.from_placement(triangle_placement())
+
+
+@pytest.fixture
+def ring6_graph() -> ShareGraph:
+    """A 6-replica ring share graph."""
+    return ShareGraph.from_placement(ring_placement(6))
+
+
+@pytest.fixture
+def tree7_graph() -> ShareGraph:
+    """A 7-replica binary-tree share graph."""
+    return ShareGraph.from_placement(tree_placement(7))
+
+
+@pytest.fixture
+def clique4_graph() -> ShareGraph:
+    """Full replication over 4 replicas (single shared register)."""
+    return ShareGraph.from_placement(clique_placement(4))
+
+
+@pytest.fixture
+def counterexample1_graph() -> ShareGraph:
+    """Hélary–Milani counterexample 1 (Figures 6/8a)."""
+    return ShareGraph.from_placement(counterexample1_placement())
+
+
+@pytest.fixture
+def counterexample2_graph() -> ShareGraph:
+    """Hélary–Milani counterexample 2 (Figure 8b)."""
+    return ShareGraph.from_placement(counterexample2_placement())
+
+
+@pytest.fixture
+def ce_ids() -> dict:
+    """The paper's replica names for the counterexample graphs."""
+    return dict(COUNTEREXAMPLE_IDS)
+
+
+def all_small_placements():
+    """A suite of small placements used by parametrized integration tests."""
+    return {
+        "figure3": figure3_placement(),
+        "figure5": figure5_placement(),
+        "triangle": triangle_placement(),
+        "ring5": ring_placement(5),
+        "tree7": tree_placement(7),
+        "star4": star_placement(4),
+        "path4": path_placement(4),
+        "clique4": clique_placement(4),
+        "pairwise4": pairwise_clique_placement(4),
+        "grid2x3": grid_placement(2, 3),
+        "random7": random_partial_placement(7, 10, replication_factor=3, seed=3),
+    }
+
+
+@pytest.fixture(params=sorted(all_small_placements()))
+def any_small_graph(request) -> ShareGraph:
+    """Parametrized fixture iterating over the whole small-topology suite."""
+    return ShareGraph.from_placement(all_small_placements()[request.param])

@@ -1,0 +1,101 @@
+"""Unit tests for the analysis/evaluation harness (repro.analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    edge_label,
+    exp_compression,
+    exp_conflict_bound,
+    exp_figure5,
+    exp_helary_milani,
+    exp_lower_bounds,
+    exp_ring_breaking,
+    oblivious_factory,
+    protocol_suite,
+    render_compression,
+    render_figure5,
+    render_helary_milani,
+    render_lower_bounds,
+    render_mapping,
+    render_ring_breaking,
+    render_table,
+    standard_topologies,
+)
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp_graph import timestamp_edges
+from repro.sim.topologies import figure5_placement
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["long-cell", {3, 1}]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "2.50" in text
+        assert "1, 3" in text
+
+    def test_render_mapping(self):
+        text = render_mapping("title", {"k": 1})
+        assert text.startswith("title")
+        assert "k" in text
+
+    def test_edge_label(self):
+        assert edge_label((4, 3)) == "e_43"
+
+
+class TestExperimentHarness:
+    def test_standard_topologies_all_connected(self):
+        topologies = standard_topologies()
+        assert len(topologies) >= 10
+        for placement in topologies.values():
+            assert ShareGraph.from_placement(placement).is_connected()
+
+    def test_protocol_suite_contains_paper_and_baselines(self):
+        suite = protocol_suite()
+        assert "edge-indexed (paper)" in suite
+        assert len(suite) >= 5
+
+    def test_exp_figure5_and_render(self):
+        result = exp_figure5()
+        assert result.replica1_edges == timestamp_edges(
+            ShareGraph.from_placement(figure5_placement()), 1
+        )
+        text = render_figure5(result)
+        assert "e_43" in text
+
+    def test_exp_helary_milani_and_render(self):
+        results = exp_helary_milani()
+        assert len(results) == 2
+        text = render_helary_milani(results)
+        assert "counterexample 1" in text and "counterexample 2" in text
+
+    def test_exp_lower_bounds_tight_and_render(self):
+        rows = exp_lower_bounds(max_updates=8)
+        for row in rows:
+            assert row.algorithm_bits == pytest.approx(row.lower_bound_bits)
+        assert "ring6" in render_lower_bounds(rows)
+
+    def test_exp_conflict_bound_matches_closed_form(self):
+        result = exp_conflict_bound(max_updates=2)
+        assert result.bits == pytest.approx(result.closed_form_bits)
+
+    def test_exp_compression_and_render(self):
+        result = exp_compression()
+        assert result["clique4"] == (48, 16)
+        assert "clique4" in render_compression(result)
+
+    def test_exp_ring_breaking_and_render(self):
+        rows = exp_ring_breaking(sizes=(4, 5))
+        assert rows[0]["counters before"] == 32
+        assert "ring size" in render_ring_breaking(rows)
+
+    def test_oblivious_factory_drops_requested_edges_only(self):
+        graph = ShareGraph.from_placement(figure5_placement())
+        factory = oblivious_factory({1: frozenset({(4, 3)})})
+        replica1 = factory(graph, 1)
+        replica2 = factory(graph, 2)
+        assert (4, 3) not in replica1.timestamp_graph.edges
+        assert replica1.timestamp_graph.edges == timestamp_edges(graph, 1) - {(4, 3)}
+        assert replica2.timestamp_graph.edges == timestamp_edges(graph, 2)

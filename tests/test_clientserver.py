@@ -1,0 +1,225 @@
+"""Unit and integration tests for the client–server architecture (Appendix E)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clientserver import (
+    AugmentedShareGraph,
+    ClientAgent,
+    ClientAssignment,
+    ClientServerCluster,
+    ClientServerReplica,
+    augmented_timestamp_edges,
+    build_all_augmented_timestamp_edges,
+    client_index_edges,
+    has_augmented_loop,
+)
+from repro.clientserver.server import ClientRequest
+from repro.core.errors import ConfigurationError, UnknownReplicaError
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp_graph import timestamp_edges
+from repro.core.timestamps import EdgeTimestamp
+from repro.sim.delays import FixedDelay, UniformDelay
+from repro.sim.topologies import figure3_placement, path_placement, triangle_placement
+
+
+@pytest.fixture
+def fig3_graph():
+    return ShareGraph.from_placement(figure3_placement())
+
+
+@pytest.fixture
+def spanning_client(fig3_graph):
+    """A client accessing the two end replicas of the Figure 3 path."""
+    return ClientAssignment.from_dict({"c1": {1, 4}})
+
+
+class TestClientAssignment:
+    def test_from_dict_and_queries(self):
+        clients = ClientAssignment.from_dict({"c1": [1, 2], "c2": [2, 3]})
+        assert clients.client_ids == ("c1", "c2")
+        assert clients.replicas_of("c1") == frozenset({1, 2})
+        assert clients.linked(1, 2)
+        assert not clients.linked(1, 3)
+
+    def test_client_edges_are_pairs(self):
+        clients = ClientAssignment.from_dict({"c": [1, 3]})
+        assert clients.client_edges() == frozenset({(1, 3), (3, 1)})
+
+    def test_empty_replica_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClientAssignment.from_dict({"c": []})
+
+    def test_unknown_client_rejected(self):
+        clients = ClientAssignment.from_dict({"c": [1]})
+        with pytest.raises(ConfigurationError):
+            clients.replicas_of("nope")
+
+
+class TestAugmentedGraph:
+    def test_augmented_edges_superset_of_share_edges(self, fig3_graph, spanning_client):
+        augmented = AugmentedShareGraph(fig3_graph, spanning_client)
+        assert fig3_graph.edges <= augmented.edges
+        assert (1, 4) in augmented.edges and (4, 1) in augmented.edges
+
+    def test_unknown_replica_in_assignment_rejected(self, fig3_graph):
+        with pytest.raises(UnknownReplicaError):
+            AugmentedShareGraph(fig3_graph, ClientAssignment.from_dict({"c": [99]}))
+
+    def test_neighbors_include_client_links(self, fig3_graph, spanning_client):
+        augmented = AugmentedShareGraph(fig3_graph, spanning_client)
+        assert 4 in augmented.neighbors(1)
+
+    def test_cycles_appear_only_with_client_link(self, fig3_graph, spanning_client):
+        # The Figure 3 share graph is a path (no cycles); the client link
+        # closes it into a cycle.
+        assert list(fig3_graph.simple_cycles_through(1)) == []
+        augmented = AugmentedShareGraph(fig3_graph, spanning_client)
+        assert list(augmented.simple_cycles_through(1))
+
+    def test_augmented_loops_exist_for_remote_edges(self, fig3_graph, spanning_client):
+        augmented = AugmentedShareGraph(fig3_graph, spanning_client)
+        # Replica 1 now needs to track e_32 (an edge between two other
+        # replicas) because the client link closes a loop through it.
+        assert has_augmented_loop(augmented, 1, (3, 2))
+
+    def test_augmented_timestamp_edges_exclude_client_edges(self, fig3_graph, spanning_client):
+        augmented = AugmentedShareGraph(fig3_graph, spanning_client)
+        for rid in fig3_graph.replica_ids:
+            edges = augmented_timestamp_edges(augmented, rid)
+            assert edges <= fig3_graph.edges  # the (1,4) client link never indexed
+            # and they always contain the peer-to-peer requirement
+            assert timestamp_edges(fig3_graph, rid) <= edges
+
+    def test_no_clients_reduces_to_peer_to_peer(self, fig3_graph):
+        clients = ClientAssignment.from_dict({"c": [2]})
+        augmented = AugmentedShareGraph(fig3_graph, clients)
+        for rid in fig3_graph.replica_ids:
+            assert augmented_timestamp_edges(augmented, rid) == timestamp_edges(
+                fig3_graph, rid
+            )
+
+    def test_client_index_edges_union(self, fig3_graph, spanning_client):
+        augmented = AugmentedShareGraph(fig3_graph, spanning_client)
+        per_replica = build_all_augmented_timestamp_edges(augmented)
+        union = client_index_edges(augmented, "c1", per_replica)
+        assert union == per_replica[1] | per_replica[4]
+
+
+class TestClientAgent:
+    def test_choose_replica_prefers_request(self, fig3_graph):
+        clients = ClientAssignment.from_dict({"c": [2, 3]})
+        augmented = AugmentedShareGraph(fig3_graph, clients)
+        agent = ClientAgent(augmented, "c")
+        # y is stored at 2 and 3: default is the lowest id, preference wins.
+        assert agent.choose_replica("y") == 2
+        assert agent.choose_replica("y", preferred=3) == 3
+
+    def test_choose_replica_requires_accessible_owner(self, fig3_graph):
+        clients = ClientAssignment.from_dict({"c": [1]})
+        augmented = AugmentedShareGraph(fig3_graph, clients)
+        agent = ClientAgent(augmented, "c")
+        with pytest.raises(ValueError):
+            agent.choose_replica("z")
+
+    def test_accessible_registers(self, fig3_graph):
+        clients = ClientAssignment.from_dict({"c": [1, 4]})
+        augmented = AugmentedShareGraph(fig3_graph, clients)
+        agent = ClientAgent(augmented, "c")
+        assert agent.accessible_registers() == frozenset({"x", "z"})
+
+    def test_absorb_response_merges(self, fig3_graph, spanning_client):
+        augmented = AugmentedShareGraph(fig3_graph, spanning_client)
+        agent = ClientAgent(augmented, "c1")
+        some_edge = sorted(agent.index_edges)[0]
+        agent.absorb_response(EdgeTimestamp({some_edge: 3}))
+        assert agent.timestamp[some_edge] == 3
+        assert agent.metadata_size() == len(agent.index_edges)
+
+
+class TestServerReplica:
+    def test_request_buffered_until_caught_up(self, fig3_graph, spanning_client):
+        augmented = AugmentedShareGraph(fig3_graph, spanning_client)
+        server = ClientServerReplica(augmented, 2)
+        stale_edge = (1, 2)
+        demanding = EdgeTimestamp({stale_edge: 1})
+        request = ClientRequest("read", "c1", "x", None, demanding)
+        assert server.submit(request) is None
+        assert server.waiting_requests
+        # Once the server catches up (applies the 1 -> 2 update) it serves.
+        server.timestamp = server.timestamp.merged_with(
+            EdgeTimestamp({stale_edge: 1}), shared_edges=[stale_edge]
+        )
+        served = server.serve_waiting()
+        assert len(served) == 1
+        # The response is also queued for pickup exactly once.
+        assert server.take_response("c1", "read", "x") is served[0]
+        assert server.take_response("c1", "read", "x") is None
+
+    def test_write_for_client_absorbs_client_knowledge(self, fig3_graph, spanning_client):
+        augmented = AugmentedShareGraph(fig3_graph, spanning_client)
+        server = ClientServerReplica(augmented, 2)
+        client_mu = EdgeTimestamp({(3, 2): 1})
+        # The predicate would normally buffer this, but calling the advance
+        # directly shows the merge-then-increment behaviour.
+        messages = server.write_for_client("y", "v", client_mu)
+        assert server.timestamp[(3, 2)] == 1
+        assert server.timestamp[(2, 3)] == 1
+        assert [m.destination for m in messages] == [3]
+
+
+class TestClientServerCluster:
+    def test_session_read_your_writes_across_replicas(self, fig3_graph):
+        clients = ClientAssignment.from_dict({"c1": {2, 3}})
+        cluster = ClientServerCluster(fig3_graph, clients, delay_model=FixedDelay(1.0), seed=0)
+        cluster.client_write("c1", "y", "from-2", replica_id=2)
+        # Reading y at replica 3 must block until the update has propagated,
+        # then return the written value.
+        assert cluster.client_read("c1", "y", replica_id=3) == "from-2"
+
+    def test_dependency_propagation_through_client(self, fig3_graph):
+        clients = ClientAssignment.from_dict({"c1": {1, 4}, "helper": {2, 3}})
+        cluster = ClientServerCluster(fig3_graph, clients, delay_model=FixedDelay(1.0), seed=1)
+        cluster.client_write("c1", "x", "x1", replica_id=1)
+        cluster.client_write("c1", "z", "z1", replica_id=4)
+        cluster.client_write("helper", "y", "y1", replica_id=2)
+        cluster.run_until_quiescent()
+        report = cluster.check_consistency()
+        assert report.is_causally_consistent
+
+    def test_mixed_workload_consistent(self, fig3_graph):
+        clients = ClientAssignment.from_dict(
+            {"c1": {1, 4}, "c2": {2, 3}, "c3": {1, 2}}
+        )
+        cluster = ClientServerCluster(
+            fig3_graph, clients, delay_model=UniformDelay(1, 5), seed=3
+        )
+        for i in range(5):
+            cluster.client_write("c1", "x", f"x{i}", replica_id=1)
+            cluster.client_write("c2", "y", f"y{i}", replica_id=2)
+            cluster.client_write("c1", "z", f"z{i}", replica_id=4)
+            cluster.client_read("c2", "z", replica_id=3)
+            cluster.client_write("c3", "x", f"x'{i}", replica_id=2)
+            cluster.client_read("c3", "x", replica_id=1)
+        cluster.run_until_quiescent()
+        assert cluster.check_consistency().is_causally_consistent
+
+    def test_metadata_sizes_reported(self, fig3_graph):
+        clients = ClientAssignment.from_dict({"c1": {1, 4}})
+        cluster = ClientServerCluster(fig3_graph, clients, seed=0)
+        servers = cluster.server_metadata_sizes()
+        assert set(servers) == {1, 2, 3, 4}
+        assert cluster.client_metadata_sizes()["c1"] >= max(servers[1], servers[4])
+
+    def test_triangle_client_server_consistent(self):
+        graph = ShareGraph.from_placement(triangle_placement())
+        clients = ClientAssignment.from_dict({"a": {1, 2}, "b": {2, 3}})
+        cluster = ClientServerCluster(graph, clients, delay_model=UniformDelay(1, 4), seed=5)
+        for i in range(6):
+            cluster.client_write("a", "x", f"x{i}", replica_id=1)
+            cluster.client_write("b", "y", f"y{i}", replica_id=2)
+            cluster.client_read("a", "x", replica_id=2)
+            cluster.client_read("b", "y", replica_id=3)
+        cluster.run_until_quiescent()
+        assert cluster.check_consistency().is_causally_consistent

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs to completion and keeps its promises."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_OUTPUT = {
+    "quickstart.py": ["Timestamp graphs", "Checker verdict", "0 safety violation"],
+    "social_network.py": ["ACL", "Checker verdict", "0 safety violation"],
+    "geo_store_client_server.py": ["client-server", "Checker verdict"],
+    "metadata_explorer.py": ["Figure 5 timestamp graphs", "Topology survey"],
+    "optimization_tradeoffs.py": ["Compression", "Dummy registers", "Bounded loop length"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs_and_prints_expected_sections(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for needle in EXPECTED_OUTPUT[script]:
+        assert needle in completed.stdout, (
+            f"{script} output does not mention {needle!r}"
+        )

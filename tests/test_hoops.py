@@ -1,0 +1,136 @@
+"""Unit tests for repro.core.hoops — Hélary–Milani hoops and the paper's correction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hoops import (
+    compare_with_theorem8,
+    hoop_tracked_edges,
+    hoop_tracked_registers,
+    is_minimal_hoop,
+    iter_hoops,
+    minimal_hoops,
+    must_transmit,
+)
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp_graph import timestamp_edges
+from repro.sim.topologies import (
+    COUNTEREXAMPLE_IDS,
+    counterexample1_placement,
+    counterexample2_placement,
+    figure3_placement,
+    triangle_placement,
+)
+
+
+class TestHoopEnumeration:
+    def test_triangle_hoop_for_each_register(self, triangle_graph):
+        # x is stored at 1 and 2; the path 1 - 3 - 2 is an x-hoop.
+        hoops = list(iter_hoops(triangle_graph, "x"))
+        assert len(hoops) == 1
+        hoop = hoops[0]
+        assert hoop.endpoints == (1, 2)
+        assert hoop.internal == (3,)
+        assert hoop.register == "x"
+        assert len(hoop) == 3
+        assert hoop.edges == ((1, 3), (3, 2))
+        assert "x-hoop" in str(hoop)
+
+    def test_path_topology_has_no_hoops(self, figure3_graph):
+        for register in figure3_graph.placement.registers:
+            assert list(iter_hoops(figure3_graph, register)) == []
+
+    def test_internal_vertices_never_store_the_register(self, counterexample1_graph):
+        for hoop in iter_hoops(counterexample1_graph, "x"):
+            for internal in hoop.internal:
+                assert not counterexample1_graph.placement.stores_register(internal, "x")
+
+    def test_max_length_cutoff(self, counterexample1_graph):
+        # The only x-hoop is the full 7-vertex ring; a length cutoff of 4 hides it.
+        assert list(iter_hoops(counterexample1_graph, "x", max_length=4)) == []
+        assert list(iter_hoops(counterexample1_graph, "x", max_length=7))
+
+
+class TestCounterexample1:
+    """Original minimal-hoop definition demands tracking Theorem 8 does not (Fig. 6/8a)."""
+
+    def test_ring_through_i_is_a_minimal_x_hoop_under_original_definition(
+        self, counterexample1_graph
+    ):
+        ids = COUNTEREXAMPLE_IDS
+        hoops = minimal_hoops(counterexample1_graph, "x", modified=False)
+        assert hoops, "the graph must contain minimal x-hoops"
+        through_i = [h for h in hoops if ids["i"] in h.path]
+        assert through_i, "the 7-replica ring through i must be a minimal x-hoop"
+        for hoop in through_i:
+            assert set(hoop.endpoints) == {ids["j"], ids["k"]}
+
+    def test_original_criterion_requires_i_to_track_x(self, counterexample1_graph, ce_ids):
+        assert must_transmit(counterexample1_graph, ce_ids["i"], "x", modified=False)
+
+    def test_theorem8_does_not_require_i_to_track_x_edges(self, counterexample1_graph, ce_ids):
+        edges = timestamp_edges(counterexample1_graph, ce_ids["i"])
+        j, k = ce_ids["j"], ce_ids["k"]
+        assert (j, k) not in edges
+        assert (k, j) not in edges
+
+    def test_comparison_shows_hoops_over_demand(self, counterexample1_graph, ce_ids):
+        comparison = compare_with_theorem8(counterexample1_graph, ce_ids["i"], modified=False)
+        j, k = ce_ids["j"], ce_ids["k"]
+        assert {(j, k), (k, j)} <= comparison.only_hoop
+        assert comparison.only_theorem8 == frozenset()
+
+
+class TestCounterexample2:
+    """Modified minimal-hoop definition waives tracking Theorem 8 requires (Fig. 8b)."""
+
+    def test_no_minimal_modified_hoop_contains_i(self, counterexample2_graph):
+        # Under the modified definition, the ring through i is not minimal
+        # (its only available label y is stored by three hoop members), so no
+        # minimal x-hoop contains replica i.
+        ids = COUNTEREXAMPLE_IDS
+        hoops = minimal_hoops(counterexample2_graph, "x", modified=True)
+        assert all(ids["i"] not in h.path for h in hoops)
+
+    def test_ring_through_i_is_a_minimal_x_hoop_under_original_definition(
+        self, counterexample2_graph
+    ):
+        ids = COUNTEREXAMPLE_IDS
+        hoops = minimal_hoops(counterexample2_graph, "x", modified=False)
+        assert any(ids["i"] in h.path for h in hoops)
+
+    def test_modified_criterion_waives_tracking_at_i(self, counterexample2_graph, ce_ids):
+        assert not must_transmit(counterexample2_graph, ce_ids["i"], "x", modified=True)
+
+    def test_theorem8_requires_tracking_e_kj_at_i(self, counterexample2_graph, ce_ids):
+        edges = timestamp_edges(counterexample2_graph, ce_ids["i"])
+        assert (ce_ids["k"], ce_ids["j"]) in edges
+
+    def test_comparison_shows_modified_hoops_under_demand(self, counterexample2_graph, ce_ids):
+        comparison = compare_with_theorem8(counterexample2_graph, ce_ids["i"], modified=True)
+        assert (ce_ids["k"], ce_ids["j"]) in comparison.only_theorem8
+
+
+class TestTrackingSets:
+    def test_stored_registers_always_tracked(self, triangle_graph):
+        for rid in triangle_graph.replica_ids:
+            tracked = hoop_tracked_registers(triangle_graph, rid)
+            assert triangle_graph.registers_at(rid) <= tracked
+
+    def test_hoop_edges_include_incident_edges_labels(self, triangle_graph):
+        for rid in triangle_graph.replica_ids:
+            edges = hoop_tracked_edges(triangle_graph, rid)
+            assert triangle_graph.incident_edges(rid) <= edges
+
+    def test_minimality_accepts_and_rejects(self, counterexample2_graph):
+        ids = COUNTEREXAMPLE_IDS
+        hoops = [
+            h for h in iter_hoops(counterexample2_graph, "x") if ids["i"] in h.path
+        ]
+        assert hoops
+        for hoop in hoops:
+            # The ring through i is minimal under the original definition but
+            # not under the modified one — exactly the paper's point.
+            assert is_minimal_hoop(counterexample2_graph, hoop, modified=False)
+            assert not is_minimal_hoop(counterexample2_graph, hoop, modified=True)

@@ -1,0 +1,125 @@
+"""Unit tests for repro.core.loops — the (i, e_jk)-loop machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.loops import (
+    Loop,
+    check_loop_conditions,
+    find_loop,
+    has_loop,
+    iter_loops,
+    loop_edges,
+    loops_by_edge,
+)
+from repro.core.share_graph import ShareGraph
+from repro.sim.topologies import (
+    figure5_placement,
+    ring_placement,
+    tree_placement,
+    triangle_placement,
+)
+
+
+class TestPaperExamples:
+    """The worked examples of Section 3 (Figure 5)."""
+
+    def test_1_2_3_4_is_a_1_e43_loop(self, figure5_graph):
+        # The paper: (1, 2, 3, 4) is a (1, e_43)-loop.
+        assert check_loop_conditions(
+            figure5_graph, observer=1, jk=(4, 3), l_side=(2, 3), r_side=(4,)
+        )
+
+    def test_1_2_3_4_is_a_1_e32_loop(self, figure5_graph):
+        # The paper: (1, 2, 3, 4) is a (1, e_32)-loop.
+        assert check_loop_conditions(
+            figure5_graph, observer=1, jk=(3, 2), l_side=(2,), r_side=(3, 4)
+        )
+
+    def test_1_4_3_2_is_not_a_1_e34_loop(self, figure5_graph):
+        # The paper: (1, 4, 3, 2) is not a (1, e_34)-loop (condition iii fails,
+        # because X_21 - X_4 is empty).
+        assert not check_loop_conditions(
+            figure5_graph, observer=1, jk=(3, 4), l_side=(4,), r_side=(3, 2)
+        )
+
+    def test_1_4_3_2_is_not_a_1_e23_loop(self, figure5_graph):
+        assert not check_loop_conditions(
+            figure5_graph, observer=1, jk=(2, 3), l_side=(4, 3), r_side=(2,)
+        )
+
+    def test_has_loop_matches_paper_for_replica1(self, figure5_graph):
+        assert has_loop(figure5_graph, 1, (4, 3))
+        assert has_loop(figure5_graph, 1, (3, 2))
+        assert not has_loop(figure5_graph, 1, (3, 4))
+        assert not has_loop(figure5_graph, 1, (2, 3))
+
+    def test_loop_edges_for_replica1(self, figure5_graph):
+        edges = loop_edges(figure5_graph, 1)
+        assert (4, 3) in edges
+        assert (3, 2) in edges
+        assert (3, 4) not in edges
+        assert (2, 3) not in edges
+
+
+class TestLoopObject:
+    def test_loop_properties(self, figure5_graph):
+        loop = find_loop(figure5_graph, 1, (4, 3))
+        assert loop is not None
+        assert loop.observer == 1
+        assert loop.j == 4 and loop.k == 3
+        assert loop.vertices[0] == 1
+        assert loop.length == len(loop.vertices)
+        assert "e_43" in str(loop)
+
+    def test_find_loop_returns_none_when_absent(self, figure5_graph):
+        assert find_loop(figure5_graph, 1, (3, 4)) is None
+
+    def test_loops_by_edge_groups_consistently(self, figure5_graph):
+        grouped = loops_by_edge(figure5_graph, 1)
+        for e, loops in grouped.items():
+            assert loops
+            for loop in loops:
+                assert loop.edge == e
+
+
+class TestEdgeCases:
+    def test_no_loops_in_trees(self, tree7_graph):
+        for rid in tree7_graph.replica_ids:
+            assert loop_edges(tree7_graph, rid) == frozenset()
+
+    def test_triangle_every_remote_edge_has_a_loop(self, triangle_graph):
+        # In the triangle each replica witnesses both orientations of the
+        # opposite edge.
+        assert loop_edges(triangle_graph, 1) == frozenset({(2, 3), (3, 2)})
+        assert loop_edges(triangle_graph, 2) == frozenset({(1, 3), (3, 1)})
+        assert loop_edges(triangle_graph, 3) == frozenset({(1, 2), (2, 1)})
+
+    def test_ring_every_remote_edge_has_a_loop(self, ring6_graph):
+        edges = loop_edges(ring6_graph, 1)
+        remote = {e for e in ring6_graph.edges if 1 not in e}
+        assert edges == remote
+
+    def test_has_loop_rejects_incident_edges(self, triangle_graph):
+        assert not has_loop(triangle_graph, 1, (1, 2))
+        assert not has_loop(triangle_graph, 1, (2, 1))
+
+    def test_has_loop_rejects_non_edges(self, figure5_graph):
+        assert not has_loop(figure5_graph, 2, (1, 3))
+
+    def test_max_loop_length_filters_long_loops(self):
+        graph = ShareGraph.from_placement(ring_placement(6))
+        # The only loops in a 6-ring have 6 vertices.
+        assert loop_edges(graph, 1, max_loop_length=5) == frozenset()
+        assert loop_edges(graph, 1, max_loop_length=6) != frozenset()
+
+    def test_iter_loops_with_target_edge_only_yields_that_edge(self, figure5_graph):
+        for loop in iter_loops(figure5_graph, 1, target_edge=(4, 3)):
+            assert loop.edge == (4, 3)
+
+    def test_check_loop_conditions_rejects_malformed_sides(self, figure5_graph):
+        assert not check_loop_conditions(figure5_graph, 1, (4, 3), (), (4,))
+        assert not check_loop_conditions(figure5_graph, 1, (4, 3), (2, 3), ())
+        # l_side must end with k and r_side must start with j.
+        assert not check_loop_conditions(figure5_graph, 1, (4, 3), (2,), (4,))

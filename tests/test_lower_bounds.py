@@ -1,0 +1,201 @@
+"""Unit tests for repro.lower_bounds — Definition 13, Theorem 15 and the closed forms."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.protocol import Update
+from repro.core.share_graph import ShareGraph
+from repro.lower_bounds import (
+    ConflictGraph,
+    algorithm_bits,
+    algorithm_counters,
+    canonical_causal_pasts,
+    clique_lower_bound_bits,
+    conflicts,
+    cycle_lower_bound_bits,
+    full_replication_space_size,
+    lower_bound_bits,
+    restrict_to_edge,
+    timestamp_space_lower_bound,
+    tree_lower_bound_bits,
+)
+from repro.lower_bounds.closed_form import tightness_table
+from repro.sim.topologies import (
+    clique_placement,
+    figure5_placement,
+    path_placement,
+    ring_placement,
+    star_placement,
+    tree_placement,
+    triangle_placement,
+)
+
+
+def u(issuer, seq, register):
+    return Update(issuer=issuer, seq=seq, register=register, value=seq)
+
+
+class TestRestriction:
+    def test_restrict_to_edge(self, triangle_graph):
+        past = {u(1, 1, "x"), u(1, 2, "z"), u(2, 1, "x")}
+        # Edge (1, 2) is labelled {x}: only replica 1's update on x qualifies.
+        assert restrict_to_edge(triangle_graph, past, (1, 2)) == {u(1, 1, "x")}
+        # Edge (1, 3) is labelled {z}.
+        assert restrict_to_edge(triangle_graph, past, (1, 3)) == {u(1, 2, "z")}
+
+    def test_restrict_to_non_edge_is_empty(self, figure5_graph):
+        past = {u(1, 1, "a")}
+        assert restrict_to_edge(figure5_graph, past, (1, 3)) == frozenset()
+
+
+class TestConflictRelation:
+    def make_pasts(self, graph, counts_a, counts_b):
+        """Build two nested canonical pasts with per-edge counts."""
+        def build(counts):
+            past = set()
+            for (j, k), c in counts.items():
+                register = sorted(graph.shared_registers(j, k))[0]
+                for seq in range(1, c + 1):
+                    past.add(u(j, seq, register))
+            return past
+
+        return build(counts_a), build(counts_b)
+
+    def test_conflict_on_incident_edge(self, triangle_graph):
+        base = {e: 1 for e in triangle_graph.edges}
+        more = dict(base)
+        more[(2, 1)] = 2  # an incoming edge of replica 1 differs
+        s1, s2 = self.make_pasts(triangle_graph, base, more)
+        assert conflicts(triangle_graph, 1, s1, s2)
+        assert conflicts(triangle_graph, 1, s2, s1)  # symmetric
+
+    def test_conflict_on_loop_edge(self, triangle_graph):
+        base = {e: 1 for e in triangle_graph.edges}
+        more = dict(base)
+        more[(2, 3)] = 2  # a remote edge witnessed by a (1, e_23)-loop
+        s1, s2 = self.make_pasts(triangle_graph, base, more)
+        assert conflicts(triangle_graph, 1, s1, s2)
+
+    def test_no_conflict_when_an_edge_is_empty(self, triangle_graph):
+        base = {e: 1 for e in triangle_graph.edges}
+        missing = dict(base)
+        missing[(3, 2)] = 0  # condition 1 requires every edge non-empty
+        more = dict(base)
+        more[(2, 1)] = 2
+        s1, s2 = self.make_pasts(triangle_graph, missing, more)
+        assert not conflicts(triangle_graph, 1, s1, s2)
+
+    def test_identical_pasts_do_not_conflict(self, triangle_graph):
+        base = {e: 1 for e in triangle_graph.edges}
+        s1, s2 = self.make_pasts(triangle_graph, base, base)
+        assert not conflicts(triangle_graph, 1, s1, s2)
+
+    def test_no_conflict_on_unrelated_remote_edge_of_a_path(self):
+        # On a path (no loops), replica 1 need not distinguish pasts that
+        # differ only in updates on the far-away edge (3, 4).
+        graph = ShareGraph.from_placement(path_placement(4))
+        base = {e: 1 for e in graph.edges}
+        more = dict(base)
+        more[(3, 4)] = 2
+        def build(counts):
+            past = set()
+            for (j, k), c in counts.items():
+                register = sorted(graph.shared_registers(j, k))[0]
+                for seq in range(1, c + 1):
+                    past.add(u(j, seq, register))
+            return past
+        assert not conflicts(graph, 1, build(base), build(more))
+
+
+class TestCanonicalFamilyAndConflictGraph:
+    def test_family_size(self, triangle_graph):
+        pasts = canonical_causal_pasts(triangle_graph, 1, max_updates=2)
+        assert len(pasts) == 2 ** len(triangle_graph.edges)
+
+    def test_family_requires_pairwise_registers(self):
+        graph = ShareGraph.from_placement(clique_placement(3))
+        with pytest.raises(ConfigurationError):
+            canonical_causal_pasts(graph, 1, max_updates=2)
+
+    def test_conflict_graph_ring3_is_complete(self, triangle_graph):
+        pasts = canonical_causal_pasts(triangle_graph, 1, max_updates=2)
+        conflict_graph = ConflictGraph.build(triangle_graph, 1, pasts)
+        assert conflict_graph.num_pasts == 64
+        assert conflict_graph.is_complete()
+        assert conflict_graph.clique_lower_bound() == 64
+        assert conflict_graph.chromatic_upper_bound() == 64
+
+    def test_timestamp_space_lower_bound_matches_closed_form(self, triangle_graph):
+        size, bits = timestamp_space_lower_bound(triangle_graph, 1, max_updates=2)
+        assert size == 2 ** 6
+        assert bits == pytest.approx(cycle_lower_bound_bits(3, 2))
+
+    def test_path_bound_counts_only_incident_edges(self):
+        graph = ShareGraph.from_placement(path_placement(3))
+        # Replica 1 has two incident edges; restricting the family to them
+        # yields the tree bound 2 * N_1 * log m = 2 * 1 * 1 = 2 bits for m=2.
+        size, bits = timestamp_space_lower_bound(
+            graph, 1, max_updates=2, edges=graph.incident_edges(1)
+        )
+        assert size == 4
+        assert bits == pytest.approx(2 * graph.degree(1) * math.log2(2))
+
+
+class TestClosedForms:
+    def test_tree_bound(self):
+        graph = ShareGraph.from_placement(tree_placement(7))
+        assert tree_lower_bound_bits(graph, 1, 16) == pytest.approx(2 * 2 * 4.0)
+        assert tree_lower_bound_bits(graph, 4, 16) == pytest.approx(2 * 1 * 4.0)
+
+    def test_tree_bound_rejects_non_tree(self):
+        graph = ShareGraph.from_placement(ring_placement(4))
+        with pytest.raises(ConfigurationError):
+            tree_lower_bound_bits(graph, 1, 4)
+
+    def test_cycle_bound(self):
+        assert cycle_lower_bound_bits(6, 16) == pytest.approx(48.0)
+        with pytest.raises(ConfigurationError):
+            cycle_lower_bound_bits(2, 16)
+
+    def test_full_replication_space(self):
+        assert full_replication_space_size(3, 4) == 64
+        assert clique_lower_bound_bits(3, 4) == pytest.approx(6.0)
+
+    def test_m_must_be_at_least_two(self):
+        with pytest.raises(ConfigurationError):
+            cycle_lower_bound_bits(4, 1)
+
+    def test_algorithm_matches_tree_bound(self):
+        graph = ShareGraph.from_placement(tree_placement(7))
+        for rid in graph.replica_ids:
+            assert algorithm_bits(graph, rid, 16) == pytest.approx(
+                tree_lower_bound_bits(graph, rid, 16)
+            )
+
+    def test_algorithm_matches_cycle_bound(self):
+        for n in (4, 5, 6):
+            graph = ShareGraph.from_placement(ring_placement(n))
+            assert algorithm_bits(graph, 1, 8) == pytest.approx(
+                cycle_lower_bound_bits(n, 8)
+            )
+            assert algorithm_counters(graph, 1) == 2 * n
+
+    def test_lower_bound_bits_dispatch(self):
+        tree = ShareGraph.from_placement(star_placement(4))
+        ring = ShareGraph.from_placement(ring_placement(5))
+        clique = ShareGraph.from_placement(clique_placement(4))
+        other = ShareGraph.from_placement(figure5_placement())
+        assert lower_bound_bits(tree, 1, 4) == pytest.approx(2 * 4 * 2.0)
+        assert lower_bound_bits(ring, 1, 4) == pytest.approx(2 * 5 * 2.0)
+        assert lower_bound_bits(clique, 1, 4) == pytest.approx(4 * 2.0)
+        assert lower_bound_bits(other, 1, 4) is None
+
+    def test_tightness_table(self):
+        graph = ShareGraph.from_placement(tree_placement(5))
+        table = tightness_table(graph, 8)
+        for rid, row in table.items():
+            assert row["lower_bound_bits"] == pytest.approx(row["algorithm_bits"])

@@ -1,0 +1,125 @@
+"""Integration tests for the two halves of Theorem 8.
+
+*Necessity*: a protocol oblivious to a timestamp-graph edge can be driven
+into a safety violation by an adversarial delivery schedule (the executable
+counterpart of the Theorem 8 proof cases).
+
+*Sufficiency*: the paper's algorithm is causally consistent on every topology
+in the suite, under random and adversarial delivery schedules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    exp_necessity,
+    oblivious_factory,
+    _run_figure5_schedule,
+    _run_triangle_schedule,
+)
+from repro.core.share_graph import ShareGraph
+from repro.sim.cluster import Cluster, edge_indexed_factory
+from repro.sim.delays import UniformDelay
+from repro.sim.topologies import ring_placement
+from repro.sim.workloads import causal_chain_workload, run_workload, uniform_workload
+from repro.baselines import incident_only_factory
+
+from conftest import all_small_placements
+
+
+class TestNecessity:
+    def test_triangle_schedule_paper_algorithm_is_safe(self):
+        report = _run_triangle_schedule(edge_indexed_factory)
+        assert report.is_causally_consistent
+
+    def test_triangle_schedule_incident_only_violates_safety(self):
+        report = _run_triangle_schedule(incident_only_factory)
+        assert not report.is_safe
+        violation = report.safety_violations[0]
+        # Replica 3 applied the y-update before the z-update it depends on.
+        assert violation.replica_id == 3
+        assert violation.applied.register == "y"
+        assert violation.missing.register == "z"
+
+    def test_figure5_schedule_paper_algorithm_is_safe(self):
+        report = _run_figure5_schedule(edge_indexed_factory)
+        assert report.is_causally_consistent
+
+    def test_figure5_schedule_oblivious_to_e43_violates_safety(self):
+        factory = oblivious_factory({1: frozenset({(4, 3)})})
+        report = _run_figure5_schedule(factory)
+        assert not report.is_safe
+        violation = report.safety_violations[0]
+        assert violation.replica_id == 3
+        assert violation.missing.register == "z"
+
+    def test_exp_necessity_summary(self):
+        results = exp_necessity()
+        assert len(results) == 2
+        for result in results:
+            assert result.paper_ok
+            assert result.oblivious_violated
+
+    def test_incident_only_violates_on_larger_ring_chain(self):
+        """Driving a dependency chain around a ring defeats incident-only tracking."""
+        n = 5
+        graph = ShareGraph.from_placement(ring_placement(n))
+        from repro.sim.delays import FixedDelay
+
+        cluster = Cluster(
+            graph, replica_factory=incident_only_factory,
+            delay_model=FixedDelay(1.0), seed=0,
+        )
+        cluster.network.hold(1, n)
+        cluster.write(1, f"ring_{n}", "direct")
+        for hop in range(1, n):
+            cluster.write(hop, f"ring_{hop}", f"chain{hop}")
+            cluster.run_until_quiescent()
+        cluster.network.release_all()
+        cluster.run_until_quiescent()
+        assert not cluster.check_consistency().is_safe
+
+    def test_paper_algorithm_safe_on_same_ring_chain(self):
+        n = 5
+        graph = ShareGraph.from_placement(ring_placement(n))
+        from repro.sim.delays import FixedDelay
+
+        cluster = Cluster(
+            graph, replica_factory=edge_indexed_factory,
+            delay_model=FixedDelay(1.0), seed=0,
+        )
+        cluster.network.hold(1, n)
+        cluster.write(1, f"ring_{n}", "direct")
+        for hop in range(1, n):
+            cluster.write(hop, f"ring_{hop}", f"chain{hop}")
+            cluster.run_until_quiescent()
+        cluster.network.release_all()
+        cluster.run_until_quiescent()
+        assert cluster.check_consistency().is_causally_consistent
+
+
+@pytest.mark.parametrize("topology_name", sorted(all_small_placements()))
+class TestSufficiency:
+    def test_uniform_workload_consistent(self, topology_name):
+        graph = ShareGraph.from_placement(all_small_placements()[topology_name])
+        cluster = Cluster(graph, delay_model=UniformDelay(1, 25), seed=11)
+        result = run_workload(cluster, uniform_workload(graph, 120, seed=11))
+        assert result.consistent
+        assert result.liveness_violations == 0
+
+    def test_causal_chain_workload_consistent(self, topology_name):
+        graph = ShareGraph.from_placement(all_small_placements()[topology_name])
+        cluster = Cluster(graph, delay_model=UniformDelay(1, 25), seed=13)
+        workload = causal_chain_workload(graph, num_chains=8, chain_length=4, seed=13)
+        result = run_workload(cluster, workload, interleave_steps=2)
+        assert result.consistent
+
+    def test_buffered_propagation_consistent(self, topology_name):
+        """All operations issued before any message is delivered (worst buffering)."""
+        graph = ShareGraph.from_placement(all_small_placements()[topology_name])
+        cluster = Cluster(graph, delay_model=UniformDelay(1, 50), seed=17)
+        result = run_workload(
+            cluster, uniform_workload(graph, 60, seed=17), interleave_steps=0
+        )
+        assert result.consistent

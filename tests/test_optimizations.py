@@ -1,0 +1,277 @@
+"""Unit and integration tests for repro.optimizations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.consistency import ConsistencyChecker
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp_graph import TimestampGraph, build_all_timestamp_graphs
+from repro.core.timestamps import EdgeTimestamp
+from repro.optimizations import (
+    analyze_ring_breaking,
+    analyze_star_restriction,
+    bounded_factory,
+    bounded_metadata_savings,
+    bounded_timestamp_graphs,
+    break_ring_placement,
+    compress_timestamp,
+    compressed_counters,
+    compression_report,
+    dummy_emulation_report,
+    dummy_register_factory,
+    full_replication_dummies,
+    independent_edge_count,
+    loop_cover_dummies,
+)
+from repro.optimizations.dummy_registers import DummyAssignment, DummyRegisterReplica
+from repro.core.errors import ConfigurationError
+from repro.core.registers import RegisterPlacement
+from repro.sim.cluster import Cluster
+from repro.sim.delays import FixedDelay, UniformDelay
+from repro.sim.topologies import (
+    clique_placement,
+    figure5_placement,
+    ring_placement,
+    tree_placement,
+    triangle_placement,
+)
+from repro.sim.workloads import run_workload, uniform_workload
+
+
+class TestCompression:
+    def test_paper_example_redundant_edge(self):
+        """The Appendix-D example: X_j4 = X_j1 ∪ X_j2 ∪ X_j3 makes e_j4 redundant."""
+        placement = RegisterPlacement.from_dict(
+            {
+                0: {"x", "y", "z"},          # the issuer j
+                1: {"x"},
+                2: {"y"},
+                3: {"z"},
+                4: {"x", "y", "z"},
+            }
+        )
+        graph = ShareGraph.from_placement(placement)
+        tgraph = TimestampGraph.from_edges(
+            graph, 4, [(0, 1), (0, 2), (0, 3), (0, 4)]
+        )
+        assert independent_edge_count(graph, tgraph, 0) == 3
+
+    def test_full_replication_compresses_to_R(self):
+        graph = ShareGraph.from_placement(clique_placement(5))
+        report = compression_report(graph)
+        assert all(v == 5 for v in report.compressed.values())
+        assert all(v == 20 for v in report.uncompressed.values())
+        assert report.compression_ratio == pytest.approx(0.25)
+
+    def test_pairwise_topologies_do_not_compress(self):
+        graph = ShareGraph.from_placement(ring_placement(6))
+        report = compression_report(graph)
+        assert report.total_compressed == report.total_uncompressed
+        assert report.savings(1) == 0
+
+    def test_compressed_never_exceeds_uncompressed(self, any_small_graph):
+        report = compression_report(any_small_graph)
+        for rid in report.uncompressed:
+            assert report.compressed[rid] <= report.uncompressed[rid]
+            assert report.compressed[rid] >= 0
+
+    def test_report_rows_sorted(self):
+        graph = ShareGraph.from_placement(triangle_placement())
+        rows = compression_report(graph).rows()
+        assert [r[0] for r in rows] == [1, 2, 3]
+
+    def test_compress_timestamp_partition(self):
+        graph = ShareGraph.from_placement(clique_placement(4))
+        tgraph = TimestampGraph.build(graph, 1)
+        timestamp = EdgeTimestamp.zero(tgraph.edges).incremented([(2, 1), (2, 3)])
+        kept, derived = compress_timestamp(graph, tgraph, timestamp)
+        assert set(kept) | set(derived) == set(tgraph.edges)
+        assert not (set(kept) & set(derived))
+        # Every derived edge points back at kept edges of the same issuer.
+        for e, basis in derived.items():
+            assert all(b[0] == e[0] for b in basis)
+
+
+class TestDummyRegisters:
+    def test_full_replication_dummies_cover_everything(self):
+        placement = figure5_placement()
+        assignment = full_replication_dummies(placement)
+        augmented = assignment.augmented_placement()
+        assert augmented.is_fully_replicated()
+        assert assignment.total_dummies() == sum(
+            len(placement.registers - placement.registers_at(rid))
+            for rid in placement.replica_ids
+        )
+
+    def test_dummies_never_include_real_registers(self):
+        placement = figure5_placement()
+        assignment = loop_cover_dummies(placement)
+        for rid, regs in assignment.dummies.items():
+            assert not (regs & placement.registers_at(rid))
+
+    def test_is_dummy(self):
+        placement = triangle_placement()
+        assignment = DummyAssignment(original=placement, dummies={1: frozenset({"y"})})
+        assert assignment.is_dummy(1, "y")
+        assert not assignment.is_dummy(1, "x")
+        assert not assignment.is_dummy(2, "y")
+
+    def test_loop_cover_reduces_to_neighbour_tracking(self):
+        # After the loop-cover transformation every timestamp graph of the
+        # augmented share graph compresses (and the point of the scheme is
+        # that remote edges become incident edges).
+        placement = ring_placement(5)
+        assignment = loop_cover_dummies(placement)
+        report = dummy_emulation_report(assignment)
+        assert report.mean_compressed_after <= report.mean_counters_before
+
+    def test_emulation_report_extra_messages(self):
+        placement = triangle_placement()
+        assignment = full_replication_dummies(placement)
+        report = dummy_emulation_report(assignment)
+        # Each of the three registers gains exactly one dummy holder.
+        assert report.total_extra_messages_per_round == 3
+        assert report.total_dummies == 3
+
+    def test_dummy_replica_sends_metadata_only_to_dummy_holders(self):
+        placement = triangle_placement()
+        assignment = full_replication_dummies(placement)
+        augmented = ShareGraph.from_placement(assignment.augmented_placement())
+        replica = DummyRegisterReplica(assignment, augmented, 1)
+        messages = replica.write("x", "v")
+        by_dest = {m.destination: m for m in messages}
+        # Replica 2 really stores x; replica 3 holds it only as a dummy.
+        assert by_dest[2].payload is True
+        assert by_dest[3].payload is False
+
+    def test_dummy_cluster_remains_consistent_wrt_original_graph(self):
+        placement = ring_placement(5)
+        original_graph = ShareGraph.from_placement(placement)
+        assignment = loop_cover_dummies(placement)
+        augmented = ShareGraph.from_placement(assignment.augmented_placement())
+        cluster = Cluster(
+            augmented,
+            replica_factory=dummy_register_factory(assignment),
+            delay_model=UniformDelay(1, 10),
+            seed=8,
+        )
+        workload = uniform_workload(original_graph, 80, seed=8)
+        for op in workload.operations:
+            if op.kind == "write":
+                cluster.write(op.replica_id, op.register, op.value)
+            else:
+                cluster.read(op.replica_id, op.register)
+            cluster.step()
+        cluster.run_until_quiescent()
+        report = ConsistencyChecker(original_graph).check(cluster.events_by_replica())
+        assert report.is_causally_consistent
+
+    def test_dummy_cluster_sends_more_messages(self):
+        placement = ring_placement(5)
+        original_graph = ShareGraph.from_placement(placement)
+        workload = uniform_workload(original_graph, 60, seed=9)
+
+        plain = Cluster(original_graph, delay_model=FixedDelay(1.0), seed=9)
+        plain_result = run_workload(plain, workload)
+
+        assignment = full_replication_dummies(placement)
+        augmented = ShareGraph.from_placement(assignment.augmented_placement())
+        dummy_cluster = Cluster(
+            augmented,
+            replica_factory=dummy_register_factory(assignment),
+            delay_model=FixedDelay(1.0),
+            seed=9,
+        )
+        for op in workload.operations:
+            if op.kind == "write":
+                dummy_cluster.write(op.replica_id, op.register, op.value)
+            else:
+                dummy_cluster.read(op.replica_id, op.register)
+        dummy_cluster.run_until_quiescent()
+        assert (
+            dummy_cluster.network.stats.messages_sent > plain_result.messages_sent
+        )
+        assert dummy_cluster.network.stats.metadata_only_messages_sent > 0
+
+
+class TestVirtualRegisters:
+    def test_break_ring_placement_shapes(self):
+        ring, path = break_ring_placement(6)
+        assert ShareGraph.from_placement(ring).is_cycle()
+        assert ShareGraph.from_placement(path).is_tree()
+
+    def test_break_ring_rejects_small(self):
+        with pytest.raises(ConfigurationError):
+            break_ring_placement(2)
+
+    @pytest.mark.parametrize("n", [4, 6, 10])
+    def test_ring_breaking_saves_counters(self, n):
+        analysis = analyze_ring_breaking(n)
+        assert analysis.total_counters_before == n * 2 * n
+        assert analysis.total_counters_after < analysis.total_counters_before
+        assert analysis.counters_saved > 0
+        assert analysis.max_hops_after == n - 1
+        assert analysis.hop_inflation == pytest.approx(n - 1)
+        assert analysis.extra_relay_messages_per_update == n - 2
+        assert len(analysis.rows()) == n
+
+    def test_star_restriction(self):
+        analysis = analyze_star_restriction(8)
+        assert analysis.total_counters_after < analysis.total_counters_before
+        assert analysis.max_hops_after == 2
+        with pytest.raises(ConfigurationError):
+            analyze_star_restriction(2)
+
+
+class TestBoundedLoops:
+    def test_bounded_graphs_drop_long_loop_edges(self):
+        graph = ShareGraph.from_placement(ring_placement(6))
+        bounded = bounded_timestamp_graphs(graph, max_loop_length=3)
+        exact = build_all_timestamp_graphs(graph)
+        for rid in graph.replica_ids:
+            assert bounded[rid].edges == graph.incident_edges(rid)
+            assert bounded[rid].edges < exact[rid].edges
+
+    def test_bounded_equals_exact_when_bound_is_loose(self):
+        graph = ShareGraph.from_placement(triangle_placement())
+        bounded = bounded_timestamp_graphs(graph, max_loop_length=3)
+        exact = build_all_timestamp_graphs(graph)
+        for rid in graph.replica_ids:
+            assert bounded[rid].edges == exact[rid].edges
+
+    def test_bounded_savings_accounting(self):
+        graph = ShareGraph.from_placement(ring_placement(6))
+        savings = bounded_metadata_savings(graph, 3)
+        assert savings.total_exact == 6 * 12
+        assert savings.total_bounded == 6 * 4
+        assert savings.counters_saved == savings.total_exact - savings.total_bounded
+
+    def test_bounded_protocol_consistent_under_loose_synchrony(self):
+        graph = ShareGraph.from_placement(ring_placement(5))
+        cluster = Cluster(
+            graph,
+            replica_factory=bounded_factory(3),
+            delay_model=FixedDelay(1.0),
+            seed=2,
+        )
+        result = run_workload(cluster, uniform_workload(graph, 100, seed=2))
+        assert result.consistent
+
+    def test_bounded_protocol_violated_by_adversarial_delays(self):
+        graph = ShareGraph.from_placement(ring_placement(5))
+        cluster = Cluster(
+            graph,
+            replica_factory=bounded_factory(3),
+            delay_model=FixedDelay(1.0),
+            seed=3,
+        )
+        # The Theorem-8 chain around the ring with the direct edge held back.
+        cluster.network.hold(1, 5)
+        cluster.write(1, "ring_5", "direct")
+        for hop in range(1, 5):
+            cluster.write(hop, f"ring_{hop}", f"c{hop}")
+            cluster.run_until_quiescent()
+        cluster.network.release_all()
+        cluster.run_until_quiescent()
+        assert not cluster.check_consistency().is_safe

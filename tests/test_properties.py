@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.registers import RegisterPlacement
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp_graph import timestamp_edges
+from repro.core.timestamps import EdgeTimestamp, VectorTimestamp
+from repro.sim.cluster import Cluster
+from repro.sim.delays import UniformDelay
+from repro.sim.workloads import run_workload, uniform_workload
+from repro.optimizations.compression import compression_report
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+edges_strategy = st.dictionaries(
+    keys=st.tuples(st.integers(1, 5), st.integers(1, 5)).filter(lambda e: e[0] != e[1]),
+    values=st.integers(0, 50),
+    min_size=1,
+    max_size=12,
+)
+
+
+@st.composite
+def placements(draw, max_replicas: int = 6, max_registers: int = 8):
+    """Random register placements in which every register has >= 1 owner."""
+    num_replicas = draw(st.integers(2, max_replicas))
+    num_registers = draw(st.integers(1, max_registers))
+    stores = {rid: set() for rid in range(1, num_replicas + 1)}
+    for reg_index in range(num_registers):
+        owners = draw(
+            st.sets(st.integers(1, num_replicas), min_size=1, max_size=num_replicas)
+        )
+        for owner in owners:
+            stores[owner].add(f"r{reg_index}")
+    # Guarantee every replica stores something (empty replicas are legal but
+    # uninteresting and slow the share-graph strategies down).
+    for rid in stores:
+        stores[rid].add(f"local_{rid}")
+    return RegisterPlacement.from_dict(stores)
+
+
+# ----------------------------------------------------------------------
+# Edge timestamps
+# ----------------------------------------------------------------------
+
+class TestEdgeTimestampProperties:
+    @given(edges_strategy, edges_strategy)
+    def test_merge_is_commutative_on_common_index(self, a, b):
+        ta, tb = EdgeTimestamp(a), EdgeTimestamp(b)
+        common = ta.edges & tb.edges
+        left = ta.merged_with(tb)
+        right = tb.merged_with(ta)
+        for e in common:
+            assert left[e] == right[e]
+
+    @given(edges_strategy)
+    def test_merge_is_idempotent(self, a):
+        ta = EdgeTimestamp(a)
+        assert ta.merged_with(ta) == ta
+
+    @given(edges_strategy, edges_strategy)
+    def test_merge_dominates_both_inputs_on_common_index(self, a, b):
+        ta, tb = EdgeTimestamp(a), EdgeTimestamp(b)
+        merged = ta.merged_with(tb)
+        assert merged.dominates(ta)
+        for e in ta.edges & tb.edges:
+            assert merged[e] >= tb[e]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 4), st.integers(1, 4)).filter(lambda e: e[0] != e[1]),
+            min_size=1,
+            max_size=8,
+            unique=True,
+        ),
+        st.data(),
+    )
+    def test_merge_is_associative_on_shared_index(self, index, data):
+        # Associativity of element-wise max holds when the three timestamps
+        # share one index set (different index sets intentionally drop
+        # counters, which is order-dependent by design).
+        def draw_ts():
+            return EdgeTimestamp(
+                {e: data.draw(st.integers(0, 50)) for e in index}
+            )
+
+        ta, tb, tc = draw_ts(), draw_ts(), draw_ts()
+        left = ta.merged_with(tb).merged_with(tc)
+        right = ta.merged_with(tb.merged_with(tc))
+        assert left == right
+
+    @given(edges_strategy, st.lists(st.tuples(st.integers(1, 5), st.integers(1, 5)), max_size=5))
+    def test_increment_monotone(self, a, bumps):
+        ta = EdgeTimestamp(a)
+        bumped = ta.incremented(bumps)
+        assert bumped.dominates(ta)
+        assert bumped.total() >= ta.total()
+
+    @given(edges_strategy)
+    def test_dominates_is_reflexive(self, a):
+        ta = EdgeTimestamp(a)
+        assert ta.dominates(ta)
+
+
+class TestVectorTimestampProperties:
+    @given(st.dictionaries(st.integers(1, 6), st.integers(0, 100), min_size=1))
+    def test_merge_idempotent_and_dominating(self, counters):
+        v = VectorTimestamp(counters)
+        assert v.merged_with(v) == v
+        assert v.dominates(v)
+
+    @given(
+        st.dictionaries(st.integers(1, 6), st.integers(0, 100), min_size=1),
+        st.dictionaries(st.integers(1, 6), st.integers(0, 100), min_size=1),
+    )
+    def test_merge_commutative(self, a, b):
+        va, vb = VectorTimestamp(a), VectorTimestamp(b)
+        assert va.merged_with(vb) == vb.merged_with(va)
+
+
+# ----------------------------------------------------------------------
+# Share graphs and timestamp graphs
+# ----------------------------------------------------------------------
+
+class TestGraphProperties:
+    @given(placements())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_share_graph_edges_symmetric(self, placement):
+        graph = ShareGraph.from_placement(placement)
+        for (a, b) in graph.edges:
+            assert (b, a) in graph.edges
+            assert graph.shared_registers(a, b) == graph.shared_registers(b, a)
+
+    @given(placements(max_replicas=5, max_registers=6))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_timestamp_graph_between_incident_and_all_edges(self, placement):
+        graph = ShareGraph.from_placement(placement)
+        for rid in graph.replica_ids:
+            edges = timestamp_edges(graph, rid)
+            assert graph.incident_edges(rid) <= edges <= graph.edges
+
+    @given(placements(max_replicas=5, max_registers=6))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_compression_never_increases_counters(self, placement):
+        graph = ShareGraph.from_placement(placement)
+        report = compression_report(graph)
+        for rid in graph.replica_ids:
+            assert 0 <= report.compressed[rid] <= report.uncompressed[rid]
+
+
+# ----------------------------------------------------------------------
+# End-to-end: random topologies + random workloads stay causally consistent
+# ----------------------------------------------------------------------
+
+class TestProtocolProperties:
+    @given(placements(max_replicas=5, max_registers=6), st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_random_executions_are_causally_consistent(self, placement, seed):
+        graph = ShareGraph.from_placement(placement)
+        cluster = Cluster(graph, delay_model=UniformDelay(1, 20), seed=seed)
+        workload = uniform_workload(graph, 40, seed=seed)
+        result = run_workload(cluster, workload, interleave_steps=1)
+        assert result.consistent
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_simulation_is_deterministic(self, seed):
+        from repro.sim.topologies import figure5_placement
+
+        graph = ShareGraph.from_placement(figure5_placement())
+
+        def run():
+            cluster = Cluster(graph, delay_model=UniformDelay(1, 20), seed=seed)
+            result = run_workload(cluster, uniform_workload(graph, 30, seed=seed))
+            return (
+                result.messages_sent,
+                result.metadata_counters_sent,
+                [tuple(r.applied[i].uid for i in range(len(r.applied)))
+                 for r in cluster.replicas.values()],
+            )
+
+        assert run() == run()

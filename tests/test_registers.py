@@ -1,0 +1,119 @@
+"""Unit tests for repro.core.registers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    ConfigurationError,
+    UnknownRegisterError,
+    UnknownReplicaError,
+)
+from repro.core.registers import RegisterPlacement
+
+
+def make_placement() -> RegisterPlacement:
+    return RegisterPlacement.from_dict({1: {"x"}, 2: {"x", "y"}, 3: {"y", "z"}, 4: {"z"}})
+
+
+class TestConstruction:
+    def test_from_dict_normalizes_to_frozensets(self):
+        placement = RegisterPlacement.from_dict({1: ["x", "y"], 2: ("y",)})
+        assert placement.registers_at(1) == frozenset({"x", "y"})
+        assert placement.registers_at(2) == frozenset({"y"})
+
+    def test_empty_placement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RegisterPlacement.from_dict({})
+
+    def test_non_integer_replica_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RegisterPlacement.from_dict({"a": {"x"}})
+
+    def test_full_replication_constructor(self):
+        placement = RegisterPlacement.full_replication([1, 2, 3], {"x", "y"})
+        assert placement.is_fully_replicated()
+        for rid in (1, 2, 3):
+            assert placement.registers_at(rid) == frozenset({"x", "y"})
+
+    def test_register_names_coerced_to_strings(self):
+        placement = RegisterPlacement.from_dict({1: {1, 2}})
+        assert placement.registers_at(1) == frozenset({"1", "2"})
+
+
+class TestQueries:
+    def test_replica_ids_sorted(self):
+        placement = RegisterPlacement.from_dict({3: {"a"}, 1: {"a"}, 2: {"a"}})
+        assert placement.replica_ids == (1, 2, 3)
+
+    def test_num_replicas(self):
+        assert make_placement().num_replicas == 4
+
+    def test_registers_union(self):
+        assert make_placement().registers == frozenset({"x", "y", "z"})
+
+    def test_registers_at_unknown_replica(self):
+        with pytest.raises(UnknownReplicaError):
+            make_placement().registers_at(99)
+
+    def test_shared_registers(self):
+        placement = make_placement()
+        assert placement.shared_registers(2, 3) == frozenset({"y"})
+        assert placement.shared_registers(1, 4) == frozenset()
+
+    def test_stores_register(self):
+        placement = make_placement()
+        assert placement.stores_register(2, "x")
+        assert not placement.stores_register(1, "z")
+
+    def test_replicas_storing(self):
+        assert make_placement().replicas_storing("y") == (2, 3)
+
+    def test_replicas_storing_unknown_register(self):
+        with pytest.raises(UnknownRegisterError):
+            make_placement().replicas_storing("nope")
+
+    def test_is_fully_replicated_false_for_partial(self):
+        assert not make_placement().is_fully_replicated()
+
+    def test_replication_factor(self):
+        assert make_placement().replication_factor("x") == 2
+
+    def test_storage_cost(self):
+        placement = make_placement()
+        assert placement.storage_cost(2) == 2
+        assert placement.total_storage_cost() == 6
+
+    def test_contains_and_len_and_iter(self):
+        placement = make_placement()
+        assert 1 in placement
+        assert 99 not in placement
+        assert len(placement) == 4
+        assert list(placement) == [1, 2, 3, 4]
+
+    def test_describe_mentions_every_replica(self):
+        text = make_placement().describe()
+        for rid in (1, 2, 3, 4):
+            assert f"replica {rid}" in text
+
+
+class TestDerivation:
+    def test_with_additional_registers(self):
+        placement = make_placement()
+        augmented = placement.with_additional_registers({1: {"z"}})
+        assert augmented.stores_register(1, "z")
+        # The original placement is untouched (immutability).
+        assert not placement.stores_register(1, "z")
+
+    def test_with_additional_registers_unknown_replica(self):
+        with pytest.raises(UnknownReplicaError):
+            make_placement().with_additional_registers({9: {"q"}})
+
+    def test_restricted_to(self):
+        restricted = make_placement().restricted_to([2, 3])
+        assert restricted.replica_ids == (2, 3)
+        assert restricted.registers == frozenset({"x", "y", "z"})
+
+    def test_restricted_to_unknown_replica(self):
+        with pytest.raises(UnknownReplicaError):
+            make_placement().restricted_to([1, 9])

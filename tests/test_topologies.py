@@ -1,0 +1,183 @@
+"""Unit tests for repro.sim.topologies — placement generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamp_graph import timestamp_edges
+from repro.sim.topologies import (
+    COUNTEREXAMPLE_IDS,
+    clique_placement,
+    counterexample1_placement,
+    counterexample2_placement,
+    figure3_placement,
+    figure5_placement,
+    geo_replication_placement,
+    grid_placement,
+    pairwise_clique_placement,
+    path_placement,
+    random_partial_placement,
+    ring_placement,
+    star_placement,
+    tree_placement,
+    triangle_placement,
+)
+
+
+class TestPaperExamples:
+    def test_figure3_matches_paper(self):
+        placement = figure3_placement()
+        assert placement.registers_at(1) == {"x"}
+        assert placement.registers_at(2) == {"x", "y"}
+        assert placement.registers_at(3) == {"y", "z"}
+        assert placement.registers_at(4) == {"z"}
+
+    def test_figure5_matches_paper(self):
+        placement = figure5_placement()
+        assert placement.registers_at(1) == {"a", "y", "w"}
+        assert placement.registers_at(4) == {"d", "y", "z", "w"}
+        graph = ShareGraph.from_placement(placement)
+        assert graph.shared_registers(3, 4) == {"z"}
+        assert not graph.has_edge(1, 3)
+
+    def test_counterexample1_structure(self):
+        graph = ShareGraph.from_placement(counterexample1_placement())
+        ids = COUNTEREXAMPLE_IDS
+        # j and k share x and nothing else connects them to the i-side directly.
+        assert graph.shared_registers(ids["j"], ids["k"]) == {"x"}
+        assert graph.shared_registers(ids["b1"], ids["b2"]) == {"y"}
+        assert graph.shared_registers(ids["a1"], ids["a2"]) == {"z"}
+        # The y / z chords that defeat the minimal-hoop criterion exist.
+        assert graph.has_edge(ids["b1"], ids["a1"])
+        assert graph.has_edge(ids["b2"], ids["a2"])
+        assert graph.has_edge(ids["b2"], ids["a1"])
+
+    def test_counterexample2_structure(self):
+        graph = ShareGraph.from_placement(counterexample2_placement())
+        ids = COUNTEREXAMPLE_IDS
+        assert graph.shared_registers(ids["j"], ids["k"]) == {"x"}
+        assert graph.shared_registers(ids["b1"], ids["b2"]) == {"y"}
+        # Only the y register is shared three ways here (no z chord).
+        assert not graph.has_edge(ids["b2"], ids["a2"])
+
+    def test_counterexample_graphs_connected(self):
+        for placement in (counterexample1_placement(), counterexample2_placement()):
+            assert ShareGraph.from_placement(placement).is_connected()
+
+    def test_triangle_every_pair_shares_exactly_one(self):
+        graph = ShareGraph.from_placement(triangle_placement())
+        for a in (1, 2, 3):
+            for b in (1, 2, 3):
+                if a != b:
+                    assert len(graph.shared_registers(a, b)) == 1
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("n", [3, 4, 6, 9])
+    def test_ring_structure(self, n):
+        graph = ShareGraph.from_placement(ring_placement(n))
+        assert graph.num_replicas == n
+        assert graph.is_cycle()
+        assert all(graph.degree(r) == 2 for r in graph.replica_ids)
+
+    def test_ring_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ring_placement(2)
+
+    @pytest.mark.parametrize("n", [2, 4, 7])
+    def test_path_structure(self, n):
+        graph = ShareGraph.from_placement(path_placement(n))
+        assert graph.is_tree()
+        assert graph.degree(1) == 1
+
+    def test_star_structure(self):
+        graph = ShareGraph.from_placement(star_placement(5))
+        assert graph.degree(1) == 5
+        assert all(graph.degree(leaf) == 1 for leaf in range(2, 7))
+
+    @pytest.mark.parametrize("n,branching", [(7, 2), (10, 3), (5, 1)])
+    def test_tree_structure(self, n, branching):
+        graph = ShareGraph.from_placement(tree_placement(n, branching=branching))
+        assert graph.num_replicas == n
+        assert graph.is_tree()
+
+    def test_tree_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            tree_placement(1)
+        with pytest.raises(ConfigurationError):
+            tree_placement(5, branching=0)
+
+    def test_clique_is_fully_replicated(self):
+        placement = clique_placement(5)
+        assert placement.is_fully_replicated()
+        assert ShareGraph.from_placement(placement).is_clique()
+
+    def test_pairwise_clique_unique_registers(self):
+        placement = pairwise_clique_placement(4)
+        graph = ShareGraph.from_placement(placement)
+        assert graph.is_clique()
+        for a in graph.replica_ids:
+            for b in graph.replica_ids:
+                if a != b:
+                    assert len(graph.shared_registers(a, b)) == 1
+
+    def test_grid_structure(self):
+        graph = ShareGraph.from_placement(grid_placement(3, 3))
+        assert graph.num_replicas == 9
+        corner_degrees = [graph.degree(1), graph.degree(3), graph.degree(7), graph.degree(9)]
+        assert all(d == 2 for d in corner_degrees)
+        assert graph.degree(5) == 4  # the centre
+
+    def test_grid_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            grid_placement(0, 3)
+
+    def test_random_partial_connected_and_replicated(self):
+        placement = random_partial_placement(8, 15, replication_factor=3, seed=9)
+        graph = ShareGraph.from_placement(placement)
+        assert graph.is_connected()
+        for idx in range(15):
+            assert placement.replication_factor(f"r{idx}") == 3
+
+    def test_random_partial_determinism(self):
+        a = random_partial_placement(6, 10, seed=5)
+        b = random_partial_placement(6, 10, seed=5)
+        assert a == b
+
+    def test_random_partial_rejects_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            random_partial_placement(4, 5, replication_factor=9)
+
+    def test_geo_replication_structure(self):
+        placement = geo_replication_placement(3, shards_per_dc=2, global_registers=1)
+        graph = ShareGraph.from_placement(placement)
+        assert graph.is_connected()
+        # Every datacenter stores the global register.
+        assert placement.replication_factor("global_0") == 3
+
+    def test_geo_replication_rejects_single_dc(self):
+        with pytest.raises(ConfigurationError):
+            geo_replication_placement(1)
+
+
+class TestClosedFormSizes:
+    """The metadata sizes the paper quotes for the canonical families."""
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 8])
+    def test_ring_timestamps_have_2n_counters(self, n):
+        graph = ShareGraph.from_placement(ring_placement(n))
+        for rid in graph.replica_ids:
+            assert len(timestamp_edges(graph, rid)) == 2 * n
+
+    @pytest.mark.parametrize("n", [5, 7, 10])
+    def test_tree_timestamps_have_2Ni_counters(self, n):
+        graph = ShareGraph.from_placement(tree_placement(n))
+        for rid in graph.replica_ids:
+            assert len(timestamp_edges(graph, rid)) == 2 * graph.degree(rid)
+
+    def test_star_leaves_track_two_counters(self):
+        graph = ShareGraph.from_placement(star_placement(6))
+        for leaf in range(2, 8):
+            assert len(timestamp_edges(graph, leaf)) == 2
