@@ -12,7 +12,30 @@ from __future__ import annotations
 
 from conftest import run_once
 
-from repro.analysis import exp_client_server, render_client_server
+from repro.analysis import (
+    exp_client_server,
+    exp_open_loop,
+    render_client_server,
+    render_open_loop,
+)
+
+
+def test_e14_open_loop_both_architectures(benchmark):
+    """Open-loop Poisson/bursty traffic on both architectures (E14).
+
+    Expected shape: the same arrival schedule drains consistently on the
+    peer-to-peer and the client–server deployment, with bursty traffic
+    showing deeper peak pending buffers than Poisson at the same mean rate.
+    """
+    rows = run_once(benchmark, exp_open_loop)
+    print()
+    print("[E14] Open-loop workloads (Figure 5 graph, both architectures)")
+    print(render_open_loop(rows))
+    assert all(row.consistent for row in rows)
+    assert {row.architecture for row in rows} == {"peer-to-peer", "client-server"}
+    for row in rows:
+        assert row.makespan >= 0
+        assert row.apply_p99 >= row.apply_p50
 
 
 def test_e12_client_server_architecture(benchmark):

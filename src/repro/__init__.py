@@ -40,7 +40,16 @@ from .core import (
     check_execution,
     timestamp_edges,
 )
-from .sim import Cluster, SimNetwork, build_cluster, run_workload
+from .sim import (
+    Cluster,
+    EventKernel,
+    SimNetwork,
+    SimulationHost,
+    build_cluster,
+    poisson_workload,
+    run_open_loop,
+    run_workload,
+)
 from .sim.topologies import (
     clique_placement,
     counterexample1_placement,
@@ -62,6 +71,8 @@ __all__ = [
     "ConsistencyReport",
     "EdgeIndexedReplica",
     "EdgeTimestamp",
+    "EventKernel",
+    "SimulationHost",
     "HappenedBefore",
     "RegisterPlacement",
     "ShareGraph",
@@ -79,8 +90,10 @@ __all__ = [
     "counterexample2_placement",
     "figure3_placement",
     "figure5_placement",
+    "poisson_workload",
     "random_partial_placement",
     "ring_placement",
+    "run_open_loop",
     "run_workload",
     "star_placement",
     "timestamp_edges",

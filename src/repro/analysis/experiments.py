@@ -78,7 +78,15 @@ from ..sim.topologies import (
     tree_placement,
     triangle_placement,
 )
-from ..sim.workloads import causal_chain_workload, uniform_workload, run_workload
+from ..sim.workloads import (
+    OpenLoopWorkload,
+    bursty_workload,
+    causal_chain_workload,
+    poisson_workload,
+    run_open_loop,
+    run_workload,
+    uniform_workload,
+)
 from .tables import edge_label, render_table
 
 
@@ -779,6 +787,112 @@ def exp_client_server(seed: int = 4) -> ClientServerResult:
         peer_to_peer_edge_counts={rid: len(edges) for rid, edges in p2p_edges.items()},
         client_counter_counts=dict(cluster.client_metadata_sizes()),
         consistent=report.is_causally_consistent,
+    )
+
+
+# ======================================================================
+# E14 — Open-loop traffic on both architectures
+# ======================================================================
+
+@dataclass(frozen=True)
+class OpenLoopRow:
+    """One architecture × arrival-process row of the open-loop experiment."""
+
+    architecture: str
+    process: str
+    operations: int
+    makespan: float
+    apply_p50: float
+    apply_p99: float
+    peak_pending: int
+    messages: int
+    consistent: bool
+
+
+def exp_open_loop(
+    rate: float = 1.5,
+    duration: float = 120.0,
+    seed: int = 9,
+) -> List[OpenLoopRow]:
+    """Open-loop (Poisson and bursty) client traffic on both architectures (E14).
+
+    The same arrival schedule drives the Figure 1a peer-to-peer cluster and
+    the Figure 1b client–server cluster (one client pinned per replica) on
+    the Figure 5 share graph, reporting the unified metrics pipeline:
+    makespan, apply-latency percentiles and peak pending-buffer depth.
+    """
+    graph = ShareGraph.from_placement(figure5_placement())
+    workloads: List[OpenLoopWorkload] = [
+        poisson_workload(graph, rate=rate, duration=duration, seed=seed),
+        bursty_workload(
+            graph,
+            burst_rate=4 * rate,
+            idle_rate=rate / 4,
+            burst_length=duration / 6,
+            idle_length=duration / 6,
+            duration=duration,
+            seed=seed,
+        ),
+    ]
+    rows: List[OpenLoopRow] = []
+    for workload in workloads:
+        hosts = (
+            ("peer-to-peer", Cluster(graph, delay_model=UniformDelay(1, 10), seed=seed)),
+            (
+                "client-server",
+                ClientServerCluster.with_colocated_clients(
+                    graph, delay_model=UniformDelay(1, 10), seed=seed
+                ),
+            ),
+        )
+        for name, host in hosts:
+            result = run_open_loop(
+                host, workload, queue_sample_interval=duration / 24
+            )
+            rows.append(
+                OpenLoopRow(
+                    architecture=name,
+                    process=workload.name,
+                    operations=len(workload),
+                    makespan=result.makespan,
+                    apply_p50=result.apply_latency.p50,
+                    apply_p99=result.apply_latency.p99,
+                    peak_pending=max(result.max_pending.values(), default=0),
+                    messages=result.messages_sent,
+                    consistent=result.consistent,
+                )
+            )
+    return rows
+
+
+def render_open_loop(rows: Sequence[OpenLoopRow]) -> str:
+    """Text table of the open-loop experiment."""
+    return render_table(
+        [
+            "architecture",
+            "process",
+            "ops",
+            "makespan",
+            "apply p50",
+            "apply p99",
+            "peak pending",
+            "msgs",
+            "consistent",
+        ],
+        [
+            (
+                r.architecture,
+                r.process,
+                r.operations,
+                f"{r.makespan:.1f}",
+                f"{r.apply_p50:.1f}",
+                f"{r.apply_p99:.1f}",
+                r.peak_pending,
+                r.messages,
+                "yes" if r.consistent else "NO",
+            )
+            for r in rows
+        ],
     )
 
 

@@ -17,7 +17,7 @@ graph's structure).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, Optional, Sequence, Tuple
 
 from ..core.protocol import CausalReplica, UpdateMessage
 from ..core.registers import Register, ReplicaId
@@ -44,6 +44,11 @@ class FullTrackReplica(CausalReplica):
             if a != b
         ]
         self.matrix = EdgeTimestamp.zero(all_pairs)
+        self._incoming_pairs = tuple(
+            sorted((j, replica_id) for j in share_graph.replica_ids if j != replica_id)
+        )
+        #: ``(pair, new value)`` incoming entries raised by the latest merge.
+        self._changed_incoming: list = []
 
     # ------------------------------------------------------------------
     # Protocol hooks
@@ -63,22 +68,50 @@ class FullTrackReplica(CausalReplica):
         return self.matrix, self.matrix.size_counters()
 
     def can_apply(self, message: UpdateMessage) -> bool:
-        """Matrix-clock delivery condition (same shape as the paper's ``J``)."""
+        """Matrix-clock delivery condition (same shape as the paper's ``J``).
+
+        Encoded once, in :meth:`blocking_key` ("nothing blocks").
+        """
+        return self.blocking_key(message) is None
+
+    def absorb_metadata(self, message: UpdateMessage) -> None:
+        """Element-wise maximum over the full matrix.
+
+        Records the incoming entries the merge raised, for the pending index.
+        """
+        old = self.matrix
+        self.matrix = old.merged_with(message.metadata)
+        remote: EdgeTimestamp = message.metadata
+        self._changed_incoming = [
+            (pair, self.matrix.get(pair))
+            for pair in self._incoming_pairs
+            if remote.get(pair) > old.get(pair)
+        ]
+
+    # ------------------------------------------------------------------
+    # Pending-index hooks
+    # ------------------------------------------------------------------
+    def blocking_key(self, message: UpdateMessage) -> Optional[Hashable]:
+        """One-pass matrix-condition evaluation: ``None``, or a wake key.
+
+        Same key scheme as the paper's replica: ``("seq", (k, i), n)`` for
+        the FIFO equality, ``("ge", (j, i))`` for the monotone conjuncts.
+        """
         remote: EdgeTimestamp = message.metadata
         sender = message.sender
         i = self.replica_id
         if self.matrix.get((sender, i)) != remote.get((sender, i)) - 1:
-            return False
-        for j in self.share_graph.replica_ids:
-            if j in (sender, i):
+            return ("seq", (sender, i), remote.get((sender, i)))
+        for pair in self._incoming_pairs:
+            if pair[0] == sender:
                 continue
-            if self.matrix.get((j, i)) < remote.get((j, i)):
-                return False
-        return True
+            if self.matrix.get(pair) < remote.get(pair):
+                return ("ge", pair)
+        return None
 
-    def absorb_metadata(self, message: UpdateMessage) -> None:
-        """Element-wise maximum over the full matrix."""
-        self.matrix = self.matrix.merged_with(message.metadata)
+    def applied_keys(self, message: UpdateMessage) -> Iterable[Hashable]:
+        """Wake keys for the incoming matrix entries the merge just raised."""
+        return self.wake_keys(self._changed_incoming)
 
     def metadata_size(self) -> int:
         """``R × (R−1)`` counters."""

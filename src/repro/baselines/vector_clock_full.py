@@ -15,7 +15,7 @@ frames partial replication against (experiment E7).
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Hashable, Iterable, Optional, Sequence, Tuple
 
 from ..core.protocol import CausalReplica, UpdateMessage
 from ..core.registers import Register, ReplicaId
@@ -35,6 +35,8 @@ class FullReplicationReplica(CausalReplica):
         super().__init__(replica_id, share_graph.placement.registers)
         self.share_graph = share_graph
         self.vector = VectorTimestamp.zero(share_graph.replica_ids)
+        #: ``(replica id, new value)`` entries raised by the latest merge.
+        self._changed_entries: list = []
 
     # ------------------------------------------------------------------
     # Protocol hooks
@@ -51,21 +53,47 @@ class FullReplicationReplica(CausalReplica):
         return self.vector, self.vector.size_counters()
 
     def can_apply(self, message: UpdateMessage) -> bool:
-        """Classical causal-broadcast delivery condition."""
+        """Classical causal-broadcast delivery condition.
+
+        Encoded once, in :meth:`blocking_key` ("nothing blocks").
+        """
+        return self.blocking_key(message) is None
+
+    def absorb_metadata(self, message: UpdateMessage) -> None:
+        """Element-wise maximum of the two vectors.
+
+        Records the entries the merge raised, for the pending index.
+        """
+        old = self.vector
+        self.vector = old.merged_with(message.metadata)
+        self._changed_entries = [
+            (rid, self.vector.get(rid))
+            for rid, value in message.metadata.items()
+            if value > old.get(rid)
+        ]
+
+    # ------------------------------------------------------------------
+    # Pending-index hooks
+    # ------------------------------------------------------------------
+    def blocking_key(self, message: UpdateMessage) -> Optional[Hashable]:
+        """One-pass delivery-condition evaluation: ``None``, or a wake key.
+
+        ``("seq", k, n)`` is the exact-value bucket for the FIFO conjunct
+        ``T[k] = τ[k] + 1`` (woken when ``τ[k]`` reaches ``n − 1``);
+        ``("ge", j)`` wakes whenever entry ``j`` grows.
+        """
         remote: VectorTimestamp = message.metadata
         sender = message.sender
         if remote.get(sender) != self.vector.get(sender) + 1:
-            return False
+            return ("seq", sender, remote.get(sender))
         for rid, value in remote.items():
-            if rid == sender:
-                continue
-            if value > self.vector.get(rid):
-                return False
-        return True
+            if rid != sender and value > self.vector.get(rid):
+                return ("ge", rid)
+        return None
 
-    def absorb_metadata(self, message: UpdateMessage) -> None:
-        """Element-wise maximum of the two vectors."""
-        self.vector = self.vector.merged_with(message.metadata)
+    def applied_keys(self, message: UpdateMessage) -> Iterable[Hashable]:
+        """Wake keys for the vector entries the merge just raised."""
+        return self.wake_keys(self._changed_entries)
 
     def metadata_size(self) -> int:
         """``R`` counters."""

@@ -1,12 +1,19 @@
-"""A simulated client–server deployment (Figure 1b).
+"""A simulated client–server deployment (Figure 1b), on the shared kernel.
 
 Wires :class:`~repro.clientserver.server.ClientServerReplica` servers,
-:class:`~repro.clientserver.client.ClientAgent` clients and a
-:class:`~repro.sim.network.SimNetwork` together.  Client operations are
-synchronous from the client's perspective (the client waits for the
+:class:`~repro.clientserver.client.ClientAgent` clients and the shared
+simulation kernel (:mod:`repro.sim.engine`) together.  Client operations
+are synchronous from the client's perspective (the client waits for the
 response), but a request buffered behind predicate ``J1/J2`` is unblocked by
 delivering inter-replica update messages, so issuing an operation may advance
 the simulation.
+
+The drive loop — :meth:`~repro.sim.engine.SimulationHost.step`,
+:meth:`~repro.sim.engine.SimulationHost.run_until_quiescent` with its
+cross-replica apply/serve fixpoint, and the unified
+:class:`~repro.sim.engine.RunMetrics` — is inherited from
+:class:`~repro.sim.engine.SimulationHost`, the same base the peer-to-peer
+:class:`~repro.sim.cluster.Cluster` runs on.
 
 The cluster records, alongside the servers' issue/apply traces, the
 happened-before edges that clients propagate by touching several replicas
@@ -16,21 +23,21 @@ injects those into the checker.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..core.consistency import ConsistencyChecker, ConsistencyReport
-from ..core.errors import SimulationError
-from ..core.protocol import ReplicaEvent, UpdateId
+from ..core.errors import ConfigurationError, SimulationError
+from ..core.protocol import CausalReplica, UpdateId
 from ..core.registers import Register, ReplicaId
 from ..core.share_graph import ShareGraph
 from ..sim.delays import DelayModel
+from ..sim.engine import SimulationHost
 from ..sim.network import SimNetwork
 from .augmented import AugmentedShareGraph, ClientAssignment, ClientId
 from .client import ClientAgent
 from .server import ClientRequest, ClientServerReplica
 
 
-class ClientServerCluster:
+class ClientServerCluster(SimulationHost):
     """Servers + clients + network for the client–server architecture."""
 
     def __init__(
@@ -40,9 +47,8 @@ class ClientServerCluster:
         delay_model: Optional[DelayModel] = None,
         seed: int = 0,
     ) -> None:
-        self.share_graph = share_graph
+        super().__init__(share_graph, SimNetwork(delay_model=delay_model, seed=seed))
         self.augmented = AugmentedShareGraph(share_graph, clients)
-        self.network = SimNetwork(delay_model=delay_model, seed=seed)
         self.servers: Dict[ReplicaId, ClientServerReplica] = {
             rid: ClientServerReplica(self.augmented, rid)
             for rid in share_graph.replica_ids
@@ -56,6 +62,36 @@ class ClientServerCluster:
         }
         #: Extra ↪' edges induced by client sessions: (observed update, issued update).
         self._client_edges: List[Tuple[UpdateId, UpdateId]] = []
+        #: Replica id → a client pinned to exactly that replica (if any),
+        #: used to run replica-addressed workload operations (parity mode).
+        self._colocated: Dict[ReplicaId, ClientId] = {}
+        for cid in clients.client_ids:
+            replica_set = clients.replicas_of(cid)
+            if len(replica_set) == 1:
+                self._colocated.setdefault(next(iter(replica_set)), cid)
+
+    @classmethod
+    def with_colocated_clients(
+        cls,
+        share_graph: ShareGraph,
+        delay_model: Optional[DelayModel] = None,
+        seed: int = 0,
+    ) -> "ClientServerCluster":
+        """A cluster with one client pinned to each replica (Figure 1a's
+        access pattern run through the Figure 1b architecture).
+
+        This is the configuration under which the two architectures are
+        directly comparable on the same replica-addressed workload: client
+        ``c<i>`` issues exactly the operations the peer-to-peer co-located
+        client of replica ``i`` would.
+        """
+        clients = ClientAssignment.from_dict(
+            {f"c{rid}": {rid} for rid in share_graph.replica_ids}
+        )
+        return cls(share_graph, clients, delay_model=delay_model, seed=seed)
+
+    def _replica_map(self) -> Dict[ReplicaId, CausalReplica]:
+        return self.servers
 
     # ------------------------------------------------------------------
     # Client operations
@@ -76,11 +112,12 @@ class ClientServerCluster:
             register=register,
             value=None,
             client_timestamp=client.timestamp,
-            sim_time=self.network.now,
+            sim_time=self.now,
         )
+        self._record_operation("read")
         response = self._submit_and_wait(target, request, max_steps)
         client.absorb_response(response.server_timestamp)
-        client.record("read", target, register, response.value, self.network.now)
+        client.record("read", target, register, response.value, self.now)
         self._note_client_observation(client_id, target)
         return response.value
 
@@ -101,33 +138,76 @@ class ClientServerCluster:
             register=register,
             value=value,
             client_timestamp=client.timestamp,
-            sim_time=self.network.now,
+            sim_time=self.now,
         )
+        self._record_operation("write")
         response = self._submit_and_wait(target, request, max_steps)
-        issued = self.servers[target].applied[-1]
+        issued = response.issued
+        self._note_issue(issued)
         # Everything the client had observed before this write happens-before it.
         for seen in self._client_seen[client_id]:
             if seen != issued.uid:
                 self._client_edges.append((seen, issued.uid))
-        self.network.send_all(response.update_messages)
         client.absorb_response(response.server_timestamp)
-        client.record("write", target, register, value, self.network.now)
+        client.record("write", target, register, value, self.now)
         self._note_client_observation(client_id, target)
         self._client_seen[client_id].add(issued.uid)
+
+    def submit_operation(self, operation: Any) -> Any:
+        """Execute a replica-addressed workload operation via its co-located client.
+
+        Requires a client pinned to exactly ``operation.replica_id`` (see
+        :meth:`with_colocated_clients`); this is what lets one workload
+        drive both the peer-to-peer and the client–server architecture.
+        """
+        client_id = self._colocated.get(operation.replica_id)
+        if client_id is None:
+            raise ConfigurationError(
+                f"no client is co-located with replica {operation.replica_id!r}; "
+                "build the cluster with ClientServerCluster.with_colocated_clients"
+            )
+        if operation.kind == "write":
+            return self.client_write(
+                client_id, operation.register, operation.value,
+                replica_id=operation.replica_id,
+            )
+        if operation.kind == "read":
+            return self.client_read(
+                client_id, operation.register, replica_id=operation.replica_id
+            )
+        raise ConfigurationError(f"unknown operation kind {operation.kind!r}")
+
+    def _dispatch(self, responses) -> bool:
+        """Multicast the update messages of freshly served write responses.
+
+        Dispatch happens at *serve* time — whichever loop served the request
+        — so a write unblocked by the quiescence fixpoint still propagates
+        (and the drain loop resumes), even when no client is waiting on it.
+        Returns ``True`` when any message was sent.
+        """
+        sent = False
+        for response in responses:
+            if response.update_messages:
+                self.network.send_all(response.update_messages)
+                sent = True
+        return sent
 
     def _submit_and_wait(self, target: ReplicaId, request: ClientRequest,
                          max_steps: int):
         server = self.servers[target]
         response = server.submit(request)
+        if response is not None:
+            self._dispatch([response])
+            return response
         steps = 0
-        while response is None:
+        while True:
             made_progress = self.step()
-            server.serve_waiting(sim_time=self.network.now)
+            self._dispatch(server.serve_waiting(sim_time=self.now))
             response = server.take_response(
                 request.client_id, request.kind, request.register
             )
             if response is not None:
-                break
+                return response
             if not made_progress:
                 raise SimulationError(
                     f"client request at replica {target} cannot be served: the "
@@ -136,7 +216,6 @@ class ClientServerCluster:
             steps += 1
             if steps > max_steps:
                 raise SimulationError("client request exceeded the step budget")
-        return response
 
     def _note_client_observation(self, client_id: ClientId, replica_id: ReplicaId) -> None:
         """After touching a replica, the client has observed its applied updates."""
@@ -144,52 +223,26 @@ class ClientServerCluster:
         self._client_seen[client_id] |= applied
 
     # ------------------------------------------------------------------
-    # Simulation control
+    # Architecture-specific host hooks
     # ------------------------------------------------------------------
-    def step(self) -> bool:
-        """Deliver one inter-replica update message and run apply/serve loops."""
-        delivery = self.network.deliver_next()
-        if delivery is None:
-            return False
-        message = delivery.message
-        server = self.servers[message.destination]
-        server.receive(message)
-        server.apply_ready(sim_time=self.network.now)
-        server.serve_waiting(sim_time=self.network.now)
-        return True
+    def _after_delivery(self, replica: CausalReplica) -> None:
+        """A delivered update can unblock buffered client requests."""
+        self._dispatch(replica.serve_waiting(sim_time=self.now))  # type: ignore[attr-defined]
 
-    def run_until_quiescent(self, max_steps: int = 1_000_000) -> int:
-        """Deliver all in-flight update messages."""
-        steps = 0
-        while self.network.pending_count() > 0:
-            if steps >= max_steps:
-                raise SimulationError("run_until_quiescent exceeded the step budget")
-            self.step()
-            steps += 1
-        for server in self.servers.values():
-            server.apply_ready(sim_time=self.network.now)
-            server.serve_waiting(sim_time=self.network.now)
-        return steps
+    def _quiescent_hook(self, replica: CausalReplica) -> bool:
+        served = replica.serve_waiting(sim_time=self.now)  # type: ignore[attr-defined]
+        self._dispatch(served)
+        return bool(served)
+
+    def _extra_happened_before(self) -> Sequence[Tuple[UpdateId, UpdateId]]:
+        return self._client_edges
 
     # ------------------------------------------------------------------
     # Checking and metrics
     # ------------------------------------------------------------------
-    def events_by_replica(self) -> Dict[ReplicaId, Sequence[ReplicaEvent]]:
-        """Each server's local trace."""
-        return {rid: tuple(s.events) for rid, s in self.servers.items()}
-
-    def check_consistency(self, check_liveness: bool = True) -> ConsistencyReport:
-        """Validate against Definition 26 (safety/liveness under ``↪'``)."""
-        checker = ConsistencyChecker(self.share_graph)
-        return checker.check(
-            self.events_by_replica(),
-            check_liveness=check_liveness,
-            extra_happened_before=self._client_edges,
-        )
-
     def server_metadata_sizes(self) -> Dict[ReplicaId, int]:
         """Counters per server (``|Ê_i|``)."""
-        return {rid: s.metadata_size() for rid, s in sorted(self.servers.items())}
+        return self.metadata_sizes()
 
     def client_metadata_sizes(self) -> Dict[ClientId, int]:
         """Counters per client (``|∪_{i∈R_c} Ê_i|``)."""

@@ -52,6 +52,10 @@ class ClientResponse:
     value: Any
     server_timestamp: EdgeTimestamp
     update_messages: Tuple[UpdateMessage, ...] = ()
+    #: The update a served *write* issued (``None`` for reads).  Carried
+    #: explicitly so the cluster never has to infer it from the server's
+    #: apply log, which concurrent serves/applies may have extended since.
+    issued: Optional[Update] = None
 
 
 class ClientServerReplica(EdgeIndexedReplica):
@@ -150,6 +154,7 @@ class ClientServerReplica(EdgeIndexedReplica):
             value=request.value,
             server_timestamp=self.timestamp,
             update_messages=tuple(messages),
+            issued=self.applied[-1],
         )
 
     # ------------------------------------------------------------------
@@ -169,9 +174,11 @@ class ClientServerReplica(EdgeIndexedReplica):
         """
         i = self.replica_id
         # Absorb the client's knowledge on every commonly indexed edge first,
-        # then increment the edges towards co-owners of the register.
-        shared = self.timestamp.edges & client_timestamp.edges
-        self.timestamp = self.timestamp.merged_with(client_timestamp, shared_edges=shared)
+        # then increment the edges towards co-owners of the register.  No
+        # pending-index notification is needed: the serve is gated by
+        # predicate J1/J2 (τ_i ≥ µ on every incoming edge), so this merge
+        # can only raise entries no buffered inter-replica update waits on.
+        self.timestamp = self.timestamp.merged_with(client_timestamp)
         self.issued_count += 1
         update = Update(i, self.issued_count, register, value)
         self.store[register] = value

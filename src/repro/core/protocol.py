@@ -19,11 +19,49 @@ from __future__ import annotations
 
 import abc
 import enum
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .errors import RegisterNotStoredError
 from .registers import Register, ReplicaId
+
+class _AnyKey:
+    """Sentinel type for :data:`ANY_KEY`.
+
+    Copy/deepcopy/pickle all resolve back to the module-level singleton, so
+    a cloned replica's ``ANY_KEY`` buckets stay poppable by the original
+    key.
+    """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<ANY_KEY>"
+
+    def __copy__(self) -> "_AnyKey":
+        return self
+
+    def __deepcopy__(self, memo: Dict) -> "_AnyKey":
+        return self
+
+    def __reduce__(self) -> str:
+        return "ANY_KEY"
+
+
+#: Index key for pending messages whose blocking reason is unknown: they are
+#: re-examined after *every* local apply (the conservative fallback that
+#: reproduces the behaviour of a full pending-buffer rescan).
+ANY_KEY = _AnyKey()
 
 #: A globally unique update identifier: ``(issuing replica, per-replica sequence number)``.
 UpdateId = Tuple[ReplicaId, int]
@@ -163,8 +201,16 @@ class CausalReplica(abc.ABC):
         self.registers: FrozenSet[Register] = frozenset(registers)
         #: Current value of every locally stored register (None = never written).
         self.store: Dict[Register, Any] = {r: None for r in self.registers}
-        #: Remote updates received but not yet applied.
+        #: Remote updates received but not yet applied.  Applied messages
+        #: are removed lazily (tombstoned by update uid in
+        #: ``_applied_pending_uids`` and compacted once they reach half the
+        #: list), so a delivery-driven drain pays O(1) amortised removal per
+        #: apply instead of an O(P) rebuild per :meth:`apply_ready` call;
+        #: use :meth:`pending_count` for the exact count.  Uids are value
+        #: keys, so the bookkeeping survives deepcopy/pickle; each replica
+        #: receives at most one message per update, keeping them unique.
         self.pending: List[UpdateMessage] = []
+        self._applied_pending_uids: set = set()
         #: Local issue/apply/read trace, consumed by the consistency checker.
         self.events: List[ReplicaEvent] = []
         #: Number of updates issued locally (used for sequence numbers).
@@ -172,6 +218,17 @@ class CausalReplica(abc.ABC):
         #: Updates applied at this replica, in application order.
         self.applied: List[Update] = []
         self._applied_uids: set = set()
+        # -- pending-buffer index ------------------------------------------
+        # Every buffered message lives in exactly one of two places: the
+        # recheck queue (its predicate will be evaluated on the next
+        # :meth:`apply_ready`) or one bucket of ``_blocked``, keyed by the
+        # protocol-reported reason it last failed (:meth:`blocking_key`).
+        # Applying a message notifies the keys it plausibly unblocked
+        # (:meth:`applied_keys`), moving just those buckets back to the
+        # queue — so an apply re-checks plausible candidates instead of
+        # rescanning the whole buffer.
+        self._recheck: Deque[UpdateMessage] = deque()
+        self._blocked: Dict[Hashable, List[UpdateMessage]] = {}
 
     # ------------------------------------------------------------------
     # Hooks each protocol must provide
@@ -209,6 +266,76 @@ class CausalReplica(abc.ABC):
         only as a dummy copy (Appendix D).
         """
         return True
+
+    # ------------------------------------------------------------------
+    # Pending-index hooks (optional, for fast apply scheduling)
+    # ------------------------------------------------------------------
+    def blocking_key(self, message: UpdateMessage) -> Optional[Hashable]:
+        """Evaluate the delivery predicate, reporting what blocks ``message``.
+
+        Returns ``None`` when the predicate holds (the message is
+        applicable now).  Otherwise returns a hashable key (an edge, a
+        replica id, …) such that the predicate cannot start holding before
+        the local state indexed by that key changes; the message is then
+        parked until some applied message's :meth:`applied_keys` mentions
+        the same key.  Combining the check and the blocking reason in one
+        hook lets keyed protocols evaluate their conjuncts a single time
+        per recheck.  Implementations must agree with :meth:`can_apply`.
+
+        The default defers to :meth:`can_apply` and parks under
+        :data:`ANY_KEY` — a bucket re-examined after every apply, which
+        reproduces the semantics of the original full rescan for protocols
+        that do not implement the hook.
+        """
+        return None if self.can_apply(message) else ANY_KEY
+
+    def applied_keys(self, message: UpdateMessage) -> Optional[Iterable[Hashable]]:
+        """Keys whose local state plausibly changed by applying ``message``.
+
+        Returning ``None`` (the default) re-examines every parked message —
+        always safe.  Protocols with keyed indexes return just the
+        counters/edges their ``merge`` touched (see :meth:`wake_keys`).
+        """
+        return None
+
+    @staticmethod
+    def wake_keys(changed: Iterable[Tuple[Hashable, int]]) -> List[Hashable]:
+        """Standard wake keys for raised counters, paired with :meth:`blocking_key`.
+
+        For every ``(counter key, new value)`` raised by a merge, emits
+        ``("seq", key, value + 1)`` — waking the exact-value bucket of a
+        FIFO conjunct now expecting ``value + 1`` next — and ``("ge", key)``
+        — waking every message parked on a monotone conjunct over that
+        counter.  Shared by all keyed protocols so the key scheme stays a
+        single contract.
+        """
+        keys: List[Hashable] = []
+        for key, value in changed:
+            keys.append(("seq", key, value + 1))
+            keys.append(("ge", key))
+        return keys
+
+    def notify_pending(self, keys: Optional[Iterable[Hashable]] = None) -> None:
+        """Re-examine parked messages after an out-of-band state change.
+
+        Protocols that mutate delivery-relevant local state outside
+        :meth:`absorb_metadata` (e.g. the client–server ``advance`` merging a
+        client timestamp) must call this with the touched keys, or with
+        ``None`` to re-examine everything.  The messages are re-checked on
+        the next :meth:`apply_ready` call.
+        """
+        if keys is None:
+            for bucket in self._blocked.values():
+                self._recheck.extend(bucket)
+            self._blocked.clear()
+            return
+        for key in keys:
+            bucket = self._blocked.pop(key, None)
+            if bucket:
+                self._recheck.extend(bucket)
+        bucket = self._blocked.pop(ANY_KEY, None)
+        if bucket:
+            self._recheck.extend(bucket)
 
     # ------------------------------------------------------------------
     # The algorithm prototype (Section 2.1), common to all protocols
@@ -251,12 +378,58 @@ class CausalReplica(abc.ABC):
     def receive(self, message: UpdateMessage) -> None:
         """Step 3: buffer a received update message."""
         self.pending.append(message)
+        self._recheck.append(message)
 
-    def apply_ready(self, sim_time: float = 0.0) -> List[Update]:
-        """Step 4: repeatedly apply pending updates whose predicate holds.
+    def apply_ready(self, sim_time: float = 0.0, force: bool = False) -> List[Update]:
+        """Step 4: apply pending updates whose predicate holds.
+
+        Instead of rescanning the whole pending buffer to a fixpoint, this
+        drains the recheck queue: newly received messages, plus messages
+        whose blocking key was touched by an earlier apply.  ``force=True``
+        re-enqueues every parked message first (used by the simulator's
+        quiescence fixpoint as a safety net against protocols with
+        imprecise :meth:`blocking_key` implementations).
 
         Returns the updates applied during this call, in application order.
         """
+        if force and self._blocked:
+            self.notify_pending(None)
+        if not self._recheck:
+            return []
+        applied_now: List[Update] = []
+        while self._recheck:
+            message = self._recheck.popleft()
+            key = self.blocking_key(message)
+            if key is None:
+                self._apply(message, sim_time)
+                applied_now.append(message.update)
+                self._applied_pending_uids.add(message.update.uid)
+                self.notify_pending(self.applied_keys(message))
+            else:
+                self._blocked.setdefault(key, []).append(message)
+        if applied_now:
+            self._compact_pending()
+        return applied_now
+
+    def _compact_pending(self, force: bool = False) -> None:
+        """Drop tombstoned (applied) messages from the pending list.
+
+        Runs only once tombstones reach half the list (or on ``force``), so
+        removal costs O(1) amortised per apply.
+        """
+        dead = self._applied_pending_uids
+        if dead and (force or 2 * len(dead) >= len(self.pending)):
+            self.pending = [m for m in self.pending if m.update.uid not in dead]
+            dead.clear()
+
+    def apply_ready_rescan(self, sim_time: float = 0.0) -> List[Update]:
+        """Reference implementation of step 4: fixpoint rescan of the buffer.
+
+        Kept for differential testing and benchmarking against the indexed
+        path (:meth:`apply_ready`); semantically equivalent but O(P²) in the
+        pending-buffer size ``P`` per call.
+        """
+        self._compact_pending(force=True)
         applied_now: List[Update] = []
         progress = True
         while progress:
@@ -268,6 +441,10 @@ class CausalReplica(abc.ABC):
                 self._apply(message, sim_time)
                 applied_now.append(message.update)
                 progress = True
+        # Resynchronise the index with the buffer so the two entry points
+        # can be mixed on one replica.
+        self._recheck = deque(self.pending)
+        self._blocked.clear()
         return applied_now
 
     def _apply(self, message: UpdateMessage, sim_time: float) -> None:
@@ -288,7 +465,7 @@ class CausalReplica(abc.ABC):
 
     def pending_count(self) -> int:
         """Number of buffered, not-yet-applied update messages."""
-        return len(self.pending)
+        return len(self.pending) - len(self._applied_pending_uids)
 
     def _record(self, kind: EventKind, update: Optional[Update],
                 register: Optional[Register], sim_time: float) -> None:

@@ -23,7 +23,7 @@ global knowledge beyond its own timestamp graph.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from .protocol import CausalReplica, UpdateMessage
 from .registers import Register, ReplicaId
@@ -61,6 +61,15 @@ class EdgeIndexedReplica(CausalReplica):
         )
         #: The current edge-indexed timestamp ``τ_i``.
         self.timestamp: EdgeTimestamp = EdgeTimestamp.zero(self.timestamp_graph.edges)
+        #: The incoming edges ``e_ji ∈ E_i`` — the only entries the delivery
+        #: predicate reads — in deterministic order, so the hot path never
+        #: materialises the full edge-set intersection.
+        self._incoming_edges: Tuple[Tuple[ReplicaId, ReplicaId], ...] = tuple(
+            sorted(e for e in self.timestamp_graph.edges if e[1] == replica_id)
+        )
+        #: ``(edge, new value)`` of the incoming entries raised by the most
+        #: recent merge; feeds :meth:`applied_keys`.
+        self._changed_incoming: List[Tuple[Tuple[ReplicaId, ReplicaId], int]] = []
 
     # ------------------------------------------------------------------
     # Protocol hooks
@@ -85,26 +94,69 @@ class EdgeIndexedReplica(CausalReplica):
         return self.timestamp, self.timestamp.size_counters()
 
     def can_apply(self, message: UpdateMessage) -> bool:
-        """Predicate ``J(i, τ_i, k, T)`` of Section 3.3."""
-        i = self.replica_id
-        sender = message.sender
-        remote: EdgeTimestamp = message.metadata
-        ki = (sender, i)
-        if self.timestamp.get(ki) != remote.get(ki) - 1:
-            return False
-        for e in remote.edges & self.timestamp.edges:
-            j, head = e
-            if head != i or j == sender:
-                continue
-            if self.timestamp.get(e) < remote.get(e):
-                return False
-        return True
+        """Predicate ``J(i, τ_i, k, T)`` of Section 3.3.
+
+        Defined as "nothing blocks the message", so the predicate is
+        encoded exactly once — in :meth:`blocking_key` — and the indexed
+        apply path cannot drift from the rescan reference.
+        """
+        return self.blocking_key(message) is None
 
     def absorb_metadata(self, message: UpdateMessage) -> None:
-        """``merge``: element-wise maximum over the commonly indexed edges."""
+        """``merge``: element-wise maximum over the commonly indexed edges.
+
+        Also records which incoming entries the merge raised, which is what
+        the pending index uses to wake just the plausibly unblocked
+        messages (:meth:`applied_keys`).
+        """
         remote: EdgeTimestamp = message.metadata
-        shared = self.timestamp.edges & remote.edges
-        self.timestamp = self.timestamp.merged_with(remote, shared_edges=shared)
+        old = self.timestamp
+        self.timestamp = old.merged_with(remote)
+        changed: List[Tuple[Tuple[ReplicaId, ReplicaId], int]] = []
+        for e in self._incoming_edges:
+            if e in remote:
+                new_value = self.timestamp.get(e)
+                if new_value != old.get(e):
+                    changed.append((e, new_value))
+        self._changed_incoming = changed
+
+    # ------------------------------------------------------------------
+    # Pending-index hooks
+    # ------------------------------------------------------------------
+    def blocking_key(self, message: UpdateMessage) -> Optional[Hashable]:
+        """One-pass evaluation of predicate ``J``: ``None``, or a wake key.
+
+        Only the incoming edges of ``E_i`` that are also indexed by the
+        sender matter, so the scan walks the precomputed incoming-edge
+        list instead of materialising ``E_i ∩ E_k``.  Two kinds of key
+        mirror the two kinds of conjunct:
+
+        * ``("seq", e_ki, n)`` — the FIFO equality ``τ_i[e_ki] = T[e_ki] − 1``
+          failed; the message wakes exactly when ``τ_i[e_ki]`` reaches
+          ``n − 1`` (an *exact-value* bucket, so a long run of out-of-order
+          messages from one sender costs one recheck per apply, not a
+          rescan);
+        * ``("ge", e_ji)`` — a monotone conjunct ``τ_i[e_ji] ≥ T[e_ji]``
+          failed; the message wakes whenever that entry grows.
+        """
+        i = self.replica_id
+        remote: EdgeTimestamp = message.metadata
+        local = self.timestamp.counters
+        remote_counters = remote.counters
+        ki = (message.sender, i)
+        if local.get(ki, 0) != remote_counters.get(ki, 0) - 1:
+            return ("seq", ki, remote_counters.get(ki, 0))
+        for e in self._incoming_edges:
+            if e[0] == message.sender:
+                continue
+            value = remote_counters.get(e)
+            if value is not None and local.get(e, 0) < value:
+                return ("ge", e)
+        return None
+
+    def applied_keys(self, message: UpdateMessage) -> Iterable[Hashable]:
+        """Wake keys for the incoming entries the merge just raised."""
+        return self.wake_keys(self._changed_incoming)
 
     def metadata_size(self) -> int:
         """Number of counters in ``τ_i`` (``|E_i|``)."""

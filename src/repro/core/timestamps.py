@@ -74,6 +74,15 @@ class EdgeTimestamp:
         """The all-zero timestamp over an index set (initial replica state)."""
         return cls({e: 0 for e in edges})
 
+    @classmethod
+    def _from_validated(cls, counters: Dict[Edge, int]) -> "EdgeTimestamp":
+        """Fast internal constructor for counters derived from a validated
+        instance (functional updates run on every write/apply, so they skip
+        re-validating each entry)."""
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "counters", counters)
+        return instance
+
     # ------------------------------------------------------------------
     # Mapping-style access
     # ------------------------------------------------------------------
@@ -95,8 +104,12 @@ class EdgeTimestamp:
 
     @property
     def edges(self) -> FrozenSet[Edge]:
-        """The index set of this timestamp."""
-        return frozenset(self.counters)
+        """The index set of this timestamp (cached; the instance is immutable)."""
+        cached = self.__dict__.get("_edges")
+        if cached is None:
+            cached = frozenset(self.counters)
+            object.__setattr__(self, "_edges", cached)
+        return cached
 
     def items(self) -> Iterable[Tuple[Edge, int]]:
         """Iterate over ``(edge, count)`` pairs."""
@@ -115,18 +128,25 @@ class EdgeTimestamp:
         for e in edges:
             if e in counters:
                 counters[e] += 1
-        return EdgeTimestamp(counters)
+        return EdgeTimestamp._from_validated(counters)
 
     def merged_with(self, other: "EdgeTimestamp",
                     shared_edges: Optional[Iterable[Edge]] = None) -> "EdgeTimestamp":
         """Element-wise maximum over ``shared_edges`` (default: all common edges)."""
-        if shared_edges is None:
-            shared_edges = self.edges & other.edges
         counters = dict(self.counters)
-        for e in shared_edges:
-            if e in counters:
-                counters[e] = max(counters[e], other.get(e))
-        return EdgeTimestamp(counters)
+        if shared_edges is None:
+            # Iterate the other side's entries directly instead of
+            # materialising the index-set intersection (hot path: one merge
+            # per apply).
+            for e, value in other.counters.items():
+                current = counters.get(e)
+                if current is not None and value > current:
+                    counters[e] = value
+        else:
+            for e in shared_edges:
+                if e in counters:
+                    counters[e] = max(counters[e], other.get(e))
+        return EdgeTimestamp._from_validated(counters)
 
     # ------------------------------------------------------------------
     # Comparisons

@@ -1,36 +1,40 @@
-"""A cluster: replicas + network + checker, driven step by step.
+"""The peer-to-peer cluster of Figure 1a, rebased on the event kernel.
 
 :class:`Cluster` wires a set of :class:`~repro.core.protocol.CausalReplica`
-instances (the paper's algorithm by default, or any baseline) to a
-:class:`~repro.sim.network.SimNetwork` and exposes the peer-to-peer client
-operations of Figure 1a: a client co-located with replica ``i`` issues
-``read``/``write`` against that replica.
+instances (the paper's algorithm by default, or any baseline) to the shared
+simulation kernel (:mod:`repro.sim.engine`) and exposes the peer-to-peer
+client operations of Figure 1a: a client co-located with replica ``i``
+issues ``read``/``write`` against that replica.
 
-The cluster is deliberately *synchronous to drive, asynchronous inside*: the
-caller decides when writes happen and when the network makes progress
-(:meth:`step`, :meth:`run_until_quiescent`), while message delays and
-reordering come from the network's delay model.  Every issue/apply is traced,
-so after a run :meth:`check_consistency` can validate the whole execution
-against Definition 2 independently of the protocol's own metadata.
+All drive-loop machinery — :meth:`~repro.sim.engine.SimulationHost.step`,
+:meth:`~repro.sim.engine.SimulationHost.run_until_quiescent` with its
+cross-replica apply fixpoint, timers, open-loop arrivals and the unified
+:class:`~repro.sim.engine.RunMetrics` — comes from the
+:class:`~repro.sim.engine.SimulationHost` base class and is shared verbatim
+with the client–server deployment.  Every issue/apply is traced, so after a
+run :meth:`~repro.sim.engine.SimulationHost.check_consistency` can validate
+the whole execution against Definition 2 independently of the protocol's
+own metadata.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional
 
-from ..core.consistency import ConsistencyChecker, ConsistencyReport
-from ..core.errors import SimulationError, UnknownReplicaError
-from ..core.protocol import CausalReplica, ReplicaEvent, Update, UpdateMessage
+from ..core.errors import ConfigurationError
+from ..core.protocol import CausalReplica, Update
 from ..core.registers import Register, ReplicaId
 from ..core.replica import EdgeIndexedReplica
 from ..core.share_graph import ShareGraph
 from .delays import DelayModel
+from .engine import RunMetrics, SimulationHost
 from .network import SimNetwork
 
 #: Signature of a factory building one replica of a protocol for a cluster.
 ReplicaFactory = Callable[[ShareGraph, ReplicaId], CausalReplica]
+
+#: Backwards-compatible name for the unified metrics structure.
+ClusterMetrics = RunMetrics
 
 
 def edge_indexed_factory(graph: ShareGraph, replica_id: ReplicaId) -> CausalReplica:
@@ -38,27 +42,7 @@ def edge_indexed_factory(graph: ShareGraph, replica_id: ReplicaId) -> CausalRepl
     return EdgeIndexedReplica(graph, replica_id)
 
 
-@dataclass
-class ClusterMetrics:
-    """Aggregate protocol metrics collected during a run."""
-
-    writes: int = 0
-    reads: int = 0
-    applies: int = 0
-    #: Apply latency (simulated time from issue to apply) per remote apply.
-    apply_latencies: List[float] = field(default_factory=list)
-    #: Maximum pending-buffer occupancy observed per replica.
-    max_pending: Dict[ReplicaId, int] = field(default_factory=dict)
-
-    @property
-    def mean_apply_latency(self) -> float:
-        """Mean remote-apply latency in simulated time units."""
-        if not self.apply_latencies:
-            return 0.0
-        return sum(self.apply_latencies) / len(self.apply_latencies)
-
-
-class Cluster:
+class Cluster(SimulationHost):
     """A simulated peer-to-peer deployment over one share graph.
 
     Parameters
@@ -79,120 +63,43 @@ class Cluster:
         delay_model: Optional[DelayModel] = None,
         seed: int = 0,
     ) -> None:
-        self.share_graph = share_graph
-        self.network = SimNetwork(delay_model=delay_model, seed=seed)
+        super().__init__(share_graph, SimNetwork(delay_model=delay_model, seed=seed))
         self.replicas: Dict[ReplicaId, CausalReplica] = {
             rid: replica_factory(share_graph, rid) for rid in share_graph.replica_ids
         }
-        self.metrics = ClusterMetrics()
-        self._issue_times: Dict[Tuple[ReplicaId, int], float] = {}
+
+    def _replica_map(self) -> Dict[ReplicaId, CausalReplica]:
+        return self.replicas
 
     # ------------------------------------------------------------------
     # Client operations (peer-to-peer architecture, Figure 1a)
     # ------------------------------------------------------------------
     def replica(self, replica_id: ReplicaId) -> CausalReplica:
         """The replica object for ``replica_id``."""
-        try:
-            return self.replicas[replica_id]
-        except KeyError:
-            raise UnknownReplicaError(replica_id) from None
+        return self._replica(replica_id)
 
     def write(self, replica_id: ReplicaId, register: Register, value: Any) -> Update:
         """Issue a write at the client co-located with ``replica_id``."""
         replica = self.replica(replica_id)
-        messages = replica.write(register, value, sim_time=self.network.now)
-        self.metrics.writes += 1
+        messages = replica.write(register, value, sim_time=self.now)
+        self._record_operation("write")
         update = replica.applied[-1]
-        self._issue_times[update.uid] = self.network.now
+        self._note_issue(update)
         self.network.send_all(messages)
         return update
 
     def read(self, replica_id: ReplicaId, register: Register) -> Any:
         """Issue a read at the client co-located with ``replica_id``."""
-        self.metrics.reads += 1
-        return self.replica(replica_id).read(register, sim_time=self.network.now)
+        self._record_operation("read")
+        return self.replica(replica_id).read(register, sim_time=self.now)
 
-    # ------------------------------------------------------------------
-    # Simulation control
-    # ------------------------------------------------------------------
-    def step(self) -> bool:
-        """Deliver the next scheduled message and run the receiver's apply loop.
-
-        Returns ``False`` when no scheduled message remained.
-        """
-        delivery = self.network.deliver_next()
-        if delivery is None:
-            return False
-        message = delivery.message
-        receiver = self.replica(message.destination)
-        receiver.receive(message)
-        self._apply_ready(receiver)
-        return True
-
-    def _apply_ready(self, replica: CausalReplica) -> None:
-        applied = replica.apply_ready(sim_time=self.network.now)
-        for update in applied:
-            self.metrics.applies += 1
-            issued_at = self._issue_times.get(update.uid)
-            if issued_at is not None:
-                self.metrics.apply_latencies.append(self.network.now - issued_at)
-        pending = replica.pending_count()
-        previous = self.metrics.max_pending.get(replica.replica_id, 0)
-        self.metrics.max_pending[replica.replica_id] = max(previous, pending)
-
-    def run_until_quiescent(self, max_steps: int = 1_000_000) -> int:
-        """Deliver scheduled messages until none remain; returns steps taken.
-
-        Held channels are *not* released automatically; the adversarial
-        experiments release them explicitly.  Raises
-        :class:`~repro.core.errors.SimulationError` if the step budget is
-        exhausted, which would indicate a livelock in the protocol under
-        test.
-        """
-        steps = 0
-        while self.network.pending_count() > 0:
-            if steps >= max_steps:
-                raise SimulationError(
-                    f"run_until_quiescent exceeded {max_steps} steps"
-                )
-            self.step()
-            steps += 1
-        # One final pass: applying one update may unblock another that was
-        # delivered earlier at a different replica.
-        for replica in self.replicas.values():
-            self._apply_ready(replica)
-        return steps
-
-    # ------------------------------------------------------------------
-    # Introspection, checking and metrics
-    # ------------------------------------------------------------------
-    def events_by_replica(self) -> Dict[ReplicaId, Sequence[ReplicaEvent]]:
-        """Each replica's local issue/apply/read trace."""
-        return {rid: tuple(r.events) for rid, r in self.replicas.items()}
-
-    def check_consistency(self, check_liveness: bool = True) -> ConsistencyReport:
-        """Validate the execution so far against Definition 2."""
-        checker = ConsistencyChecker(self.share_graph)
-        return checker.check(self.events_by_replica(), check_liveness=check_liveness)
-
-    def pending_updates(self) -> int:
-        """Updates buffered but not yet applied, summed over replicas."""
-        return sum(r.pending_count() for r in self.replicas.values())
-
-    def metadata_sizes(self) -> Dict[ReplicaId, int]:
-        """Current per-replica metadata size in counters."""
-        return {rid: r.metadata_size() for rid, r in sorted(self.replicas.items())}
-
-    def total_metadata_counters_sent(self) -> int:
-        """Total counters shipped inside update messages so far."""
-        return self.network.stats.metadata_counters_sent
-
-    def values(self, register: Register) -> Dict[ReplicaId, Any]:
-        """The current value of ``register`` at every replica storing it."""
-        return {
-            rid: self.replicas[rid].store[register]
-            for rid in self.share_graph.replicas_storing(register)
-        }
+    def submit_operation(self, operation: Any) -> Any:
+        """Execute one workload :class:`~repro.sim.workloads.Operation`."""
+        if operation.kind == "write":
+            return self.write(operation.replica_id, operation.register, operation.value)
+        if operation.kind == "read":
+            return self.read(operation.replica_id, operation.register)
+        raise ConfigurationError(f"unknown operation kind {operation.kind!r}")
 
 
 def build_cluster(

@@ -1,0 +1,690 @@
+"""The unified discrete-event simulation kernel.
+
+Both simulated architectures of the paper — the peer-to-peer deployment of
+Figure 1a (:class:`~repro.sim.cluster.Cluster`) and the client–server
+deployment of Figure 1b (:class:`~repro.clientserver.cluster.ClientServerCluster`)
+— are thin protocol adapters over the machinery in this module:
+
+* a typed event queue (:class:`EventKernel`) holding message deliveries,
+  timers and open-loop client arrivals, popped in global time order;
+* a :class:`Transport` that samples per-message delays from a pluggable
+  :class:`~repro.sim.delays.DelayModel`, supports the adversarial
+  hold/release channel control used by the necessity experiments, and keeps
+  the traffic statistics (:class:`NetworkStats`);
+* a :class:`SimulationHost` base class providing the drive loop —
+  :meth:`~SimulationHost.step`, :meth:`~SimulationHost.run_until_quiescent`
+  with a cross-replica apply fixpoint — and the unified run metrics
+  (:class:`RunMetrics`: throughput over time, latency percentiles,
+  per-replica queue depths) shared by the metrics module, the evaluation
+  harness and the benchmarks.
+
+Hosts plug in by implementing :meth:`SimulationHost._replica_map` (who owns
+which replica id) and :meth:`SimulationHost.submit_operation` (how a client
+operation addressed to a replica is executed), plus optional hooks for
+architecture-specific work after a delivery or at quiescence.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+from ..core.consistency import ConsistencyChecker, ConsistencyReport
+from ..core.errors import SimulationError, UnknownReplicaError
+from ..core.protocol import CausalReplica, ReplicaEvent, Update, UpdateId, UpdateMessage
+from ..core.registers import Register, ReplicaId
+from ..core.share_graph import ShareGraph
+from .delays import Channel, DelayModel, UniformDelay
+
+import random
+
+
+# ======================================================================
+# Events
+# ======================================================================
+
+@dataclass(frozen=True)
+class DeliveryEvent:
+    """A message arriving at its destination replica."""
+
+    message: UpdateMessage
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class TimerEvent:
+    """A scheduled callback, e.g. a metrics sampler.
+
+    The callback is invoked as ``callback(host, time)`` when the event
+    fires.
+    """
+
+    callback: Callable[["SimulationHost", float], None]
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """An open-loop client operation arriving at its scheduled time.
+
+    ``operation`` is opaque to the kernel; the host's
+    :meth:`SimulationHost.submit_operation` interprets it (normally a
+    :class:`~repro.sim.workloads.Operation`).
+    """
+
+    operation: Any
+
+
+Event = Any  # DeliveryEvent | TimerEvent | ArrivalEvent
+
+#: Tie-break order for events scheduled at the same instant: deliveries
+#: first (so arrivals and samplers observe the freshest replica state),
+#: then arrivals, then timers.
+_EVENT_PRIORITY: Dict[type, int] = {
+    DeliveryEvent: 0,
+    ArrivalEvent: 1,
+    TimerEvent: 2,
+}
+
+
+@dataclass(frozen=True)
+class Firing:
+    """One event popped from the kernel."""
+
+    time: float
+    event: Event
+
+
+class EventKernel:
+    """A priority queue of typed events sharing one simulated clock.
+
+    Events fire in ``(time, priority, insertion order)`` order, so two runs
+    that schedule the same events observe identical executions — the basis
+    of every same-seed determinism guarantee in the simulator.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, event: Event) -> None:
+        """Schedule ``event`` to fire at absolute simulated time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule an event at {time} < now ({self.now})"
+            )
+        priority = _EVENT_PRIORITY.get(type(event), 3)
+        heapq.heappush(self._heap, (time, priority, next(self._counter), event))
+
+    def schedule_after(self, delay: float, event: Event) -> None:
+        """Schedule ``event`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative event delay: {delay}")
+        self.schedule_at(self.now + delay, event)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def has_events(self) -> bool:
+        """``True`` while any event remains scheduled."""
+        return bool(self._heap)
+
+    def pending_events(self) -> int:
+        """Total scheduled, not-yet-fired events."""
+        return len(self._heap)
+
+    def pending_of(self, event_type: Type) -> int:
+        """Scheduled events of one type (linear scan; for tests/metrics)."""
+        return sum(1 for entry in self._heap if isinstance(entry[3], event_type))
+
+    def peek_time(self) -> Optional[float]:
+        """The firing time of the next event, or ``None`` when idle."""
+        return self._heap[0][0] if self._heap else None
+
+    def peek_event(self) -> Optional[Event]:
+        """The next event without popping it, or ``None`` when idle."""
+        return self._heap[0][3] if self._heap else None
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+    def next_event(self) -> Optional[Firing]:
+        """Pop the earliest event, advancing the simulated clock."""
+        if not self._heap:
+            return None
+        time, _, _, event = heapq.heappop(self._heap)
+        if time < self.now:
+            raise SimulationError("simulation time went backwards")
+        self.now = time
+        return Firing(time=time, event=event)
+
+
+# ======================================================================
+# Transport
+# ======================================================================
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic statistics maintained by the transport."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    metadata_counters_sent: int = 0
+    payload_messages_sent: int = 0
+    metadata_only_messages_sent: int = 0
+    total_latency: float = 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean delivery latency over all delivered messages."""
+        if not self.messages_delivered:
+            return 0.0
+        return self.total_latency / self.messages_delivered
+
+
+class Transport:
+    """Reliable, non-FIFO point-to-point channels over an event kernel.
+
+    Samples a delay for every message from the :class:`DelayModel` and
+    schedules the corresponding :class:`DeliveryEvent`.  Channels can be
+    held (parking all traffic) and released, as the adversarial schedules
+    of the necessity and lower-bound experiments require.
+    """
+
+    def __init__(
+        self,
+        kernel: EventKernel,
+        delay_model: Optional[DelayModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.kernel = kernel
+        self.delay_model = delay_model or UniformDelay()
+        self.rng = random.Random(seed)
+        self.stats = NetworkStats()
+        self._held_channels: Set[Channel] = set()
+        self._held_messages: List[Tuple[float, UpdateMessage]] = []
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, message: UpdateMessage, delay: Optional[float] = None) -> None:
+        """Inject a message; it will be delivered after its sampled delay.
+
+        ``delay`` overrides the delay model for this single message (used by
+        scripted adversarial schedules).
+        """
+        self.stats.messages_sent += 1
+        self.stats.metadata_counters_sent += message.metadata_size
+        if message.payload:
+            self.stats.payload_messages_sent += 1
+        else:
+            self.stats.metadata_only_messages_sent += 1
+
+        channel = (message.sender, message.destination)
+        if channel in self._held_channels:
+            self._held_messages.append((self.kernel.now, message))
+            return
+        self._schedule(message, sent_at=self.kernel.now, delay=delay)
+
+    def send_all(self, messages: Iterable[UpdateMessage]) -> None:
+        """Send a batch of messages."""
+        for message in messages:
+            self.send(message)
+
+    def _schedule(self, message: UpdateMessage, sent_at: float,
+                  delay: Optional[float] = None) -> None:
+        latency = self.delay_model.delay(message, self.rng) if delay is None else delay
+        if latency < 0:
+            raise SimulationError(f"negative message delay: {latency}")
+        self.kernel.schedule_after(latency, DeliveryEvent(message, sent_at=sent_at))
+
+    def record_delivery(self, event: DeliveryEvent, time: float) -> None:
+        """Account for one fired :class:`DeliveryEvent` in the statistics."""
+        self.stats.messages_delivered += 1
+        self.stats.total_latency += time - event.sent_at
+
+    # ------------------------------------------------------------------
+    # Adversarial channel control
+    # ------------------------------------------------------------------
+    def hold(self, sender: ReplicaId, destination: ReplicaId) -> None:
+        """Park all current and future traffic on one directed channel."""
+        self._held_channels.add((sender, destination))
+
+    def release(self, sender: ReplicaId, destination: ReplicaId) -> None:
+        """Release a held channel; parked messages are scheduled from *now*."""
+        channel = (sender, destination)
+        self._held_channels.discard(channel)
+        still_held: List[Tuple[float, UpdateMessage]] = []
+        for sent_at, message in self._held_messages:
+            if (message.sender, message.destination) == channel:
+                self._schedule(message, sent_at=sent_at)
+            else:
+                still_held.append((sent_at, message))
+        self._held_messages = still_held
+
+    def release_all(self) -> None:
+        """Release every held channel."""
+        for channel in list(self._held_channels):
+            self.release(*channel)
+
+    @property
+    def held_count(self) -> int:
+        """Number of messages currently parked on held channels."""
+        return len(self._held_messages)
+
+
+# ======================================================================
+# Unified run metrics
+# ======================================================================
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile summary of a latency sample set."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
+        """Summarise samples with nearest-rank percentiles (empty → zeros)."""
+        if not samples:
+            return cls(count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, max=0.0)
+        ordered = sorted(samples)
+        n = len(ordered)
+
+        def rank(q: float) -> float:
+            return ordered[min(n - 1, max(0, int(q * n + 0.5) - 1))]
+
+        return cls(
+            count=n,
+            mean=sum(ordered) / n,
+            p50=rank(0.50),
+            p90=rank(0.90),
+            p99=rank(0.99),
+            max=ordered[-1],
+        )
+
+
+def throughput_timeline(
+    times: Sequence[float], bucket_width: float
+) -> List[Tuple[float, int]]:
+    """Bucket event times into ``(bucket start, count)`` pairs.
+
+    Buckets run from 0 to the latest event; empty intermediate buckets are
+    included so the timeline plots directly.
+    """
+    if bucket_width <= 0:
+        raise SimulationError("bucket_width must be positive")
+    if not times:
+        return []
+    buckets: Dict[int, int] = {}
+    for t in times:
+        buckets[int(t // bucket_width)] = buckets.get(int(t // bucket_width), 0) + 1
+    last = max(buckets)
+    return [(index * bucket_width, buckets.get(index, 0)) for index in range(last + 1)]
+
+
+@dataclass(frozen=True)
+class QueueDepthSample:
+    """One sampled pending-buffer depth at one replica."""
+
+    time: float
+    replica_id: ReplicaId
+    depth: int
+
+
+@dataclass(frozen=True)
+class QueueDepthStats:
+    """Mean/peak pending-buffer occupancy of one replica."""
+
+    samples: int
+    mean: float
+    peak: int
+
+
+@dataclass
+class RunMetrics:
+    """Everything a host records while driving a run.
+
+    This supersedes the old per-architecture metric bags: one structure is
+    filled by both the peer-to-peer and the client–server host, consumed by
+    :mod:`repro.sim.metrics`, the evaluation harness and the benchmarks.
+    """
+
+    writes: int = 0
+    reads: int = 0
+    applies: int = 0
+    #: Simulated time from issue to remote apply, one sample per apply.
+    apply_latencies: List[float] = field(default_factory=list)
+    #: Maximum pending-buffer occupancy observed per replica.
+    max_pending: Dict[ReplicaId, int] = field(default_factory=dict)
+    #: Simulated time of every remote apply (throughput over time).
+    apply_times: List[float] = field(default_factory=list)
+    #: ``(time, kind)`` of every submitted client operation.
+    operation_times: List[Tuple[float, str]] = field(default_factory=list)
+    #: Client-observed blocking time per operation (nonzero only when an
+    #: operation had to wait, e.g. behind the client–server predicate J1/J2).
+    operation_latencies: List[float] = field(default_factory=list)
+    #: Periodic pending-buffer depth samples (open-loop runs).
+    queue_samples: List[QueueDepthSample] = field(default_factory=list)
+
+    @property
+    def mean_apply_latency(self) -> float:
+        """Mean remote-apply latency in simulated time units."""
+        if not self.apply_latencies:
+            return 0.0
+        return sum(self.apply_latencies) / len(self.apply_latencies)
+
+    def apply_latency_summary(self) -> LatencySummary:
+        """Percentiles of the remote-apply latency distribution."""
+        return LatencySummary.from_samples(self.apply_latencies)
+
+    def operation_latency_summary(self) -> LatencySummary:
+        """Percentiles of the client-observed operation latency."""
+        return LatencySummary.from_samples(self.operation_latencies)
+
+    def apply_throughput(self, bucket_width: float) -> List[Tuple[float, int]]:
+        """Remote applies per time bucket (propagation throughput)."""
+        return throughput_timeline(self.apply_times, bucket_width)
+
+    def operation_throughput(self, bucket_width: float) -> List[Tuple[float, int]]:
+        """Submitted operations per time bucket (offered load)."""
+        return throughput_timeline([t for t, _ in self.operation_times], bucket_width)
+
+    def queue_depth_summary(self) -> Dict[ReplicaId, QueueDepthStats]:
+        """Mean/peak sampled queue depth per replica."""
+        grouped: Dict[ReplicaId, List[int]] = {}
+        for sample in self.queue_samples:
+            grouped.setdefault(sample.replica_id, []).append(sample.depth)
+        return {
+            rid: QueueDepthStats(
+                samples=len(depths),
+                mean=sum(depths) / len(depths),
+                peak=max(depths),
+            )
+            for rid, depths in grouped.items()
+        }
+
+
+# ======================================================================
+# The shared host
+# ======================================================================
+
+class SimulationHost:
+    """Base class for every simulated deployment driven by the kernel.
+
+    Subclasses provide the replica bookkeeping; the host provides the event
+    loop, quiescence detection with a cross-replica apply fixpoint, metric
+    recording and consistency checking.
+
+    Parameters
+    ----------
+    share_graph:
+        The register placement / share graph of the system.
+    network:
+        The :class:`~repro.sim.network.SimNetwork` facade bundling the
+        event kernel and the transport (built by the concrete cluster).
+    """
+
+    def __init__(self, share_graph: ShareGraph, network: "Any") -> None:
+        self.share_graph = share_graph
+        self.network = network
+        self.kernel: EventKernel = network.kernel
+        self.transport: Transport = network.transport
+        self.metrics = RunMetrics()
+        self._issue_times: Dict[UpdateId, float] = {}
+        #: Time of the last delivery/arrival processed (timers excluded), so
+        #: a trailing metrics sampler does not inflate reported makespans.
+        self.last_activity_time: float = 0.0
+        # Arrivals are serviced iteratively: a blocking operation that steps
+        # the kernel can pop further ArrivalEvents, which are deferred onto
+        # this queue (with their firing time, so the queueing wait counts
+        # towards their operation latency) instead of being submitted
+        # reentrantly — unbounded recursion on long arrival backlogs
+        # otherwise.
+        self._arrival_backlog: "deque[Tuple[float, Any]]" = deque()
+        self._servicing_arrivals = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.kernel.now
+
+    # ------------------------------------------------------------------
+    # Hooks for concrete architectures
+    # ------------------------------------------------------------------
+    def _replica_map(self) -> Mapping[ReplicaId, CausalReplica]:
+        """Replica id → protocol instance (servers, in the client–server case)."""
+        raise NotImplementedError
+
+    def submit_operation(self, operation: "Any") -> Any:
+        """Execute one client operation (a :class:`~repro.sim.workloads.Operation`).
+
+        Both architectures implement this, which is what lets one workload —
+        closed-loop replay or open-loop arrivals — drive either deployment.
+        """
+        raise NotImplementedError
+
+    def _after_delivery(self, replica: CausalReplica) -> None:
+        """Architecture-specific work after a delivery (e.g. serving clients)."""
+
+    def _quiescent_hook(self, replica: CausalReplica) -> bool:
+        """Extra per-replica pass at quiescence; returns ``True`` on progress."""
+        return False
+
+    def _extra_happened_before(self) -> Optional[Sequence[Tuple[UpdateId, UpdateId]]]:
+        """Additional ``↪`` edges for the checker (client sessions)."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Bookkeeping helpers for subclasses
+    # ------------------------------------------------------------------
+    def _replica(self, replica_id: ReplicaId) -> CausalReplica:
+        try:
+            return self._replica_map()[replica_id]
+        except KeyError:
+            raise UnknownReplicaError(replica_id) from None
+
+    def _record_operation(self, kind: str) -> None:
+        if kind == "write":
+            self.metrics.writes += 1
+        elif kind == "read":
+            self.metrics.reads += 1
+        self.metrics.operation_times.append((self.now, kind))
+
+    def _note_issue(self, update: Update) -> None:
+        self._issue_times[update.uid] = self.now
+
+    def _apply_ready(self, replica: CausalReplica, force: bool = False) -> List[Update]:
+        """Run a replica's apply loop and record the unified metrics."""
+        applied = replica.apply_ready(sim_time=self.now, force=force)
+        for update in applied:
+            self.metrics.applies += 1
+            self.metrics.apply_times.append(self.now)
+            issued_at = self._issue_times.get(update.uid)
+            if issued_at is not None:
+                self.metrics.apply_latencies.append(self.now - issued_at)
+        pending = replica.pending_count()
+        previous = self.metrics.max_pending.get(replica.replica_id, 0)
+        self.metrics.max_pending[replica.replica_id] = max(previous, pending)
+        return applied
+
+    # ------------------------------------------------------------------
+    # Event scheduling
+    # ------------------------------------------------------------------
+    def schedule_timer(
+        self,
+        delay: float,
+        callback: Callable[["SimulationHost", float], None],
+        tag: str = "",
+    ) -> None:
+        """Fire ``callback(host, time)`` after ``delay`` simulated time units."""
+        self.kernel.schedule_after(delay, TimerEvent(callback=callback, tag=tag))
+
+    def schedule_arrival(self, delay: float, operation: "Any") -> None:
+        """Schedule an open-loop client operation ``delay`` units from now."""
+        self.kernel.schedule_after(delay, ArrivalEvent(operation=operation))
+
+    def schedule_arrival_at(self, time: float, operation: "Any") -> None:
+        """Schedule an open-loop client operation at absolute time ``time``."""
+        self.kernel.schedule_at(time, ArrivalEvent(operation=operation))
+
+    def busy(self) -> bool:
+        """``True`` while the run has work left: scheduled events, or
+        arrivals deferred onto the service backlog (which are no longer
+        kernel events).  Self-rescheduling timers should key off this, not
+        off the kernel alone."""
+        return self.kernel.has_events() or bool(self._arrival_backlog)
+
+    def sample_queue_depths(self) -> None:
+        """Record one pending-buffer depth sample per replica."""
+        for rid, replica in self._replica_map().items():
+            self.metrics.queue_samples.append(
+                QueueDepthSample(time=self.now, replica_id=rid,
+                                 depth=replica.pending_count())
+            )
+
+    # ------------------------------------------------------------------
+    # The drive loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next scheduled event (delivery, timer or arrival).
+
+        Returns ``False`` when nothing remained scheduled.
+        """
+        firing = self.kernel.next_event()
+        if firing is None:
+            return False
+        event = firing.event
+        if isinstance(event, DeliveryEvent):
+            self.last_activity_time = firing.time
+            self.transport.record_delivery(event, firing.time)
+            self._deliver(event.message)
+        elif isinstance(event, TimerEvent):
+            event.callback(self, firing.time)
+        elif isinstance(event, ArrivalEvent):
+            self.last_activity_time = firing.time
+            self._handle_arrival(event.operation)
+        else:  # pragma: no cover - future event types
+            raise SimulationError(f"unknown event type {type(event).__name__}")
+        return True
+
+    def _deliver(self, message: UpdateMessage) -> None:
+        replica = self._replica(message.destination)
+        replica.receive(message)
+        self._apply_ready(replica)
+        self._after_delivery(replica)
+
+    def _handle_arrival(self, operation: "Any") -> None:
+        self._arrival_backlog.append((self.now, operation))
+        if self._servicing_arrivals:
+            # Reached from inside another arrival's (blocking) submit; the
+            # outer service loop will pick this operation up in order.
+            return
+        self._servicing_arrivals = True
+        try:
+            while self._arrival_backlog:
+                arrived_at, next_operation = self._arrival_backlog.popleft()
+                self.submit_operation(next_operation)
+                self.metrics.operation_latencies.append(self.now - arrived_at)
+        finally:
+            self._servicing_arrivals = False
+
+    def run_until_quiescent(self, max_steps: int = 1_000_000) -> int:
+        """Fire scheduled events until none remain; returns events fired.
+
+        Held channels are *not* released automatically; the adversarial
+        experiments release them explicitly.  After the queue drains, a
+        *cross-replica fixpoint* re-runs every replica's apply loop (and the
+        architecture's quiescent hook) until no replica makes progress: one
+        replica's apply or serve can unblock another's buffered update, and
+        a serve can even emit new messages — in which case the drain loop
+        resumes.  Raises :class:`~repro.core.errors.SimulationError` if the
+        step budget is exhausted, which would indicate a livelock in the
+        protocol under test.
+        """
+        steps = 0
+        while True:
+            while self.kernel.has_events():
+                if steps >= max_steps:
+                    raise SimulationError(
+                        f"run_until_quiescent exceeded {max_steps} steps"
+                    )
+                self.step()
+                steps += 1
+            self._apply_fixpoint()
+            if not self.kernel.has_events():
+                return steps
+
+    def _apply_fixpoint(self) -> bool:
+        """Apply/serve across all replicas until globally stable."""
+        any_progress = False
+        progress = True
+        while progress:
+            progress = False
+            for replica in self._replica_map().values():
+                if self._apply_ready(replica, force=True):
+                    progress = True
+                if self._quiescent_hook(replica):
+                    progress = True
+            any_progress = any_progress or progress
+        return any_progress
+
+    # ------------------------------------------------------------------
+    # Shared introspection, checking and metrics
+    # ------------------------------------------------------------------
+    def events_by_replica(self) -> Dict[ReplicaId, Sequence[ReplicaEvent]]:
+        """Each replica's local issue/apply/read trace."""
+        return {rid: tuple(r.events) for rid, r in self._replica_map().items()}
+
+    def check_consistency(self, check_liveness: bool = True) -> ConsistencyReport:
+        """Validate the execution so far against the paper's Definition 2/26."""
+        checker = ConsistencyChecker(self.share_graph)
+        return checker.check(
+            self.events_by_replica(),
+            check_liveness=check_liveness,
+            extra_happened_before=self._extra_happened_before(),
+        )
+
+    def pending_updates(self) -> int:
+        """Updates buffered but not yet applied, summed over replicas."""
+        return sum(r.pending_count() for r in self._replica_map().values())
+
+    def metadata_sizes(self) -> Dict[ReplicaId, int]:
+        """Current per-replica metadata size in counters."""
+        return {rid: r.metadata_size() for rid, r in sorted(self._replica_map().items())}
+
+    def total_metadata_counters_sent(self) -> int:
+        """Total counters shipped inside update messages so far."""
+        return self.transport.stats.metadata_counters_sent
+
+    def values(self, register: Register) -> Dict[ReplicaId, Any]:
+        """The current value of ``register`` at every replica storing it."""
+        replicas = self._replica_map()
+        return {
+            rid: replicas[rid].store[register]
+            for rid in self.share_graph.replicas_storing(register)
+        }

@@ -1,10 +1,18 @@
-"""Cross-protocol measurement helpers.
+"""Cross-protocol measurement helpers and the unified metrics pipeline.
 
 The evaluation harness repeatedly answers the same question for different
 protocols and topologies: *how much metadata does each replica keep and ship,
 and what does the execution cost in messages, latency and (for relaxed
 protocols) false dependencies?*  This module centralises those measurements
 so benchmarks and examples produce consistent numbers.
+
+The per-run measurement primitives — :class:`~repro.sim.engine.RunMetrics`
+(filled identically by the peer-to-peer and client–server hosts),
+:class:`~repro.sim.engine.LatencySummary` percentiles,
+:func:`~repro.sim.engine.throughput_timeline` and per-replica
+:class:`~repro.sim.engine.QueueDepthStats` — live in
+:mod:`repro.sim.engine` and are re-exported here as the single import point
+for benchmarks, the analysis harness and the examples.
 """
 
 from __future__ import annotations
@@ -20,7 +28,43 @@ from ..core.share_graph import ShareGraph
 from ..core.timestamp_graph import TimestampGraph, build_all_timestamp_graphs
 from .cluster import Cluster, ReplicaFactory
 from .delays import DelayModel
+from .engine import (
+    LatencySummary,
+    QueueDepthSample,
+    QueueDepthStats,
+    RunMetrics,
+    SimulationHost,
+    throughput_timeline,
+)
 from .workloads import Workload, WorkloadResult, run_workload
+
+__all__ = [
+    "ComparisonRow",
+    "FalseDependencyStats",
+    "LatencySummary",
+    "MetadataProfile",
+    "QueueDepthSample",
+    "QueueDepthStats",
+    "RunMetrics",
+    "all_edges_profile",
+    "compare_protocols",
+    "edge_indexed_profile",
+    "format_table",
+    "full_replication_profile",
+    "incident_only_profile",
+    "measure_false_dependencies",
+    "render_latency_summary",
+    "throughput_timeline",
+]
+
+
+def render_latency_summary(name: str, summary: LatencySummary) -> str:
+    """One line of a latency report: ``name: n=…, mean=…, p50/p90/p99/max``."""
+    return (
+        f"{name}: n={summary.count} mean={summary.mean:.2f} "
+        f"p50={summary.p50:.2f} p90={summary.p90:.2f} "
+        f"p99={summary.p99:.2f} max={summary.max:.2f}"
+    )
 
 
 @dataclass(frozen=True)
@@ -128,18 +172,19 @@ class FalseDependencyStats:
         return self.delayed_applies / self.total_applies
 
 
-def measure_false_dependencies(cluster: Cluster) -> FalseDependencyStats:
-    """Post-hoc false-dependency measurement over a cluster's traces.
+def measure_false_dependencies(cluster: SimulationHost) -> FalseDependencyStats:
+    """Post-hoc false-dependency measurement over a host's traces.
 
     Uses each replica's receive/apply ordering: any update applied between a
     message's receipt and its application that is not a causal predecessor of
-    that message's update counts as a false blocker.
+    that message's update counts as a false blocker.  Works on either
+    architecture.
     """
     events = cluster.events_by_replica()
     relation = HappenedBefore.from_events(events)
     stats = FalseDependencyStats()
-    for replica_id, replica in cluster.replicas.items():
-        trace = [e for e in replica.events if e.kind is EventKind.APPLY]
+    for replica_id, trace_events in events.items():
+        trace = [e for e in trace_events if e.kind is EventKind.APPLY]
         for position, event in enumerate(trace):
             if event.update is None:
                 continue

@@ -1,32 +1,31 @@
-"""A discrete-event simulation of reliable, non-FIFO point-to-point channels.
+"""Reliable, non-FIFO point-to-point channels (facade over the event kernel).
 
-The network holds every in-flight :class:`~repro.core.protocol.UpdateMessage`
-in a priority queue ordered by delivery time.  Channels are reliable (every
-message is eventually delivered exactly once) but *not* FIFO: a later message
-on the same channel may overtake an earlier one whenever its sampled delay is
-smaller — matching the system model of Section 2.
+Historically this module owned the discrete-event machinery; that now lives
+in :mod:`repro.sim.engine` (one :class:`~repro.sim.engine.EventKernel` +
+:class:`~repro.sim.engine.Transport` shared by message deliveries, timers
+and open-loop client arrivals).  :class:`SimNetwork` remains as the stable
+network-facing API — sending, delivery statistics, and the adversarial
+hold/release channel control used by the necessity and lower-bound
+experiments — and is what the simulated clusters expose as ``.network``.
 
-Two extra controls support the adversarial executions used by the necessity
-and lower-bound experiments:
-
-* :meth:`SimNetwork.hold` / :meth:`SimNetwork.release` park all traffic on a
-  channel until explicitly released ("the update message is not delivered
-  until a later time" steps of the proofs);
-* per-message delays come from a pluggable :class:`~repro.sim.delays.DelayModel`.
+Channels are reliable (every message is eventually delivered exactly once)
+but *not* FIFO: a later message on the same channel may overtake an earlier
+one whenever its sampled delay is smaller — matching the system model of
+Section 2.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
 
 from ..core.errors import SimulationError
 from ..core.protocol import UpdateMessage
 from ..core.registers import ReplicaId
-from .delays import Channel, DelayModel, UniformDelay
+from .delays import DelayModel
+from .engine import DeliveryEvent, EventKernel, NetworkStats, Transport
+
+__all__ = ["Delivery", "NetworkStats", "SimNetwork"]
 
 
 @dataclass(frozen=True)
@@ -36,25 +35,6 @@ class Delivery:
     time: float
     message: UpdateMessage
     sent_at: float
-
-
-@dataclass
-class NetworkStats:
-    """Aggregate traffic statistics maintained by the network."""
-
-    messages_sent: int = 0
-    messages_delivered: int = 0
-    metadata_counters_sent: int = 0
-    payload_messages_sent: int = 0
-    metadata_only_messages_sent: int = 0
-    total_latency: float = 0.0
-
-    @property
-    def mean_latency(self) -> float:
-        """Mean delivery latency over all delivered messages."""
-        if not self.messages_delivered:
-            return 0.0
-        return self.total_latency / self.messages_delivered
 
 
 class SimNetwork:
@@ -67,21 +47,42 @@ class SimNetwork:
     seed:
         Seed for the private random generator; two networks built with the
         same seed and fed the same messages behave identically.
+    kernel:
+        Optionally a pre-existing :class:`~repro.sim.engine.EventKernel` to
+        schedule on; by default the network owns a fresh one.
     """
 
     def __init__(
         self,
         delay_model: Optional[DelayModel] = None,
         seed: int = 0,
+        kernel: Optional[EventKernel] = None,
     ) -> None:
-        self.delay_model = delay_model or UniformDelay()
-        self.rng = random.Random(seed)
-        self.now: float = 0.0
-        self.stats = NetworkStats()
-        self._queue: List[Tuple[float, int, float, UpdateMessage]] = []
-        self._counter = itertools.count()
-        self._held_channels: Set[Channel] = set()
-        self._held_messages: List[Tuple[float, UpdateMessage]] = []
+        self.kernel = kernel or EventKernel()
+        self.transport = Transport(self.kernel, delay_model=delay_model, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Pass-through properties
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.kernel.now
+
+    @property
+    def stats(self) -> NetworkStats:
+        """Aggregate traffic statistics."""
+        return self.transport.stats
+
+    @property
+    def rng(self):
+        """The transport's private random generator."""
+        return self.transport.rng
+
+    @property
+    def delay_model(self) -> DelayModel:
+        """The pluggable per-message delay model."""
+        return self.transport.delay_model
 
     # ------------------------------------------------------------------
     # Sending
@@ -92,83 +93,64 @@ class SimNetwork:
         ``delay`` overrides the delay model for this single message (used by
         scripted adversarial schedules).
         """
-        self.stats.messages_sent += 1
-        self.stats.metadata_counters_sent += message.metadata_size
-        if message.payload:
-            self.stats.payload_messages_sent += 1
-        else:
-            self.stats.metadata_only_messages_sent += 1
-
-        channel = (message.sender, message.destination)
-        if channel in self._held_channels:
-            self._held_messages.append((self.now, message))
-            return
-        self._schedule(message, sent_at=self.now, delay=delay)
+        self.transport.send(message, delay=delay)
 
     def send_all(self, messages: Iterable[UpdateMessage]) -> None:
         """Send a batch of messages."""
-        for message in messages:
-            self.send(message)
-
-    def _schedule(self, message: UpdateMessage, sent_at: float,
-                  delay: Optional[float] = None) -> None:
-        latency = self.delay_model.delay(message, self.rng) if delay is None else delay
-        if latency < 0:
-            raise SimulationError(f"negative message delay: {latency}")
-        deliver_at = self.now + latency
-        heapq.heappush(self._queue, (deliver_at, next(self._counter), sent_at, message))
+        self.transport.send_all(messages)
 
     # ------------------------------------------------------------------
     # Adversarial channel control
     # ------------------------------------------------------------------
     def hold(self, sender: ReplicaId, destination: ReplicaId) -> None:
         """Park all current and future traffic on one directed channel."""
-        self._held_channels.add((sender, destination))
+        self.transport.hold(sender, destination)
 
     def release(self, sender: ReplicaId, destination: ReplicaId) -> None:
         """Release a held channel; parked messages are scheduled from *now*."""
-        channel = (sender, destination)
-        self._held_channels.discard(channel)
-        still_held: List[Tuple[float, UpdateMessage]] = []
-        for sent_at, message in self._held_messages:
-            if (message.sender, message.destination) == channel:
-                self._schedule(message, sent_at=sent_at)
-            else:
-                still_held.append((sent_at, message))
-        self._held_messages = still_held
+        self.transport.release(sender, destination)
 
     def release_all(self) -> None:
         """Release every held channel."""
-        for channel in list(self._held_channels):
-            self.release(*channel)
+        self.transport.release_all()
 
     @property
     def held_count(self) -> int:
         """Number of messages currently parked on held channels."""
-        return len(self._held_messages)
+        return self.transport.held_count
 
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
     def pending_count(self) -> int:
         """Number of scheduled (not yet delivered) messages, excluding held ones."""
-        return len(self._queue)
+        return self.kernel.pending_of(DeliveryEvent)
 
     def in_flight(self) -> int:
         """Total undelivered messages (scheduled + held)."""
-        return len(self._queue) + len(self._held_messages)
+        return self.pending_count() + self.transport.held_count
 
     def deliver_next(self) -> Optional[Delivery]:
-        """Pop the earliest scheduled message, advancing simulated time."""
-        if not self._queue:
+        """Pop the earliest scheduled message, advancing simulated time.
+
+        Only valid while the kernel holds message deliveries exclusively
+        (standalone network use); hosts with timers or arrival events drive
+        the kernel through :meth:`~repro.sim.engine.SimulationHost.step`.
+        """
+        head = self.kernel.peek_event()
+        if head is None:
             return None
-        deliver_at, _, sent_at, message = heapq.heappop(self._queue)
-        if deliver_at < self.now:
-            raise SimulationError("simulation time went backwards")
-        self.now = deliver_at
-        self.stats.messages_delivered += 1
-        self.stats.total_latency += deliver_at - sent_at
-        return Delivery(time=deliver_at, message=message, sent_at=sent_at)
+        if not isinstance(head, DeliveryEvent):
+            # Checked before popping so the offending event (a timer or
+            # arrival) survives and the clock does not advance.
+            raise SimulationError(
+                "deliver_next reached a non-delivery event; drive mixed "
+                "event queues through the SimulationHost step loop instead"
+            )
+        firing = self.kernel.next_event()
+        event: DeliveryEvent = firing.event
+        self.transport.record_delivery(event, firing.time)
+        return Delivery(time=firing.time, message=event.message, sent_at=event.sent_at)
 
     def drain(self) -> Iterable[Delivery]:
         """Yield deliveries until the scheduled queue is empty.

@@ -1,12 +1,15 @@
-"""Workload generation and execution.
+"""Workload generation and execution: closed-loop replay and open-loop arrivals.
 
 A *workload* is a finite sequence of client operations (writes and reads)
 addressed to specific replicas.  Workloads are plain data, so the same
 workload can be replayed against different protocols (the paper's algorithm
-and every baseline) under the same network seed — the comparison mode used
-by the metadata-overhead and optimization experiments.
+and every baseline) **and against either architecture** (the peer-to-peer
+:class:`~repro.sim.cluster.Cluster` or the client–server
+:class:`~repro.clientserver.cluster.ClientServerCluster` with co-located
+clients) under the same network seed — the comparison mode used by the
+metadata-overhead and optimization experiments.
 
-Generators provided:
+Closed-loop generators (the caller decides when each operation happens):
 
 * :func:`uniform_workload` — every replica writes its own registers at random;
 * :func:`hotspot_workload` — a skewed register popularity distribution;
@@ -14,6 +17,18 @@ Generators provided:
   (write at one replica, read/acknowledge at a sharer, write there, …), the
   access pattern that exercises causality tracking hardest;
 * :func:`read_heavy_workload` — mostly reads with occasional writes.
+
+Open-loop generators (operations arrive at simulated timestamps drawn from
+an arrival process, independent of the system's progress — the load model of
+production client traffic):
+
+* :func:`poisson_workload` — memoryless arrivals at a fixed mean rate;
+* :func:`bursty_workload` — alternating high-rate bursts and quiet gaps.
+
+Run closed-loop workloads with :func:`run_workload` and open-loop workloads
+with :func:`run_open_loop`; both drive any
+:class:`~repro.sim.engine.SimulationHost` and report through the unified
+metrics pipeline.
 """
 
 from __future__ import annotations
@@ -25,7 +40,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..core.errors import ConfigurationError
 from ..core.registers import Register, ReplicaId
 from ..core.share_graph import ShareGraph
-from .cluster import Cluster
+from .engine import LatencySummary, QueueDepthStats, SimulationHost, throughput_timeline
 
 
 @dataclass(frozen=True)
@@ -205,12 +220,17 @@ class WorkloadResult:
 
 
 def run_workload(
-    cluster: Cluster,
+    cluster: SimulationHost,
     workload: Workload,
     interleave_steps: int = 1,
     check: bool = True,
 ) -> WorkloadResult:
     """Replay a workload on a cluster and validate the execution.
+
+    ``cluster`` is any :class:`~repro.sim.engine.SimulationHost` — the
+    peer-to-peer cluster, or a client–server cluster with co-located
+    clients; operations route through
+    :meth:`~repro.sim.engine.SimulationHost.submit_operation`.
 
     Parameters
     ----------
@@ -224,12 +244,7 @@ def run_workload(
     """
     steps = 0
     for operation in workload.operations:
-        if operation.kind == "write":
-            cluster.write(operation.replica_id, operation.register, operation.value)
-        elif operation.kind == "read":
-            cluster.read(operation.replica_id, operation.register)
-        else:
-            raise ConfigurationError(f"unknown operation kind {operation.kind!r}")
+        cluster.submit_operation(operation)
         for _ in range(interleave_steps):
             if cluster.step():
                 steps += 1
@@ -253,4 +268,260 @@ def run_workload(
         metadata_counters_sent=cluster.network.stats.metadata_counters_sent,
         mean_apply_latency=cluster.metrics.mean_apply_latency,
         metadata_sizes=cluster.metadata_sizes(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Open-loop workloads (Poisson / bursty client arrivals)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TimedOperation:
+    """One operation arriving at a fixed simulated time."""
+
+    time: float
+    operation: Operation
+
+
+@dataclass(frozen=True)
+class OpenLoopWorkload:
+    """A named sequence of timed client arrivals.
+
+    Unlike the closed-loop :class:`Workload` — where the driver submits the
+    next operation only after deciding how far to advance the network — an
+    open-loop workload fixes every arrival time up front, independent of the
+    system's progress.  Queues can therefore actually build up, which is
+    what makes open-loop runs the right model for measuring throughput and
+    latency under production-style client traffic.
+    """
+
+    name: str
+    arrivals: Tuple[TimedOperation, ...]
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def duration(self) -> float:
+        """The last scheduled arrival time (0.0 when empty)."""
+        return self.arrivals[-1].time if self.arrivals else 0.0
+
+    @property
+    def write_count(self) -> int:
+        """Number of write arrivals."""
+        return sum(1 for a in self.arrivals if a.operation.kind == "write")
+
+    @property
+    def read_count(self) -> int:
+        """Number of read arrivals."""
+        return sum(1 for a in self.arrivals if a.operation.kind == "read")
+
+
+def _random_operation(
+    graph: ShareGraph,
+    rng: random.Random,
+    replica_ids: Sequence[ReplicaId],
+    write_fraction: float,
+    index: int,
+    prefix: str,
+) -> Operation:
+    replica_id = rng.choice(replica_ids)
+    register = rng.choice(_writable_registers(graph, replica_id))
+    if rng.random() < write_fraction:
+        return Operation("write", replica_id, register, value=f"{prefix}{index}")
+    return Operation("read", replica_id, register)
+
+
+def poisson_workload(
+    graph: ShareGraph,
+    rate: float,
+    duration: float,
+    write_fraction: float = 0.7,
+    seed: int = 0,
+) -> OpenLoopWorkload:
+    """Memoryless open-loop arrivals at ``rate`` operations per time unit.
+
+    Inter-arrival gaps are exponential with mean ``1/rate``; targets and
+    kinds are drawn like :func:`uniform_workload`.
+    """
+    if rate <= 0:
+        raise ConfigurationError("rate must be positive")
+    if duration <= 0:
+        raise ConfigurationError("duration must be positive")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigurationError("write_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    replica_ids = list(graph.replica_ids)
+    arrivals: List[TimedOperation] = []
+    t = rng.expovariate(rate)
+    index = 0
+    while t <= duration:
+        operation = _random_operation(graph, rng, replica_ids, write_fraction, index, "p")
+        arrivals.append(TimedOperation(time=t, operation=operation))
+        t += rng.expovariate(rate)
+        index += 1
+    return OpenLoopWorkload("poisson", tuple(arrivals))
+
+
+def bursty_workload(
+    graph: ShareGraph,
+    burst_rate: float,
+    idle_rate: float,
+    burst_length: float,
+    idle_length: float,
+    duration: float,
+    write_fraction: float = 0.7,
+    seed: int = 0,
+) -> OpenLoopWorkload:
+    """An on/off arrival process: Poisson bursts separated by quiet gaps.
+
+    The process alternates a burst phase of ``burst_length`` time units with
+    arrivals at ``burst_rate``, and an idle phase of ``idle_length`` with
+    arrivals at ``idle_rate`` (which may be 0 for complete silence).  This
+    is the classic stress pattern for pending-buffer growth: bursts overrun
+    the propagation capacity, gaps let the system drain.
+    """
+    for name, value in (("burst_rate", burst_rate),
+                        ("burst_length", burst_length),
+                        ("duration", duration)):
+        if value <= 0:
+            raise ConfigurationError(f"{name} must be positive")
+    if idle_rate < 0 or idle_length < 0:
+        raise ConfigurationError("idle_rate and idle_length must be non-negative")
+    rng = random.Random(seed)
+    replica_ids = list(graph.replica_ids)
+    arrivals: List[TimedOperation] = []
+    index = 0
+    phase_start = 0.0
+    in_burst = True
+    while phase_start < duration:
+        rate = burst_rate if in_burst else idle_rate
+        length = burst_length if in_burst else idle_length
+        phase_end = min(phase_start + length, duration)
+        if rate > 0:
+            t = phase_start + rng.expovariate(rate)
+            while t <= phase_end:
+                operation = _random_operation(
+                    graph, rng, replica_ids, write_fraction, index, "b"
+                )
+                arrivals.append(TimedOperation(time=t, operation=operation))
+                t += rng.expovariate(rate)
+                index += 1
+        phase_start = phase_end
+        in_burst = not in_burst
+    return OpenLoopWorkload("bursty", tuple(arrivals))
+
+
+@dataclass
+class OpenLoopResult:
+    """Everything measured while running an open-loop workload on a host."""
+
+    workload: OpenLoopWorkload
+    steps: int
+    consistent: bool
+    safety_violations: int
+    liveness_violations: int
+    #: Simulated time at which the system fully drained (the makespan).
+    makespan: float
+    messages_sent: int
+    metadata_counters_sent: int
+    #: Remote-apply (propagation) latency percentiles.
+    apply_latency: LatencySummary
+    #: Client-observed operation blocking-time percentiles.
+    operation_latency: LatencySummary
+    #: Remote applies per time bucket.
+    throughput: Tuple[Tuple[float, int], ...]
+    #: Sampled pending-buffer depth statistics per replica.
+    queue_depths: Dict[ReplicaId, QueueDepthStats]
+    #: Peak pending-buffer occupancy per replica (exact, not sampled).
+    max_pending: Dict[ReplicaId, int]
+
+    @property
+    def effective_throughput(self) -> float:
+        """Remote applies per simulated time unit over the whole run."""
+        if self.makespan <= 0:
+            return 0.0
+        return sum(count for _, count in self.throughput) / self.makespan
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "OK" if self.consistent else "VIOLATED"
+        return (
+            f"{self.workload.name}: {len(self.workload)} arrivals over "
+            f"{self.workload.duration:.1f}, drained at {self.makespan:.1f}, "
+            f"{self.messages_sent} msgs, apply p99 {self.apply_latency.p99:.1f}, "
+            f"consistency {status}"
+        )
+
+
+def run_open_loop(
+    cluster: SimulationHost,
+    workload: OpenLoopWorkload,
+    check: bool = True,
+    queue_sample_interval: Optional[float] = None,
+    throughput_bucket: float = 10.0,
+) -> OpenLoopResult:
+    """Run an open-loop workload on a host and validate the execution.
+
+    Every arrival is scheduled on the host's event kernel up front; the
+    kernel then interleaves client arrivals with message deliveries in
+    global time order until the system drains.  Works on any
+    :class:`~repro.sim.engine.SimulationHost`.
+
+    Arrival times are offsets from the host's clock at the start of this
+    call, so a warmed-up cluster replays the schedule with its spacing
+    intact.  (The cumulative metrics — throughput timeline, latency
+    samples — still cover the host's whole history; use a fresh cluster
+    for per-run numbers.)
+
+    Parameters
+    ----------
+    queue_sample_interval:
+        When set, pending-buffer depths are sampled every that many time
+        units while the run is in progress (feeding ``queue_depths``).
+    throughput_bucket:
+        Bucket width of the reported apply-throughput timeline.
+    """
+    started_at = cluster.now
+    for arrival in workload.arrivals:
+        cluster.schedule_arrival_at(started_at + arrival.time, arrival.operation)
+
+    if queue_sample_interval is not None:
+        if queue_sample_interval <= 0:
+            raise ConfigurationError("queue_sample_interval must be positive")
+
+        def sample(host: SimulationHost, time: float) -> None:
+            host.sample_queue_depths()
+            if host.busy():
+                host.schedule_timer(queue_sample_interval, sample, tag="queue-sampler")
+
+        cluster.schedule_timer(queue_sample_interval, sample, tag="queue-sampler")
+
+    steps = cluster.run_until_quiescent()
+
+    if check:
+        report = cluster.check_consistency()
+        consistent = report.is_causally_consistent
+        safety = len(report.safety_violations)
+        liveness = len(report.liveness_violations)
+    else:
+        consistent, safety, liveness = True, 0, 0
+
+    metrics = cluster.metrics
+    return OpenLoopResult(
+        workload=workload,
+        steps=steps,
+        consistent=consistent,
+        safety_violations=safety,
+        liveness_violations=liveness,
+        # Time from the start of this run to the last delivery/arrival:
+        # trailing sampler timers do not count towards the makespan.
+        makespan=max(cluster.last_activity_time, started_at) - started_at,
+        messages_sent=cluster.network.stats.messages_sent,
+        metadata_counters_sent=cluster.network.stats.metadata_counters_sent,
+        apply_latency=metrics.apply_latency_summary(),
+        operation_latency=metrics.operation_latency_summary(),
+        throughput=tuple(metrics.apply_throughput(throughput_bucket)),
+        queue_depths=metrics.queue_depth_summary(),
+        max_pending=dict(metrics.max_pending),
     )

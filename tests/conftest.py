@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.registers import RegisterPlacement
 from repro.core.share_graph import ShareGraph
 from repro.sim.topologies import (
     COUNTEREXAMPLE_IDS,
@@ -13,12 +12,7 @@ from repro.sim.topologies import (
     counterexample2_placement,
     figure3_placement,
     figure5_placement,
-    grid_placement,
-    pairwise_clique_placement,
-    path_placement,
-    random_partial_placement,
     ring_placement,
-    star_placement,
     tree_placement,
     triangle_placement,
 )
@@ -78,21 +72,9 @@ def ce_ids() -> dict:
     return dict(COUNTEREXAMPLE_IDS)
 
 
-def all_small_placements():
-    """A suite of small placements used by parametrized integration tests."""
-    return {
-        "figure3": figure3_placement(),
-        "figure5": figure5_placement(),
-        "triangle": triangle_placement(),
-        "ring5": ring_placement(5),
-        "tree7": tree_placement(7),
-        "star4": star_placement(4),
-        "path4": path_placement(4),
-        "clique4": clique_placement(4),
-        "pairwise4": pairwise_clique_placement(4),
-        "grid2x3": grid_placement(2, 3),
-        "random7": random_partial_placement(7, 10, replication_factor=3, seed=3),
-    }
+# Re-exported from the importable module so existing fixture code keeps
+# working; test modules should import it from ``placements`` directly.
+from placements import all_small_placements  # noqa: E402
 
 
 @pytest.fixture(params=sorted(all_small_placements()))

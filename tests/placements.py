@@ -1,0 +1,40 @@
+"""Shared placement suites for parametrized integration tests.
+
+Importable by name (``from placements import all_small_placements``) so test
+modules do not depend on conftest import-order resolution — ``conftest`` is
+ambiguous when both ``tests/`` and ``benchmarks/`` are on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+from repro.core.registers import RegisterPlacement
+from repro.sim.topologies import (
+    clique_placement,
+    figure3_placement,
+    figure5_placement,
+    grid_placement,
+    pairwise_clique_placement,
+    path_placement,
+    random_partial_placement,
+    ring_placement,
+    star_placement,
+    tree_placement,
+    triangle_placement,
+)
+
+
+def all_small_placements() -> dict:
+    """A suite of small placements used by parametrized integration tests."""
+    return {
+        "figure3": figure3_placement(),
+        "figure5": figure5_placement(),
+        "triangle": triangle_placement(),
+        "ring5": ring_placement(5),
+        "tree7": tree_placement(7),
+        "star4": star_placement(4),
+        "path4": path_placement(4),
+        "clique4": clique_placement(4),
+        "pairwise4": pairwise_clique_placement(4),
+        "grid2x3": grid_placement(2, 3),
+        "random7": random_partial_placement(7, 10, replication_factor=3, seed=3),
+    }

@@ -16,6 +16,12 @@ EXPECTED_OUTPUT = {
     "geo_store_client_server.py": ["client-server", "Checker verdict"],
     "metadata_explorer.py": ["Figure 5 timestamp graphs", "Topology survey"],
     "optimization_tradeoffs.py": ["Compression", "Dummy registers", "Bounded loop length"],
+    "open_loop_throughput.py": [
+        "Open-loop workloads",
+        "apply latency",
+        "peak pending-buffer depth",
+        "passed the consistency checker",
+    ],
 }
 
 

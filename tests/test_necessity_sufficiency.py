@@ -25,7 +25,7 @@ from repro.sim.topologies import ring_placement
 from repro.sim.workloads import causal_chain_workload, run_workload, uniform_workload
 from repro.baselines import incident_only_factory
 
-from conftest import all_small_placements
+from placements import all_small_placements
 
 
 class TestNecessity:
