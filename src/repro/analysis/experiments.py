@@ -20,13 +20,6 @@ from ..baselines import (
     hoop_tracking_factory,
     incident_only_factory,
 )
-from ..core.consistency import ConsistencyReport
-from ..core.hoops import compare_with_theorem8
-from ..core.protocol import CausalReplica
-from ..core.registers import RegisterPlacement, ReplicaId
-from ..core.replica import EdgeIndexedReplica
-from ..core.share_graph import Edge, ShareGraph
-from ..core.timestamp_graph import TimestampGraph, build_all_timestamp_graphs, timestamp_edges
 from ..clientserver import (
     AugmentedShareGraph,
     ClientAssignment,
@@ -34,6 +27,13 @@ from ..clientserver import (
     build_all_augmented_timestamp_edges,
     client_index_edges,
 )
+from ..core.consistency import ConsistencyReport
+from ..core.hoops import compare_with_theorem8
+from ..core.protocol import CausalReplica
+from ..core.registers import RegisterPlacement, ReplicaId
+from ..core.replica import EdgeIndexedReplica
+from ..core.share_graph import Edge, ShareGraph
+from ..core.timestamp_graph import TimestampGraph, build_all_timestamp_graphs, timestamp_edges
 from ..lower_bounds import (
     algorithm_bits,
     algorithm_counters,
@@ -55,6 +55,8 @@ from ..optimizations import (
 )
 from ..sim.cluster import Cluster, ReplicaFactory, edge_indexed_factory
 from ..sim.delays import FixedDelay, PerChannelDelay, UniformDelay
+from ..sim.engine import SimulationHost
+from ..sim.faults import FaultInjector, FaultSchedule, random_fault_schedule
 from ..sim.metrics import (
     ComparisonRow,
     compare_protocols,
@@ -889,6 +891,147 @@ def render_open_loop(rows: Sequence[OpenLoopRow]) -> str:
                 f"{r.apply_p99:.1f}",
                 r.peak_pending,
                 r.messages,
+                "yes" if r.consistent else "NO",
+            )
+            for r in rows
+        ],
+    )
+
+
+# ======================================================================
+# E15 — Fault tolerance: crashes, recovery, partitions
+# ======================================================================
+
+@dataclass(frozen=True)
+class FaultToleranceRow:
+    """One architecture × fault-intensity cell of the E15 sweep."""
+
+    architecture: str
+    crashes: int
+    partition_duration: float
+    operations: int
+    rejected_operations: int
+    availability_min: float
+    recovery_mean: float
+    recovery_max: float
+    staleness_p99: float
+    staleness_max: float
+    messages_lost_to_crash: int
+    retransmissions: int
+    consistent: bool
+
+
+def _fault_tolerance_host(architecture: str, graph: ShareGraph,
+                          seed: int) -> SimulationHost:
+    if architecture == "peer-to-peer":
+        return Cluster(graph, delay_model=UniformDelay(1, 10), seed=seed)
+    return ClientServerCluster.with_colocated_clients(
+        graph, delay_model=UniformDelay(1, 10), seed=seed
+    )
+
+
+def exp_fault_tolerance(
+    rate: float = 1.0,
+    duration: float = 120.0,
+    crash_counts: Sequence[int] = (0, 1, 2),
+    partition_durations: Sequence[float] = (0.0, 30.0),
+    downtime: float = 20.0,
+    seed: int = 15,
+) -> List[FaultToleranceRow]:
+    """Sweep crash count × partition duration on both architectures (E15).
+
+    For every cell a seeded :func:`~repro.sim.faults.random_fault_schedule`
+    (crash/restart pairs plus an optional mid-run partition window) is
+    installed over the same Poisson open-loop workload on the Figure 5
+    share graph, on both the peer-to-peer and the client–server cluster.
+    Reported per cell: minimum per-replica availability, recovery latency
+    (restart → caught up via anti-entropy resync), staleness (apply-latency
+    p99/max — partition-crossing applies wait out the partition), rejected
+    operations, and the consistency-checker verdict — causal consistency
+    must hold through every fault schedule.
+    """
+    graph = ShareGraph.from_placement(figure5_placement())
+    workload = poisson_workload(graph, rate=rate, duration=duration, seed=seed)
+    rows: List[FaultToleranceRow] = []
+    for crashes in crash_counts:
+        for partition_duration in partition_durations:
+            schedule = random_fault_schedule(
+                graph.replica_ids,
+                duration,
+                crashes=crashes,
+                downtime=downtime,
+                partition_duration=partition_duration,
+                partition_at=0.4 * duration,
+                seed=seed + crashes,
+                name=f"crashes{crashes}-part{partition_duration:g}",
+            )
+            for architecture in ("peer-to-peer", "client-server"):
+                host = _fault_tolerance_host(architecture, graph, seed)
+                injector = FaultInjector(host)
+                injector.install(schedule)
+                result = run_open_loop(host, workload)
+                injector.finalize_downtime()
+                # Fixed horizon: every cell is normalized over the same
+                # workload window, so availabilities compare across cells
+                # (a longer drain must not inflate the denominator).
+                availability = host.metrics.availability(
+                    duration, graph.replica_ids
+                )
+                recovery = host.metrics.recovery_latency_summary()
+                rows.append(
+                    FaultToleranceRow(
+                        architecture=architecture,
+                        crashes=crashes,
+                        partition_duration=partition_duration,
+                        operations=len(workload),
+                        rejected_operations=host.metrics.rejected_operations,
+                        availability_min=min(availability.values()),
+                        recovery_mean=recovery.mean,
+                        recovery_max=recovery.max,
+                        staleness_p99=result.apply_latency.p99,
+                        staleness_max=result.apply_latency.max,
+                        messages_lost_to_crash=(
+                            host.network.stats.messages_lost_to_crash
+                        ),
+                        retransmissions=host.network.stats.retransmissions,
+                        consistent=result.consistent,
+                    )
+                )
+    return rows
+
+
+def render_fault_tolerance(rows: Sequence[FaultToleranceRow]) -> str:
+    """Text table of the fault-tolerance sweep."""
+    return render_table(
+        [
+            "architecture",
+            "crashes",
+            "partition",
+            "ops",
+            "rejected",
+            "min avail",
+            "recovery mean",
+            "recovery max",
+            "staleness p99",
+            "staleness max",
+            "lost",
+            "resent",
+            "consistent",
+        ],
+        [
+            (
+                r.architecture,
+                r.crashes,
+                f"{r.partition_duration:g}",
+                r.operations,
+                r.rejected_operations,
+                f"{r.availability_min:.3f}",
+                f"{r.recovery_mean:.1f}",
+                f"{r.recovery_max:.1f}",
+                f"{r.staleness_p99:.1f}",
+                f"{r.staleness_max:.1f}",
+                r.messages_lost_to_crash,
+                r.retransmissions,
                 "yes" if r.consistent else "NO",
             )
             for r in rows

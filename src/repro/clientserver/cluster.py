@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.errors import ConfigurationError, SimulationError
-from ..core.protocol import CausalReplica, UpdateId
+from ..core.protocol import CausalReplica, Update, UpdateId
 from ..core.registers import Register, ReplicaId
 from ..core.share_graph import ShareGraph
 from ..sim.delays import DelayModel
@@ -103,9 +103,16 @@ class ClientServerCluster(SimulationHost):
         replica_id: Optional[ReplicaId] = None,
         max_steps: int = 100_000,
     ) -> Any:
-        """Perform a client read; blocks (simulating) until the server can serve it."""
+        """Perform a client read; blocks (simulating) until the server can serve it.
+
+        Returns ``None`` (rejecting the operation) while the chosen server
+        is crashed by the fault injector.
+        """
         client = self.clients[client_id]
         target = client.choose_replica(register, preferred=replica_id)
+        if self.replica_down(target):
+            self.metrics.rejected_operations += 1
+            return None
         request = ClientRequest(
             kind="read",
             client_id=client_id,
@@ -114,8 +121,13 @@ class ClientServerCluster(SimulationHost):
             client_timestamp=client.timestamp,
             sim_time=self.now,
         )
-        self._record_operation("read")
+        submitted_at = self.now
         response = self._submit_and_wait(target, request, max_steps)
+        if response is None:
+            # The server crashed while the request was buffered; its
+            # volatile request state is gone, so the operation is lost.
+            return None
+        self._record_operation("read", at=submitted_at)
         client.absorb_response(response.server_timestamp)
         client.record("read", target, register, response.value, self.now)
         self._note_client_observation(client_id, target)
@@ -128,10 +140,18 @@ class ClientServerCluster(SimulationHost):
         value: Any,
         replica_id: Optional[ReplicaId] = None,
         max_steps: int = 100_000,
-    ) -> None:
-        """Perform a client write; blocks (simulating) until the server can serve it."""
+    ) -> Optional[Update]:
+        """Perform a client write; blocks (simulating) until the server can serve it.
+
+        Returns the issued :class:`~repro.core.protocol.Update`, or ``None``
+        (rejecting the operation) when the chosen server is crashed by the
+        fault injector — before the request, or while it was buffered.
+        """
         client = self.clients[client_id]
         target = client.choose_replica(register, preferred=replica_id)
+        if self.replica_down(target):
+            self.metrics.rejected_operations += 1
+            return None
         request = ClientRequest(
             kind="write",
             client_id=client_id,
@@ -140,8 +160,13 @@ class ClientServerCluster(SimulationHost):
             client_timestamp=client.timestamp,
             sim_time=self.now,
         )
-        self._record_operation("write")
+        submitted_at = self.now
         response = self._submit_and_wait(target, request, max_steps)
+        if response is None:
+            # The server crashed before serving the buffered write; the
+            # client sees it rejected (the write never happened).
+            return None
+        self._record_operation("write", at=submitted_at)
         issued = response.issued
         self._note_issue(issued)
         # Everything the client had observed before this write happens-before it.
@@ -152,6 +177,7 @@ class ClientServerCluster(SimulationHost):
         client.record("write", target, register, value, self.now)
         self._note_client_observation(client_id, target)
         self._client_seen[client_id].add(issued.uid)
+        return issued
 
     def submit_operation(self, operation: Any) -> Any:
         """Execute a replica-addressed workload operation via its co-located client.
@@ -202,6 +228,12 @@ class ClientServerCluster(SimulationHost):
         steps = 0
         while True:
             made_progress = self.step()
+            if self.replica_down(target):
+                # A fault event crashed the server while the request was
+                # waiting; the buffered request is volatile, so the
+                # operation is rejected rather than served after restart.
+                self.metrics.rejected_operations += 1
+                return None
             self._dispatch(server.serve_waiting(sim_time=self.now))
             response = server.take_response(
                 request.client_id, request.kind, request.register

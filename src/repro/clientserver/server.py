@@ -76,6 +76,15 @@ class ClientServerReplica(EdgeIndexedReplica):
         #: Responses produced by :meth:`serve_waiting`, awaiting pickup by the caller.
         self.completed_responses: List[ClientResponse] = []
 
+    #: Buffered client requests/responses live in server memory only: a
+    #: crash drops them (clients see the operation rejected/timed out), so
+    #: they are excluded from durable snapshots and reset on restore.
+    _VOLATILE_STATE = ("waiting_requests", "completed_responses")
+
+    def _reset_volatile(self) -> None:
+        self.waiting_requests = []
+        self.completed_responses = []
+
     # ------------------------------------------------------------------
     # Client request handling
     # ------------------------------------------------------------------

@@ -18,11 +18,13 @@ in the library (the paper's edge-indexed algorithm and all the baselines):
 from __future__ import annotations
 
 import abc
+import copy
 import enum
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (
     Any,
+    ClassVar,
     Deque,
     Dict,
     FrozenSet,
@@ -31,10 +33,11 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
-from .errors import RegisterNotStoredError
+from .errors import ProtocolError, RegisterNotStoredError
 from .registers import Register, ReplicaId
 
 class _AnyKey:
@@ -153,6 +156,22 @@ class EventKind(enum.Enum):
 
 
 @dataclass(frozen=True)
+class ReplicaSnapshot:
+    """A replica's durable state, as captured by :meth:`CausalReplica.snapshot`.
+
+    The snapshot is a deep copy of every non-volatile attribute — the
+    timestamp, register store, pending buffer (with its index), applied log
+    and event trace — so :meth:`CausalReplica.restore` can rebuild the
+    replica exactly as it was at the durability point.  Used by the
+    fault-injection subsystem's crash/restart protocol
+    (:mod:`repro.sim.faults`).
+    """
+
+    replica_id: ReplicaId
+    state: Dict[str, Any]
+
+
+@dataclass(frozen=True)
 class ReplicaEvent:
     """One entry of a replica's local trace.
 
@@ -211,6 +230,14 @@ class CausalReplica(abc.ABC):
         #: receives at most one message per update, keeping them unique.
         self.pending: List[UpdateMessage] = []
         self._applied_pending_uids: set = set()
+        #: Uids currently buffered (pending minus tombstones), kept so
+        #: :meth:`receive` can suppress duplicate deliveries in O(1) — the
+        #: protocol-layer half of the exactly-once guarantee over lossy or
+        #: duplicating channels (the transport's ack/resend layer is the
+        #: at-least-once half).
+        self._pending_uids: Set[UpdateId] = set()
+        #: Duplicate deliveries suppressed by :meth:`receive`.
+        self.duplicates_ignored: int = 0
         #: Local issue/apply/read trace, consumed by the consistency checker.
         self.events: List[ReplicaEvent] = []
         #: Number of updates issued locally (used for sequence numbers).
@@ -376,7 +403,18 @@ class CausalReplica(abc.ABC):
         ]
 
     def receive(self, message: UpdateMessage) -> None:
-        """Step 3: buffer a received update message."""
+        """Step 3: buffer a received update message.
+
+        Deliveries of an update already applied or already buffered are
+        suppressed, so retransmissions and duplicating channels cannot
+        violate the exactly-once delivery assumption of the algorithm
+        prototype.
+        """
+        uid = message.update.uid
+        if uid in self._applied_uids or uid in self._pending_uids:
+            self.duplicates_ignored += 1
+            return
+        self._pending_uids.add(uid)
         self.pending.append(message)
         self._recheck.append(message)
 
@@ -454,7 +492,61 @@ class CausalReplica(abc.ABC):
         self.absorb_metadata(message)
         self.applied.append(update)
         self._applied_uids.add(update.uid)
+        self._pending_uids.discard(update.uid)
         self._record(EventKind.APPLY, update, update.register, sim_time)
+
+    # ------------------------------------------------------------------
+    # Durable state (crash/restart support)
+    # ------------------------------------------------------------------
+    #: Attributes excluded from durable snapshots — architecture-specific
+    #: in-memory state (e.g. buffered client requests) that a crash loses;
+    #: subclasses extend the tuple and reinitialise the attributes in
+    #: :meth:`_reset_volatile`.
+    _VOLATILE_STATE: ClassVar[Tuple[str, ...]] = ()
+
+    def snapshot(self) -> ReplicaSnapshot:
+        """Capture the replica's durable state (write-ahead persistence).
+
+        The fault model persists every protocol state change synchronously:
+        the timestamp, register store, pending buffer + index, applied log,
+        sequence counter and event trace all survive a crash.  What a crash
+        costs is *availability* — deliveries addressed to the replica while
+        it is down are lost and must be recovered via the transport's
+        anti-entropy resync.
+        """
+        state = {
+            name: value
+            for name, value in self.__dict__.items()
+            if name not in self._VOLATILE_STATE
+        }
+        return ReplicaSnapshot(replica_id=self.replica_id, state=copy.deepcopy(state))
+
+    def restore(self, snapshot: ReplicaSnapshot) -> None:
+        """Rebuild the replica from a durable snapshot (crash recovery).
+
+        Volatile attributes are re-initialised empty; everything else is
+        deep-copied back so the restored replica shares no structure with
+        the snapshot (it can be restored from again).
+        """
+        if snapshot.replica_id != self.replica_id:
+            raise ProtocolError(
+                f"snapshot of replica {snapshot.replica_id!r} cannot restore "
+                f"replica {self.replica_id!r}"
+            )
+        self.__dict__.update(copy.deepcopy(snapshot.state))
+        self._reset_volatile()
+
+    def _reset_volatile(self) -> None:
+        """Re-initialise the non-durable attributes after a restore."""
+
+    def known_update_ids(self) -> Set[UpdateId]:
+        """Uids this replica holds durably: applied plus buffered.
+
+        The restarted replica's half of the anti-entropy exchange — the
+        transport re-sends exactly the logged messages outside this set
+        (:meth:`~repro.sim.engine.Transport.resync`).
+        """
+        return set(self._applied_uids) | set(self._pending_uids)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -465,7 +557,7 @@ class CausalReplica(abc.ABC):
 
     def pending_count(self) -> int:
         """Number of buffered, not-yet-applied update messages."""
-        return len(self.pending) - len(self._applied_pending_uids)
+        return len(self._pending_uids)
 
     def _record(self, kind: EventKind, update: Optional[Update],
                 register: Optional[Register], sim_time: float) -> None:

@@ -30,10 +30,10 @@ from .compression import (
 from .dummy_registers import (
     DummyAssignment,
     DummyRegisterReplica,
+    dummy_emulation_report,
     dummy_register_factory,
     full_replication_dummies,
     loop_cover_dummies,
-    dummy_emulation_report,
 )
 from .virtual_registers import (
     RestrictionAnalysis,

@@ -78,8 +78,16 @@ class Cluster(SimulationHost):
         """The replica object for ``replica_id``."""
         return self._replica(replica_id)
 
-    def write(self, replica_id: ReplicaId, register: Register, value: Any) -> Update:
-        """Issue a write at the client co-located with ``replica_id``."""
+    def write(self, replica_id: ReplicaId, register: Register,
+              value: Any) -> Optional[Update]:
+        """Issue a write at the client co-located with ``replica_id``.
+
+        Returns ``None`` (rejecting the operation) while the replica is
+        crashed by the fault injector — the availability cost of a fault.
+        """
+        if self.replica_down(replica_id):
+            self.metrics.rejected_operations += 1
+            return None
         replica = self.replica(replica_id)
         messages = replica.write(register, value, sim_time=self.now)
         self._record_operation("write")
@@ -89,7 +97,14 @@ class Cluster(SimulationHost):
         return update
 
     def read(self, replica_id: ReplicaId, register: Register) -> Any:
-        """Issue a read at the client co-located with ``replica_id``."""
+        """Issue a read at the client co-located with ``replica_id``.
+
+        Returns ``None`` (rejecting the operation) while the replica is
+        crashed by the fault injector.
+        """
+        if self.replica_down(replica_id):
+            self.metrics.rejected_operations += 1
+            return None
         self._record_operation("read")
         return self.replica(replica_id).read(register, sim_time=self.now)
 

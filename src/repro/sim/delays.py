@@ -26,11 +26,25 @@ Channel = Tuple[ReplicaId, ReplicaId]
 
 
 class DelayModel:
-    """Base class: assigns a latency to each message."""
+    """Base class: assigns a latency (and a channel fate) to each message."""
 
     def delay(self, message: UpdateMessage, rng: random.Random) -> float:
         """Latency (in simulated time units) for ``message``."""
         raise NotImplementedError
+
+    def fate(self, message: UpdateMessage, rng: random.Random) -> int:
+        """Number of copies of ``message`` the channel puts on the wire.
+
+        The default channel is reliable and exactly-once: one copy, no
+        randomness consumed.  The fault-injection wrappers
+        (:class:`LossyDelay`, :class:`DuplicatingDelay`) override this to
+        drop (0 copies) or duplicate (2+) with seeded probability; each copy
+        then samples its own delay.  A transport facing a lossy fate must
+        run the ack/resend reliability layer
+        (:meth:`~repro.sim.engine.Transport.enable_reliability`) or dropped
+        messages are lost for good.
+        """
+        return 1
 
 
 @dataclass
@@ -94,6 +108,64 @@ class AdversarialDelay(DelayModel):
 
     def delay(self, message: UpdateMessage, rng: random.Random) -> float:
         return float(self.chooser(message))
+
+
+@dataclass
+class ChannelFateWrapper(DelayModel):
+    """Base for wrappers perturbing the channel fate of selected channels.
+
+    Delays delegate to the wrapped model unchanged; the fate decision draws
+    from the same seeded generator, so a wrapped run is exactly as
+    reproducible as its inner model (same seed → same delay *and* fate
+    sequence).  ``channels`` restricts the perturbation to specific
+    directed channels (``None`` = every channel); subclasses implement just
+    :meth:`_transform`.
+    """
+
+    inner: DelayModel = field(default_factory=UniformDelay)
+    channels: Optional[frozenset] = None
+
+    def delay(self, message: UpdateMessage, rng: random.Random) -> float:
+        return self.inner.delay(message, rng)
+
+    def fate(self, message: UpdateMessage, rng: random.Random) -> int:
+        copies = self.inner.fate(message, rng)
+        if self.channels is not None:
+            if (message.sender, message.destination) not in self.channels:
+                return copies
+        return self._transform(copies, rng)
+
+    def _transform(self, copies: int, rng: random.Random) -> int:
+        """Perturb the inner fate (number of copies) for an in-scope message."""
+        raise NotImplementedError
+
+
+@dataclass
+class LossyDelay(ChannelFateWrapper):
+    """Wrapper dropping each message with seeded probability."""
+
+    drop_probability: float = 0.1
+
+    def _transform(self, copies: int, rng: random.Random) -> int:
+        return 0 if rng.random() < self.drop_probability else copies
+
+
+@dataclass
+class DuplicatingDelay(ChannelFateWrapper):
+    """Wrapper injecting a duplicate copy with seeded probability.
+
+    Stacks with :class:`LossyDelay` in either order (a dropped message has
+    no copies to duplicate; a duplicated message may lose one copy).  Each
+    copy samples its own delay, so duplicates reorder freely — the regime
+    the protocol layer's duplicate suppression must survive.
+    """
+
+    duplicate_probability: float = 0.1
+
+    def _transform(self, copies: int, rng: random.Random) -> int:
+        if copies > 0 and rng.random() < self.duplicate_probability:
+            return copies + 1
+        return copies
 
 
 @dataclass

@@ -28,12 +28,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import random
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
     Dict,
+    FrozenSet,
     Iterable,
     List,
     Mapping,
@@ -50,8 +52,6 @@ from ..core.protocol import CausalReplica, ReplicaEvent, Update, UpdateId, Updat
 from ..core.registers import Register, ReplicaId
 from ..core.share_graph import ShareGraph
 from .delays import Channel, DelayModel, UniformDelay
-
-import random
 
 
 # ======================================================================
@@ -90,15 +90,32 @@ class ArrivalEvent:
     operation: Any
 
 
-Event = Any  # DeliveryEvent | TimerEvent | ArrivalEvent
+@dataclass(frozen=True)
+class FaultEvent:
+    """A scheduled fault action (crash, restart, partition, heal, …).
 
-#: Tie-break order for events scheduled at the same instant: deliveries
-#: first (so arrivals and samplers observe the freshest replica state),
-#: then arrivals, then timers.
+    Faults are first-class kernel events so a fault schedule replays
+    deterministically against the rest of the event stream.  The action is
+    invoked as ``action(host, time)`` when the event fires; the
+    :class:`~repro.sim.faults.FaultInjector` builds these from a declarative
+    :class:`~repro.sim.faults.FaultSchedule`.
+    """
+
+    action: Callable[["SimulationHost", float], None]
+    kind: str = ""
+
+
+Event = Any  # DeliveryEvent | TimerEvent | ArrivalEvent | FaultEvent
+
+#: Tie-break order for events scheduled at the same instant: faults first
+#: (a crash at time t suppresses a delivery at time t), then deliveries
+#: (so arrivals and samplers observe the freshest replica state), then
+#: arrivals, then timers.
 _EVENT_PRIORITY: Dict[type, int] = {
-    DeliveryEvent: 0,
-    ArrivalEvent: 1,
-    TimerEvent: 2,
+    FaultEvent: 0,
+    DeliveryEvent: 1,
+    ArrivalEvent: 2,
+    TimerEvent: 3,
 }
 
 
@@ -132,7 +149,7 @@ class EventKernel:
             raise SimulationError(
                 f"cannot schedule an event at {time} < now ({self.now})"
             )
-        priority = _EVENT_PRIORITY.get(type(event), 3)
+        priority = _EVENT_PRIORITY.get(type(event), 4)
         heapq.heappush(self._heap, (time, priority, next(self._counter), event))
 
     def schedule_after(self, delay: float, event: Event) -> None:
@@ -192,6 +209,14 @@ class NetworkStats:
     payload_messages_sent: int = 0
     metadata_only_messages_sent: int = 0
     total_latency: float = 0.0
+    #: Message copies the (lossy) channel discarded before delivery.
+    messages_dropped: int = 0
+    #: Extra copies injected by a duplicating channel.
+    messages_duplicated: int = 0
+    #: Copies re-sent by the ack/resend reliability layer.
+    retransmissions: int = 0
+    #: Deliveries discarded because the destination replica was crashed.
+    messages_lost_to_crash: int = 0
 
     @property
     def mean_latency(self) -> float:
@@ -201,13 +226,44 @@ class NetworkStats:
         return self.total_latency / self.messages_delivered
 
 
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Parameters of the transport's ack + resend-timer reliability layer.
+
+    With the layer enabled, every non-parked send arms a resend timer; an
+    actual delivery acknowledges the message (after ``ack_delay``), and an
+    unacknowledged message is retransmitted up to ``max_retries`` times.
+    The final attempt bypasses the loss sampler (the channel is fair-lossy),
+    so a lossy/duplicating channel still delivers every message to a live
+    destination — the protocol layer's duplicate suppression then restores
+    the paper's exactly-once delivery assumption end to end.
+    """
+
+    resend_timeout: float = 30.0
+    max_retries: int = 8
+    ack_delay: float = 0.0
+
+
 class Transport:
-    """Reliable, non-FIFO point-to-point channels over an event kernel.
+    """Point-to-point channels over an event kernel.
 
     Samples a delay for every message from the :class:`DelayModel` and
-    schedules the corresponding :class:`DeliveryEvent`.  Channels can be
-    held (parking all traffic) and released, as the adversarial schedules
-    of the necessity and lower-bound experiments require.
+    schedules the corresponding :class:`DeliveryEvent`.  Channels are
+    reliable and non-FIFO by default, with three fault-subsystem extensions
+    (all inert unless enabled):
+
+    * channels can be held (parking all traffic) and released, as the
+      adversarial schedules of the necessity experiments require, and the
+      replica set can be *partitioned* into isolated groups — a parked
+      message flies once **both** its explicit hold is released and no
+      partition separates its endpoints;
+    * lossy/duplicating delay-model wrappers
+      (:class:`~repro.sim.delays.LossyDelay`,
+      :class:`~repro.sim.delays.DuplicatingDelay`) are honoured per send,
+      with an ack + resend-timer reliability layer
+      (:meth:`enable_reliability`) restoring at-least-once delivery;
+    * a durable per-destination sent-log (:meth:`enable_sent_log`) supports
+      the crash-recovery anti-entropy exchange (:meth:`resync`).
     """
 
     def __init__(
@@ -220,8 +276,34 @@ class Transport:
         self.delay_model = delay_model or UniformDelay()
         self.rng = random.Random(seed)
         self.stats = NetworkStats()
+        #: Multiplier applied to every sampled latency (latency-spike faults).
+        self.delay_factor: float = 1.0
         self._held_channels: Set[Channel] = set()
         self._held_messages: List[Tuple[float, UpdateMessage]] = []
+        self._partition_groups: Optional[Tuple[FrozenSet[ReplicaId], ...]] = None
+        self._partition_lookup: Dict[ReplicaId, int] = {}
+        self._reliability: Optional[ReliabilityConfig] = None
+        #: Unacknowledged tracked messages: (uid, destination) -> (sent_at, message).
+        self._outstanding: Dict[Tuple[UpdateId, ReplicaId], Tuple[float, UpdateMessage]] = {}
+        self._acked: Set[Tuple[UpdateId, ReplicaId]] = set()
+        #: Per-destination durable outbox (crash resync); None = disabled.
+        self._sent_log: Optional[Dict[ReplicaId, Dict[UpdateId, Tuple[float, UpdateMessage]]]] = None
+
+    # ------------------------------------------------------------------
+    # Fault-subsystem configuration
+    # ------------------------------------------------------------------
+    def enable_reliability(self, config: Optional[ReliabilityConfig] = None) -> None:
+        """Turn on the ack + resend-timer layer (idempotent)."""
+        self._reliability = config or ReliabilityConfig()
+
+    def enable_sent_log(self) -> None:
+        """Start retaining every sent message per destination (idempotent).
+
+        Required by :meth:`resync`; off by default so fault-free runs keep
+        no per-message state.
+        """
+        if self._sent_log is None:
+            self._sent_log = {}
 
     # ------------------------------------------------------------------
     # Sending
@@ -239,20 +321,53 @@ class Transport:
         else:
             self.stats.metadata_only_messages_sent += 1
 
+        if self._sent_log is not None:
+            destination_log = self._sent_log.setdefault(message.destination, {})
+            destination_log[message.update.uid] = (self.kernel.now, message)
+
         channel = (message.sender, message.destination)
-        if channel in self._held_channels:
+        if self._blocked(channel):
             self._held_messages.append((self.kernel.now, message))
             return
-        self._schedule(message, sent_at=self.kernel.now, delay=delay)
+        self._transmit(message, sent_at=self.kernel.now, delay=delay)
 
     def send_all(self, messages: Iterable[UpdateMessage]) -> None:
         """Send a batch of messages."""
         for message in messages:
             self.send(message)
 
+    def _transmit(self, message: UpdateMessage, sent_at: float,
+                  delay: Optional[float] = None, force: bool = False) -> None:
+        """First wire attempt: put on the wire, arm the reliability layer."""
+        self._put_on_wire(message, sent_at=sent_at, delay=delay, force=force)
+        if self._reliability is not None:
+            self._track(message, sent_at)
+
+    def _put_on_wire(self, message: UpdateMessage, sent_at: float,
+                     delay: Optional[float] = None, force: bool = False) -> None:
+        """Sample the channel fate and schedule the resulting copies.
+
+        ``force=True`` bypasses the loss/duplication sampler (used by the
+        final retransmission attempt and by scripted-delay sends).
+        """
+        if delay is not None or force:
+            copies = 1
+        else:
+            copies = self.delay_model.fate(message, self.rng)
+        if copies <= 0:
+            self.stats.messages_dropped += 1
+            return
+        if copies > 1:
+            self.stats.messages_duplicated += copies - 1
+        for _ in range(copies):
+            self._schedule(message, sent_at=sent_at, delay=delay)
+
     def _schedule(self, message: UpdateMessage, sent_at: float,
                   delay: Optional[float] = None) -> None:
-        latency = self.delay_model.delay(message, self.rng) if delay is None else delay
+        if delay is None:
+            latency = self.delay_model.delay(message, self.rng) * self.delay_factor
+        else:
+            latency = delay
         if latency < 0:
             raise SimulationError(f"negative message delay: {latency}")
         self.kernel.schedule_after(latency, DeliveryEvent(message, sent_at=sent_at))
@@ -261,34 +376,176 @@ class Transport:
         """Account for one fired :class:`DeliveryEvent` in the statistics."""
         self.stats.messages_delivered += 1
         self.stats.total_latency += time - event.sent_at
+        if self._reliability is not None:
+            key = (event.message.update.uid, event.message.destination)
+            if self._reliability.ack_delay > 0 and key not in self._acked:
+                def ack(host: "SimulationHost", ack_time: float, key=key) -> None:
+                    self._acknowledge(key)
+                self.kernel.schedule_after(
+                    self._reliability.ack_delay, TimerEvent(callback=ack, tag="ack")
+                )
+            else:
+                self._acknowledge(key)
+
+    def note_lost_delivery(self, event: DeliveryEvent) -> None:
+        """Account for a delivery discarded because its destination is down.
+
+        The message is deliberately *not* acknowledged: with the reliability
+        layer on it will be retransmitted, and the crash-recovery resync
+        covers it otherwise.
+        """
+        self.stats.messages_lost_to_crash += 1
 
     # ------------------------------------------------------------------
-    # Adversarial channel control
+    # Ack + resend-timer reliability layer
     # ------------------------------------------------------------------
+    def _acknowledge(self, key: Tuple[UpdateId, ReplicaId]) -> None:
+        self._acked.add(key)
+        self._outstanding.pop(key, None)
+
+    def _track(self, message: UpdateMessage, sent_at: float) -> None:
+        key = (message.update.uid, message.destination)
+        if key in self._acked or key in self._outstanding:
+            return
+        self._outstanding[key] = (sent_at, message)
+        self._arm_retry(key, attempt=1)
+
+    def _arm_retry(self, key: Tuple[UpdateId, ReplicaId], attempt: int) -> None:
+        def fire(host: "SimulationHost", time: float,
+                 key=key, attempt=attempt) -> None:
+            self._retry(key, attempt)
+
+        self.kernel.schedule_after(
+            self._reliability.resend_timeout,
+            TimerEvent(callback=fire, tag="retransmit"),
+        )
+
+    def _retry(self, key: Tuple[UpdateId, ReplicaId], attempt: int) -> None:
+        if key in self._acked or key not in self._outstanding:
+            return
+        sent_at, message = self._outstanding[key]
+        channel = (message.sender, message.destination)
+        if self._blocked(channel):
+            # Hand the copy to the partition/hold buffer: it is delivered
+            # unconditionally on release/heal, so the timer chain can stop.
+            self._held_messages.append((sent_at, message))
+            del self._outstanding[key]
+            return
+        self.stats.retransmissions += 1
+        final = attempt >= self._reliability.max_retries
+        self._put_on_wire(message, sent_at=sent_at, force=final)
+        if final:
+            del self._outstanding[key]
+        else:
+            self._arm_retry(key, attempt + 1)
+
+    # ------------------------------------------------------------------
+    # Crash-recovery anti-entropy
+    # ------------------------------------------------------------------
+    def resync(self, destination: ReplicaId,
+               known: Set[UpdateId]) -> List[UpdateId]:
+        """Re-send every logged message to ``destination`` it does not know.
+
+        The anti-entropy half of crash recovery: the restarted replica
+        reports the update ids it holds (applied + pending, from its durable
+        snapshot) and the transport re-sends the rest from its sent-log,
+        through the normal delay/partition path.  Requires
+        :meth:`enable_sent_log` to have been on while the messages were
+        originally sent.  Returns the re-sent update ids in send order.
+        """
+        if self._sent_log is None:
+            raise SimulationError(
+                "resync requires the transport sent-log; call enable_sent_log() "
+                "(the FaultInjector does this on construction)"
+            )
+        missing: List[UpdateId] = []
+        for uid, (sent_at, message) in self._sent_log.get(destination, {}).items():
+            if uid in known:
+                continue
+            missing.append(uid)
+            self.stats.retransmissions += 1
+            channel = (message.sender, message.destination)
+            if self._blocked(channel):
+                self._held_messages.append((self.kernel.now, message))
+            else:
+                self._transmit(message, sent_at=self.kernel.now)
+        return missing
+
+    # ------------------------------------------------------------------
+    # Adversarial channel control: holds and partitions
+    # ------------------------------------------------------------------
+    def _blocked(self, channel: Channel) -> bool:
+        return channel in self._held_channels or self._crosses_partition(channel)
+
+    def _crosses_partition(self, channel: Channel) -> bool:
+        if self._partition_groups is None:
+            return False
+        lookup = self._partition_lookup
+        # Replicas in no listed group form one implicit "rest" island (-1).
+        return lookup.get(channel[0], -1) != lookup.get(channel[1], -1)
+
     def hold(self, sender: ReplicaId, destination: ReplicaId) -> None:
         """Park all current and future traffic on one directed channel."""
         self._held_channels.add((sender, destination))
 
     def release(self, sender: ReplicaId, destination: ReplicaId) -> None:
-        """Release a held channel; parked messages are scheduled from *now*."""
-        channel = (sender, destination)
-        self._held_channels.discard(channel)
-        still_held: List[Tuple[float, UpdateMessage]] = []
-        for sent_at, message in self._held_messages:
-            if (message.sender, message.destination) == channel:
-                self._schedule(message, sent_at=sent_at)
-            else:
-                still_held.append((sent_at, message))
-        self._held_messages = still_held
+        """Release a held channel; parked messages are scheduled from *now*.
+
+        A released message still crossing an active partition stays parked
+        until :meth:`heal`.
+        """
+        self._held_channels.discard((sender, destination))
+        self._flush_parked()
 
     def release_all(self) -> None:
         """Release every held channel."""
-        for channel in list(self._held_channels):
-            self.release(*channel)
+        self._held_channels.clear()
+        self._flush_parked()
+
+    def partition(self, *groups: Iterable[ReplicaId]) -> None:
+        """Split the replicas into isolated groups (replacing any partition).
+
+        Messages crossing group boundaries — in either direction — are
+        parked exactly like held-channel traffic and fly on :meth:`heal`.
+        Replicas not named in any group form one additional island together.
+        Messages parked under the previous partition whose endpoints the
+        new one reunites are re-scheduled immediately.
+        """
+        cleaned = tuple(frozenset(g) for g in groups if g)
+        self._partition_groups = cleaned or None
+        self._partition_lookup = {
+            rid: index for index, group in enumerate(cleaned) for rid in group
+        }
+        self._flush_parked()
+
+    def heal(self) -> None:
+        """Dissolve the partition; parked cross-partition traffic flies.
+
+        Explicitly held channels stay held: their messages remain parked
+        until :meth:`release`.
+        """
+        self._partition_groups = None
+        self._partition_lookup = {}
+        self._flush_parked()
+
+    @property
+    def partitioned(self) -> bool:
+        """``True`` while a partition is active."""
+        return self._partition_groups is not None
+
+    def _flush_parked(self) -> None:
+        """Re-schedule every parked message whose channel is now unblocked."""
+        still_parked: List[Tuple[float, UpdateMessage]] = []
+        for sent_at, message in self._held_messages:
+            if self._blocked((message.sender, message.destination)):
+                still_parked.append((sent_at, message))
+            else:
+                self._schedule(message, sent_at=sent_at)
+        self._held_messages = still_parked
 
     @property
     def held_count(self) -> int:
-        """Number of messages currently parked on held channels."""
+        """Number of messages currently parked on held or partitioned channels."""
         return len(self._held_messages)
 
 
@@ -365,6 +622,15 @@ class QueueDepthStats:
     peak: int
 
 
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault-subsystem event on the availability timeline."""
+
+    time: float
+    kind: str  # "crash" | "restart" | "partition" | "heal" | "slowdown" | …
+    detail: str = ""
+
+
 @dataclass
 class RunMetrics:
     """Everything a host records while driving a run.
@@ -390,6 +656,19 @@ class RunMetrics:
     operation_latencies: List[float] = field(default_factory=list)
     #: Periodic pending-buffer depth samples (open-loop runs).
     queue_samples: List[QueueDepthSample] = field(default_factory=list)
+    # -- fault subsystem -------------------------------------------------
+    #: Replica crashes / restarts injected during the run.
+    crashes: int = 0
+    restarts: int = 0
+    #: Client operations rejected because their target replica was down.
+    rejected_operations: int = 0
+    #: Every fault event, in firing order (the availability timeline).
+    fault_timeline: List[FaultRecord] = field(default_factory=list)
+    #: Completed downtime intervals per replica: ``[(down_at, up_at), …]``.
+    downtime: Dict[ReplicaId, List[Tuple[float, float]]] = field(default_factory=dict)
+    #: Simulated time from each restart until the replica had re-applied
+    #: every update it missed while down (one sample per recovery).
+    recovery_latencies: List[float] = field(default_factory=list)
 
     @property
     def mean_apply_latency(self) -> float:
@@ -413,6 +692,30 @@ class RunMetrics:
     def operation_throughput(self, bucket_width: float) -> List[Tuple[float, int]]:
         """Submitted operations per time bucket (offered load)."""
         return throughput_timeline([t for t, _ in self.operation_times], bucket_width)
+
+    def recovery_latency_summary(self) -> LatencySummary:
+        """Percentiles of the crash-recovery (restart → caught-up) latency."""
+        return LatencySummary.from_samples(self.recovery_latencies)
+
+    def availability(
+        self, horizon: float, replica_ids: Iterable[ReplicaId]
+    ) -> Dict[ReplicaId, float]:
+        """Fraction of ``[0, horizon]`` each replica was up.
+
+        Computed from the completed intervals in :attr:`downtime`; a replica
+        still down has its open interval closed by
+        :meth:`~repro.sim.faults.FaultInjector.finalize_downtime`.
+        """
+        if horizon <= 0:
+            raise SimulationError("availability horizon must be positive")
+        out: Dict[ReplicaId, float] = {}
+        for rid in replica_ids:
+            down = sum(
+                min(up_at, horizon) - min(down_at, horizon)
+                for down_at, up_at in self.downtime.get(rid, [])
+            )
+            out[rid] = max(0.0, 1.0 - down / horizon)
+        return out
 
     def queue_depth_summary(self) -> Dict[ReplicaId, QueueDepthStats]:
         """Mean/peak sampled queue depth per replica."""
@@ -467,6 +770,10 @@ class SimulationHost:
         # otherwise.
         self._arrival_backlog: "deque[Tuple[float, Any]]" = deque()
         self._servicing_arrivals = False
+        #: The attached fault injector, if any (set by
+        #: :class:`~repro.sim.faults.FaultInjector`); ``None`` on the
+        #: fault-free fast path, which every hook below checks first.
+        self.fault_injector: Optional["Any"] = None
 
     @property
     def now(self) -> float:
@@ -508,12 +815,20 @@ class SimulationHost:
         except KeyError:
             raise UnknownReplicaError(replica_id) from None
 
-    def _record_operation(self, kind: str) -> None:
+    def _record_operation(self, kind: str, at: Optional[float] = None) -> None:
+        """Count one client operation; ``at`` overrides the recorded time.
+
+        Callers that serve an operation after stepping the simulation (the
+        client–server blocking path) pass the submission time so the
+        offered-load timeline stays comparable across architectures.
+        """
         if kind == "write":
             self.metrics.writes += 1
         elif kind == "read":
             self.metrics.reads += 1
-        self.metrics.operation_times.append((self.now, kind))
+        self.metrics.operation_times.append(
+            (self.now if at is None else at, kind)
+        )
 
     def _note_issue(self, update: Update) -> None:
         self._issue_times[update.uid] = self.now
@@ -527,6 +842,8 @@ class SimulationHost:
             issued_at = self._issue_times.get(update.uid)
             if issued_at is not None:
                 self.metrics.apply_latencies.append(self.now - issued_at)
+        if applied and self.fault_injector is not None:
+            self.fault_injector.note_applies(replica.replica_id, applied, self.now)
         pending = replica.pending_count()
         previous = self.metrics.max_pending.get(replica.replica_id, 0)
         self.metrics.max_pending[replica.replica_id] = max(previous, pending)
@@ -543,6 +860,15 @@ class SimulationHost:
     ) -> None:
         """Fire ``callback(host, time)`` after ``delay`` simulated time units."""
         self.kernel.schedule_after(delay, TimerEvent(callback=callback, tag=tag))
+
+    def schedule_fault_at(
+        self,
+        time: float,
+        action: Callable[["SimulationHost", float], None],
+        kind: str = "",
+    ) -> None:
+        """Schedule a fault action at absolute simulated time ``time``."""
+        self.kernel.schedule_at(time, FaultEvent(action=action, kind=kind))
 
     def schedule_arrival(self, delay: float, operation: "Any") -> None:
         """Schedule an open-loop client operation ``delay`` units from now."""
@@ -570,8 +896,13 @@ class SimulationHost:
     # ------------------------------------------------------------------
     # The drive loop
     # ------------------------------------------------------------------
+    def replica_down(self, replica_id: ReplicaId) -> bool:
+        """``True`` while the fault injector holds ``replica_id`` crashed."""
+        injector = self.fault_injector
+        return injector is not None and injector.is_down(replica_id)
+
     def step(self) -> bool:
-        """Fire the next scheduled event (delivery, timer or arrival).
+        """Fire the next scheduled event (delivery, fault, timer or arrival).
 
         Returns ``False`` when nothing remained scheduled.
         """
@@ -581,13 +912,20 @@ class SimulationHost:
         event = firing.event
         if isinstance(event, DeliveryEvent):
             self.last_activity_time = firing.time
-            self.transport.record_delivery(event, firing.time)
-            self._deliver(event.message)
+            if self.replica_down(event.message.destination):
+                # The destination is crashed: the delivery is lost (it is
+                # re-sent by the retransmission layer or the restart resync).
+                self.transport.note_lost_delivery(event)
+            else:
+                self.transport.record_delivery(event, firing.time)
+                self._deliver(event.message)
         elif isinstance(event, TimerEvent):
             event.callback(self, firing.time)
         elif isinstance(event, ArrivalEvent):
             self.last_activity_time = firing.time
             self._handle_arrival(event.operation)
+        elif isinstance(event, FaultEvent):
+            event.action(self, firing.time)
         else:  # pragma: no cover - future event types
             raise SimulationError(f"unknown event type {type(event).__name__}")
         return True
@@ -646,6 +984,8 @@ class SimulationHost:
         while progress:
             progress = False
             for replica in self._replica_map().values():
+                if self.replica_down(replica.replica_id):
+                    continue
                 if self._apply_ready(replica, force=True):
                     progress = True
                 if self._quiescent_hook(replica):

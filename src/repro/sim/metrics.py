@@ -21,14 +21,15 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.protocol import EventKind, ReplicaEvent
 from ..core.causal import HappenedBefore
+from ..core.protocol import EventKind, ReplicaEvent
 from ..core.registers import ReplicaId
 from ..core.share_graph import ShareGraph
 from ..core.timestamp_graph import TimestampGraph, build_all_timestamp_graphs
 from .cluster import Cluster, ReplicaFactory
 from .delays import DelayModel
 from .engine import (
+    FaultRecord,
     LatencySummary,
     QueueDepthSample,
     QueueDepthStats,
@@ -41,6 +42,7 @@ from .workloads import Workload, WorkloadResult, run_workload
 __all__ = [
     "ComparisonRow",
     "FalseDependencyStats",
+    "FaultRecord",
     "LatencySummary",
     "MetadataProfile",
     "QueueDepthSample",

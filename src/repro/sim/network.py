@@ -114,9 +114,22 @@ class SimNetwork:
         """Release every held channel."""
         self.transport.release_all()
 
+    def partition(self, *groups: Iterable[ReplicaId]) -> None:
+        """Split the replicas into isolated groups (fault subsystem)."""
+        self.transport.partition(*groups)
+
+    def heal(self) -> None:
+        """Dissolve the active partition; parked cross-group traffic flies."""
+        self.transport.heal()
+
+    @property
+    def partitioned(self) -> bool:
+        """``True`` while a partition is active."""
+        return self.transport.partitioned
+
     @property
     def held_count(self) -> int:
-        """Number of messages currently parked on held channels."""
+        """Number of messages currently parked on held or partitioned channels."""
         return self.transport.held_count
 
     # ------------------------------------------------------------------

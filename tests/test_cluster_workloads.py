@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.baselines import full_replication_factory
 from repro.core.errors import UnknownReplicaError
 from repro.core.share_graph import ShareGraph
 from repro.sim.cluster import Cluster, build_cluster, edge_indexed_factory
@@ -26,7 +27,6 @@ from repro.sim.workloads import (
     run_workload,
     uniform_workload,
 )
-from repro.baselines import full_replication_factory
 
 
 @pytest.fixture

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.clientserver import ClientServerCluster
 from repro.core.protocol import CausalReplica, Update, UpdateMessage
 from repro.core.replica import EdgeIndexedReplica
 from repro.core.share_graph import ShareGraph
@@ -32,7 +33,6 @@ from repro.sim.workloads import (
     run_workload,
     uniform_workload,
 )
-from repro.clientserver import ClientServerCluster
 
 
 def _msg(sender=1, dest=2, seq=1):

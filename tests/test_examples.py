@@ -22,6 +22,14 @@ EXPECTED_OUTPUT = {
         "peak pending-buffer depth",
         "passed the consistency checker",
     ],
+    "chaos_recovery.py": [
+        "Chaos recovery",
+        "Crash and recovery",
+        "recovery latency",
+        "Partition and heal",
+        "exactly-once holds",
+        "All three chaos scenarios passed the consistency checker.",
+    ],
 }
 
 

@@ -12,20 +12,19 @@ from __future__ import annotations
 
 import pytest
 
+from placements import all_small_placements
 from repro.analysis.experiments import (
-    exp_necessity,
-    oblivious_factory,
     _run_figure5_schedule,
     _run_triangle_schedule,
+    exp_necessity,
+    oblivious_factory,
 )
+from repro.baselines import incident_only_factory
 from repro.core.share_graph import ShareGraph
 from repro.sim.cluster import Cluster, edge_indexed_factory
 from repro.sim.delays import UniformDelay
 from repro.sim.topologies import ring_placement
 from repro.sim.workloads import causal_chain_workload, run_workload, uniform_workload
-from repro.baselines import incident_only_factory
-
-from placements import all_small_placements
 
 
 class TestNecessity:

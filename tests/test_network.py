@@ -10,7 +10,9 @@ from repro.core.errors import SimulationError
 from repro.core.protocol import Update, UpdateMessage
 from repro.sim.delays import (
     AdversarialDelay,
+    DuplicatingDelay,
     FixedDelay,
+    LossyDelay,
     PerChannelDelay,
     SlowChannelDelay,
     UniformDelay,
@@ -64,6 +66,155 @@ class TestDelayModels:
         rng = random.Random(0)
         assert model.delay(msg(1, 3), rng) == pytest.approx(50.0)
         assert model.delay(msg(1, 2), rng) == pytest.approx(1.0)
+
+
+class TestDelayModelDeterminism:
+    """Every delay model is a pure function of (message sequence, seeded rng)."""
+
+    MODELS = [
+        FixedDelay(3.0),
+        UniformDelay(1.0, 10.0),
+        PerChannelDelay(base={(1, 2): 5.0}, default=2.0, jitter=1.5),
+        SlowChannelDelay(slow_channels=frozenset({(1, 3)}), low=1, high=4),
+        AdversarialDelay(chooser=lambda m: float(m.update.seq)),
+        LossyDelay(inner=UniformDelay(1, 10), drop_probability=0.3),
+        DuplicatingDelay(inner=UniformDelay(1, 10), duplicate_probability=0.3),
+        DuplicatingDelay(
+            inner=LossyDelay(inner=PerChannelDelay(default=2.0, jitter=2.0),
+                             drop_probability=0.2),
+            duplicate_probability=0.2,
+        ),
+    ]
+
+    @staticmethod
+    def trace(model, seed):
+        """The full (fate, delay) sequence over a fixed message stream."""
+        rng = random.Random(seed)
+        out = []
+        for seq in range(1, 50):
+            message = msg(sender=1 + seq % 3, dest=2 + seq % 2, seq=seq)
+            out.append((model.fate(message, rng), model.delay(message, rng)))
+        return out
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+    def test_same_seed_same_sequence(self, model):
+        assert self.trace(model, 42) == self.trace(model, 42)
+
+    def test_different_seed_differs_for_random_models(self):
+        model = LossyDelay(inner=UniformDelay(1, 10), drop_probability=0.3)
+        assert self.trace(model, 1) != self.trace(model, 2)
+
+    def test_default_fate_is_exactly_once_and_draws_nothing(self):
+        rng = random.Random(0)
+        before = rng.getstate()
+        assert FixedDelay(1.0).fate(msg(), rng) == 1
+        assert rng.getstate() == before
+
+    def test_lossy_fate_values(self):
+        model = LossyDelay(inner=FixedDelay(1.0), drop_probability=1.0)
+        assert model.fate(msg(), random.Random(0)) == 0
+        keep = LossyDelay(inner=FixedDelay(1.0), drop_probability=0.0)
+        assert keep.fate(msg(), random.Random(0)) == 1
+
+    def test_duplicating_fate_values(self):
+        model = DuplicatingDelay(inner=FixedDelay(1.0), duplicate_probability=1.0)
+        assert model.fate(msg(), random.Random(0)) == 2
+        # A dropped message has no copies to duplicate.
+        stacked = DuplicatingDelay(
+            inner=LossyDelay(inner=FixedDelay(1.0), drop_probability=1.0),
+            duplicate_probability=1.0,
+        )
+        assert stacked.fate(msg(), random.Random(0)) == 0
+
+    def test_channel_scoped_wrappers_leave_other_channels_alone(self):
+        model = LossyDelay(inner=FixedDelay(1.0), drop_probability=1.0,
+                           channels=frozenset({(1, 3)}))
+        rng = random.Random(0)
+        assert model.fate(msg(1, 3), rng) == 0
+        assert model.fate(msg(1, 2), rng) == 1
+
+
+class TestHoldPartitionInteraction:
+    """Held channels and partitions are independent blocking reasons."""
+
+    def test_partition_parks_cross_traffic_and_heal_delivers_once(self):
+        network = SimNetwork(delay_model=FixedDelay(1.0), seed=0)
+        network.partition({1, 2}, {3, 4})
+        assert network.partitioned
+        network.send(msg(1, 3))          # crosses the cut: parked
+        network.send(msg(1, 2, seq=2))   # intra-island: flies
+        assert network.held_count == 1
+        assert network.pending_count() == 1
+        network.heal()
+        assert not network.partitioned
+        assert network.held_count == 0
+        deliveries = list(network.drain())
+        assert sorted(d.message.destination for d in deliveries) == [2, 3]
+
+    def test_held_message_survives_partition_heal(self):
+        # Satellite acceptance: a hold placed before/under a partition keeps
+        # its messages parked through the heal; release delivers exactly once.
+        network = SimNetwork(delay_model=FixedDelay(1.0), seed=0)
+        network.hold(1, 3)
+        network.partition({1, 2}, {3, 4})
+        network.send(msg(1, 3))
+        assert network.held_count == 1
+        network.heal()
+        # Still held: the explicit hold is not dissolved by the heal.
+        assert network.held_count == 1
+        assert network.deliver_next() is None
+        network.release(1, 3)
+        deliveries = list(network.drain())
+        assert [d.message.destination for d in deliveries] == [3]
+
+    def test_release_does_not_pierce_active_partition(self):
+        network = SimNetwork(delay_model=FixedDelay(1.0), seed=0)
+        network.hold(1, 3)
+        network.partition({1, 2}, {3, 4})
+        network.send(msg(1, 3))
+        network.release(1, 3)
+        # Released, but the partition still blocks the channel.
+        assert network.held_count == 1
+        assert network.deliver_next() is None
+        network.heal()
+        deliveries = list(network.drain())
+        assert [d.message.destination for d in deliveries] == [3]
+
+    def test_release_all_does_not_pierce_active_partition(self):
+        network = SimNetwork(delay_model=FixedDelay(1.0), seed=0)
+        network.hold(1, 3)
+        network.hold(2, 4)
+        network.partition({1, 2}, {3, 4})
+        network.send(msg(1, 3))
+        network.send(msg(2, 4, seq=2))
+        network.send(msg(2, 1, seq=3))   # intra-island, unheld: flies
+        network.release_all()
+        assert network.held_count == 2
+        network.heal()
+        assert network.held_count == 0
+        deliveries = list(network.drain())
+        assert len(deliveries) == 3
+        # Exactly once each, despite hold + partition + release_all + heal.
+        uids = [(d.message.update.uid, d.message.destination) for d in deliveries]
+        assert len(uids) == len(set(uids))
+
+    def test_repartition_replaces_previous_groups(self):
+        network = SimNetwork(delay_model=FixedDelay(1.0), seed=0)
+        network.partition({1}, {2, 3, 4})
+        network.send(msg(1, 2))
+        assert network.held_count == 1
+        # The new partition reunites 1 and 2: the parked message flies
+        # immediately; traffic across the new cut parks instead.
+        network.partition({1, 2}, {3, 4})
+        assert network.held_count == 0
+        assert network.pending_count() == 1
+        network.send(msg(1, 3, seq=2))
+        assert network.held_count == 1
+        network.heal()
+        deliveries = list(network.drain())
+        assert len(deliveries) == 2
+        uids = [(d.message.update.uid, d.message.destination) for d in deliveries]
+        assert len(uids) == len(set(uids))
 
 
 class TestSimNetwork:

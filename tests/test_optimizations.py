@@ -5,6 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.core.consistency import ConsistencyChecker
+from repro.core.errors import ConfigurationError
+from repro.core.registers import RegisterPlacement
 from repro.core.share_graph import ShareGraph
 from repro.core.timestamp_graph import TimestampGraph, build_all_timestamp_graphs
 from repro.core.timestamps import EdgeTimestamp
@@ -25,8 +27,6 @@ from repro.optimizations import (
     loop_cover_dummies,
 )
 from repro.optimizations.dummy_registers import DummyAssignment, DummyRegisterReplica
-from repro.core.errors import ConfigurationError
-from repro.core.registers import RegisterPlacement
 from repro.sim.cluster import Cluster
 from repro.sim.delays import FixedDelay, UniformDelay
 from repro.sim.topologies import (

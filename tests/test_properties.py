@@ -11,10 +11,10 @@ from repro.core.registers import RegisterPlacement
 from repro.core.share_graph import ShareGraph
 from repro.core.timestamp_graph import timestamp_edges
 from repro.core.timestamps import EdgeTimestamp, VectorTimestamp
+from repro.optimizations.compression import compression_report
 from repro.sim.cluster import Cluster
 from repro.sim.delays import UniformDelay
 from repro.sim.workloads import run_workload, uniform_workload
-from repro.optimizations.compression import compression_report
 
 
 # ----------------------------------------------------------------------

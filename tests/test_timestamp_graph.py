@@ -6,13 +6,13 @@ import math
 
 import pytest
 
+from repro.core.share_graph import ShareGraph
 from repro.core.timestamp_graph import (
     TimestampGraph,
     build_all_timestamp_graphs,
     metadata_summary,
     timestamp_edges,
 )
-from repro.core.share_graph import ShareGraph
 from repro.sim.topologies import (
     clique_placement,
     figure5_placement,
