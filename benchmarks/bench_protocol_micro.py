@@ -83,7 +83,12 @@ def test_e13_end_to_end_throughput(benchmark):
 # The indexed apply path vs the seed's fixpoint rescan (large buffers)
 # ----------------------------------------------------------------------
 
-CLIQUE_SIZE = 64
+#: ``REPRO_BENCH_TINY=1`` shrinks the backlog and drops the wall-clock
+#: floors to "ran and didn't regress catastrophically" — the CI smoke mode
+#: in which the gate *code* executes on every push while the meaningful
+#: full-size ratios stay a local/nightly concern.
+TINY = bool(os.environ.get("REPRO_BENCH_TINY"))
+CLIQUE_SIZE = 16 if TINY else 64
 
 
 def _drain_time(base_receiver, method_name: str, repetitions: int = 3) -> float:
@@ -184,8 +189,14 @@ def test_e13_indexed_apply_vs_rescan_clique64(benchmark):
     )
     # The 2x floor is the acceptance criterion; measured headroom is ~11x.
     # Shared CI runners get a noise-tolerant floor so a scheduler preemption
-    # during the ~100 ms indexed drain cannot fail an unrelated PR.
-    floor = 1.2 if os.environ.get("GITHUB_ACTIONS") else 2.0
+    # during the ~100 ms indexed drain cannot fail an unrelated PR, and the
+    # tiny smoke instance only proves the gate machinery runs.
+    if TINY:
+        floor = 1.0
+    elif os.environ.get("GITHUB_ACTIONS"):
+        floor = 1.2
+    else:
+        floor = 2.0
     assert result["speedup"] >= floor, (
         f"indexed apply path must be >={floor}x the seed rescan, got "
         f"{result['speedup']:.2f}x"
@@ -212,4 +223,4 @@ def test_e13_indexed_apply_edge_chain_clique64(benchmark):
     # Here the per-apply merge dominates both paths, so the ratio hovers
     # near 1x; guard only against a catastrophic regression — shared CI
     # runners make tight wall-clock ratios on ~70 ms drains too noisy.
-    assert result["speedup"] >= 0.5
+    assert result["speedup"] >= (0.3 if TINY else 0.5)

@@ -41,6 +41,7 @@ from .core import (
     timestamp_edges,
 )
 from .sim import (
+    BatchingConfig,
     Cluster,
     EventKernel,
     SimNetwork,
@@ -61,10 +62,12 @@ from .sim.topologies import (
     star_placement,
     tree_placement,
 )
+from .wire import MessageBatch, WireSizes
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchingConfig",
     "CausalReplica",
     "Cluster",
     "ConsistencyChecker",
@@ -74,6 +77,7 @@ __all__ = [
     "EventKernel",
     "SimulationHost",
     "HappenedBefore",
+    "MessageBatch",
     "RegisterPlacement",
     "ShareGraph",
     "SimNetwork",
@@ -81,6 +85,7 @@ __all__ = [
     "Update",
     "UpdateMessage",
     "VectorTimestamp",
+    "WireSizes",
     "__version__",
     "build_all_timestamp_graphs",
     "build_cluster",

@@ -39,6 +39,7 @@ from ..lower_bounds import (
     algorithm_counters,
     clique_lower_bound_bits,
     cycle_lower_bound_bits,
+    lower_bound_bits,
     timestamp_space_lower_bound,
     tree_lower_bound_bits,
 )
@@ -55,7 +56,7 @@ from ..optimizations import (
 )
 from ..sim.cluster import Cluster, ReplicaFactory, edge_indexed_factory
 from ..sim.delays import FixedDelay, PerChannelDelay, UniformDelay
-from ..sim.engine import SimulationHost
+from ..sim.engine import BatchingConfig, NetworkStats, SimulationHost
 from ..sim.faults import FaultInjector, FaultSchedule, random_fault_schedule
 from ..sim.metrics import (
     ComparisonRow,
@@ -1035,6 +1036,227 @@ def render_fault_tolerance(rows: Sequence[FaultToleranceRow]) -> str:
                 "yes" if r.consistent else "NO",
             )
             for r in rows
+        ],
+    )
+
+
+# ======================================================================
+# E16 — Bytes on the wire: codecs, delta encoding and batching windows
+# ======================================================================
+
+@dataclass(frozen=True)
+class WireOverheadRow:
+    """One topology × protocol × batching-window cell of the E16 sweep."""
+
+    topology: str
+    protocol: str
+    #: ``"off"`` (wire accounting only) or ``"<max_messages>/<max_delay>"``.
+    window: str
+    messages: int
+    batches: int
+    header_bytes: int
+    timestamp_bytes: int
+    payload_bytes: int
+    #: What the timestamp frames would have cost without delta encoding.
+    timestamp_bytes_full: int
+    #: The counter-based measure E7 reports, for direct comparison.
+    counters_sent: int
+    #: Mean measured bytes per shipped counter (ties bytes to E7's measure).
+    bytes_per_counter: float
+    #: Closed-form lower bound (Theorem 15 corollaries) in bytes per
+    #: message, averaged over replicas; ``nan`` when no closed form applies.
+    bound_bytes_per_message: float
+    consistent: bool
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes on the wire in this cell."""
+        return self.header_bytes + self.timestamp_bytes + self.payload_bytes
+
+    @property
+    def delta_savings(self) -> float:
+        """Fraction of full-encoding timestamp bytes saved by delta frames."""
+        if not self.timestamp_bytes_full:
+            return 0.0
+        return 1.0 - self.timestamp_bytes / self.timestamp_bytes_full
+
+    @property
+    def timestamp_bytes_per_message(self) -> float:
+        """Mean timestamp bytes shipped per update message."""
+        if not self.messages:
+            return 0.0
+        return self.timestamp_bytes / self.messages
+
+
+def wire_protocol_suite() -> Dict[str, ReplicaFactory]:
+    """One protocol per wire family: edge / matrix / vector / hoop."""
+    return {
+        "edge-indexed (paper)": edge_indexed_factory,
+        "full-track matrix": full_track_factory,
+        "full replication (vector)": full_replication_factory,
+        "hoop tracking (original)": hoop_tracking_factory,
+    }
+
+
+def wire_topologies() -> Dict[str, RegisterPlacement]:
+    """The E16 topology axis: one tree, one cycle, one clique, one general."""
+    return {
+        "figure5": figure5_placement(),
+        "tree7": tree_placement(7),
+        "ring6": ring_placement(6),
+        "clique4": clique_placement(4),
+    }
+
+
+def _workload_update_budget(workload) -> int:
+    """``m``: the largest per-replica write count of a workload (min 2).
+
+    The closed-form bounds charge each counter ``log2 m`` bits, where ``m``
+    is the per-replica update budget; the workload's realised maximum is the
+    tightest honest choice.
+    """
+    writes: Dict[ReplicaId, int] = {}
+    for operation in workload.operations:
+        if operation.kind == "write":
+            writes[operation.replica_id] = writes.get(operation.replica_id, 0) + 1
+    return max(2, max(writes.values(), default=2))
+
+
+def exp_wire_overhead(
+    ops: int = 150,
+    seed: int = 11,
+    windows: Sequence[Optional[Tuple[int, float]]] = (None, (8, 4.0), (32, 8.0)),
+) -> List[WireOverheadRow]:
+    """Measure real bytes-on-wire across topology × protocol × batch window (E16).
+
+    Every cell replays the same uniform workload (same network seed) with
+    wire accounting on; windowed cells run the batching transport with
+    per-channel delta encoding.  Reported per cell: the header/timestamp/
+    payload byte split, the no-delta counterfactual, the counter-based E7
+    measure for the same traffic, and — where a closed form applies (trees,
+    cycles, cliques) — the Theorem-15 lower bound converted to bytes per
+    message.  The consistency checker must pass in every cell: batching and
+    delta encoding are transport concerns and must not perturb the protocol.
+    """
+    rows: List[WireOverheadRow] = []
+    for topology_name, placement in wire_topologies().items():
+        graph = ShareGraph.from_placement(placement)
+        workload = uniform_workload(graph, ops, seed=seed)
+        budget = _workload_update_budget(workload)
+        bounds = [
+            bound
+            for bound in (
+                lower_bound_bits(graph, rid, budget) for rid in graph.replica_ids
+            )
+            if bound is not None
+        ]
+        bound_bytes = (sum(bounds) / len(bounds) / 8.0) if bounds else float("nan")
+        for protocol_name, factory in wire_protocol_suite().items():
+            for window in windows:
+                if window is None:
+                    cluster = Cluster(
+                        graph,
+                        replica_factory=factory,
+                        delay_model=UniformDelay(1, 10),
+                        seed=seed,
+                        wire_accounting=True,
+                    )
+                    window_name = "off"
+                else:
+                    max_messages, max_delay = window
+                    cluster = Cluster(
+                        graph,
+                        replica_factory=factory,
+                        delay_model=UniformDelay(1, 10),
+                        seed=seed,
+                        batching=BatchingConfig(
+                            max_messages=max_messages, max_delay=max_delay
+                        ),
+                    )
+                    window_name = f"{max_messages}/{max_delay:g}"
+                result = run_workload(cluster, workload)
+                stats = cluster.network.stats
+                counters = stats.metadata_counters_sent
+                rows.append(
+                    WireOverheadRow(
+                        topology=topology_name,
+                        protocol=protocol_name,
+                        window=window_name,
+                        messages=stats.messages_sent,
+                        batches=stats.batches_sent,
+                        header_bytes=stats.header_bytes_sent,
+                        timestamp_bytes=stats.timestamp_bytes_sent,
+                        payload_bytes=stats.payload_bytes_sent,
+                        timestamp_bytes_full=stats.timestamp_bytes_full,
+                        counters_sent=counters,
+                        bytes_per_counter=(
+                            stats.timestamp_bytes_sent / counters if counters else 0.0
+                        ),
+                        bound_bytes_per_message=bound_bytes,
+                        consistent=result.consistent,
+                    )
+                )
+    return rows
+
+
+def render_wire_overhead(rows: Sequence[WireOverheadRow]) -> str:
+    """Text table of the E16 sweep."""
+    return render_table(
+        [
+            "topology",
+            "protocol",
+            "window",
+            "msgs",
+            "batches",
+            "hdr B",
+            "ts B",
+            "payload B",
+            "ts B (no delta)",
+            "delta saved",
+            "ctrs sent",
+            "B/ctr",
+            "bound B/msg",
+            "ts B/msg",
+            "consistent",
+        ],
+        [
+            (
+                r.topology,
+                r.protocol,
+                r.window,
+                r.messages,
+                r.batches,
+                r.header_bytes,
+                r.timestamp_bytes,
+                r.payload_bytes,
+                r.timestamp_bytes_full,
+                f"{100 * r.delta_savings:.0f}%",
+                r.counters_sent,
+                f"{r.bytes_per_counter:.2f}",
+                f"{r.bound_bytes_per_message:.1f}",
+                f"{r.timestamp_bytes_per_message:.1f}",
+                "yes" if r.consistent else "NO",
+            )
+            for r in rows
+        ],
+    )
+
+
+def render_wire_channels(stats: NetworkStats) -> str:
+    """Per-channel byte breakdown of one run (wire accounting on)."""
+    return render_table(
+        ["channel", "msgs", "batches", "header B", "timestamp B", "payload B", "total B"],
+        [
+            (
+                f"{sender}->{destination}",
+                channel.messages,
+                channel.batches,
+                channel.header_bytes,
+                channel.timestamp_bytes,
+                channel.payload_bytes,
+                channel.total_bytes,
+            )
+            for (sender, destination), channel in sorted(stats.per_channel.items())
         ],
     )
 

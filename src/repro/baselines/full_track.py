@@ -23,6 +23,7 @@ from ..core.protocol import CausalReplica, UpdateMessage
 from ..core.registers import Register, ReplicaId
 from ..core.share_graph import Edge, ShareGraph
 from ..core.timestamps import EdgeTimestamp
+from ..wire.codecs import MATRIX_CODEC
 
 
 class FullTrackReplica(CausalReplica):
@@ -116,6 +117,10 @@ class FullTrackReplica(CausalReplica):
     def metadata_size(self) -> int:
         """``R × (R−1)`` counters."""
         return self.matrix.size_counters()
+
+    def wire_codec(self):
+        """The dense matrix codec: the complete index set ships no edge ids."""
+        return MATRIX_CODEC
 
 
 def full_track_factory(graph: ShareGraph, replica_id: ReplicaId) -> CausalReplica:

@@ -22,6 +22,7 @@ from ..core.registers import ReplicaId
 from ..core.replica import EdgeIndexedReplica
 from ..core.share_graph import ShareGraph
 from ..core.timestamp_graph import TimestampGraph
+from ..wire.codecs import HOOP_CODEC
 
 
 class HoopTrackingReplica(EdgeIndexedReplica):
@@ -40,6 +41,10 @@ class HoopTrackingReplica(EdgeIndexedReplica):
         tgraph = TimestampGraph.from_edges(share_graph, replica_id, edges)
         super().__init__(share_graph, replica_id, timestamp_graph=tgraph)
         self.modified = modified
+
+    def wire_codec(self):
+        """The hoop family codec (edge-shaped body, distinct wire tag)."""
+        return HOOP_CODEC
 
 
 def hoop_tracking_factory(graph: ShareGraph, replica_id: ReplicaId) -> CausalReplica:

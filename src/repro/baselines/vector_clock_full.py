@@ -21,6 +21,7 @@ from ..core.protocol import CausalReplica, UpdateMessage
 from ..core.registers import Register, ReplicaId
 from ..core.share_graph import ShareGraph
 from ..core.timestamps import VectorTimestamp
+from ..wire.codecs import VECTOR_CODEC
 
 
 class FullReplicationReplica(CausalReplica):
@@ -98,6 +99,10 @@ class FullReplicationReplica(CausalReplica):
     def metadata_size(self) -> int:
         """``R`` counters."""
         return self.vector.size_counters()
+
+    def wire_codec(self):
+        """The classical replica-indexed vector codec (family ``vector``)."""
+        return VECTOR_CODEC
 
 
 def full_replication_factory(graph: ShareGraph, replica_id: ReplicaId) -> CausalReplica:

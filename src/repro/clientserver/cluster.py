@@ -26,11 +26,11 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.errors import ConfigurationError, SimulationError
-from ..core.protocol import CausalReplica, Update, UpdateId
+from ..core.protocol import CausalReplica, Update, UpdateId, UpdateMessage
 from ..core.registers import Register, ReplicaId
 from ..core.share_graph import ShareGraph
 from ..sim.delays import DelayModel
-from ..sim.engine import SimulationHost
+from ..sim.engine import BatchingConfig, SimulationHost
 from ..sim.network import SimNetwork
 from .augmented import AugmentedShareGraph, ClientAssignment, ClientId
 from .client import ClientAgent
@@ -46,13 +46,24 @@ class ClientServerCluster(SimulationHost):
         clients: ClientAssignment,
         delay_model: Optional[DelayModel] = None,
         seed: int = 0,
+        batching: Optional[BatchingConfig] = None,
+        wire_accounting: bool = False,
     ) -> None:
-        super().__init__(share_graph, SimNetwork(delay_model=delay_model, seed=seed))
+        super().__init__(
+            share_graph,
+            SimNetwork(
+                delay_model=delay_model,
+                seed=seed,
+                batching=batching,
+                wire_accounting=wire_accounting,
+            ),
+        )
         self.augmented = AugmentedShareGraph(share_graph, clients)
         self.servers: Dict[ReplicaId, ClientServerReplica] = {
             rid: ClientServerReplica(self.augmented, rid)
             for rid in share_graph.replica_ids
         }
+        self.transport.set_codec_resolver(self._codec_for_message)
         self.clients: Dict[ClientId, ClientAgent] = {
             cid: ClientAgent(self.augmented, cid) for cid in clients.client_ids
         }
@@ -76,6 +87,8 @@ class ClientServerCluster(SimulationHost):
         share_graph: ShareGraph,
         delay_model: Optional[DelayModel] = None,
         seed: int = 0,
+        batching: Optional[BatchingConfig] = None,
+        wire_accounting: bool = False,
     ) -> "ClientServerCluster":
         """A cluster with one client pinned to each replica (Figure 1a's
         access pattern run through the Figure 1b architecture).
@@ -88,10 +101,21 @@ class ClientServerCluster(SimulationHost):
         clients = ClientAssignment.from_dict(
             {f"c{rid}": {rid} for rid in share_graph.replica_ids}
         )
-        return cls(share_graph, clients, delay_model=delay_model, seed=seed)
+        return cls(
+            share_graph,
+            clients,
+            delay_model=delay_model,
+            seed=seed,
+            batching=batching,
+            wire_accounting=wire_accounting,
+        )
 
     def _replica_map(self) -> Dict[ReplicaId, CausalReplica]:
         return self.servers
+
+    def _codec_for_message(self, message: UpdateMessage) -> Any:
+        server = self.servers.get(message.sender)
+        return server.wire_codec() if server is not None else None
 
     # ------------------------------------------------------------------
     # Client operations

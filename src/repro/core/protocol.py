@@ -70,9 +70,13 @@ ANY_KEY = _AnyKey()
 UpdateId = Tuple[ReplicaId, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Update:
     """A single write operation issued by a replica.
+
+    Slotted: updates are the highest-volume objects in a run (one per write,
+    referenced by every message copy), so dropping the per-instance
+    ``__dict__`` measurably shrinks large backlogs.
 
     Attributes
     ----------
@@ -101,9 +105,12 @@ class Update:
         return f"u({self.issuer}:{self.seq} {self.register}={self.value!r})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpdateMessage:
     """The ``update(i, τ_i, x, v)`` message sent from the issuer to peers.
+
+    Slotted like :class:`Update`: one instance per (update, destination)
+    pair makes these the dominant allocation of every broadcast-heavy run.
 
     Attributes
     ----------
@@ -135,6 +142,45 @@ class UpdateMessage:
     metadata: Any
     metadata_size: int
     payload: bool = True
+
+    # -- wire-format hooks ---------------------------------------------
+    # The binary encoding itself lives in :mod:`repro.wire` (which imports
+    # this module); these convenience hooks lazily bridge the two layers so
+    # callers holding a message can ask for its bytes without knowing the
+    # codec machinery.
+
+    def encoded_size(self, codec: Any = None) -> Any:
+        """Byte breakdown of this message as a standalone, fully-encoded
+        wire envelope (a :class:`~repro.wire.frames.WireSizes`).
+
+        ``codec`` optionally forces a timestamp-family codec (e.g. the dense
+        matrix codec); by default the family is dispatched from the metadata
+        type.  Delta encoding is per-channel transport state and therefore
+        not reflected here — this is the context-free size of the message.
+        """
+        from ..wire.frames import message_wire_sizes
+
+        return message_wire_sizes(self, codec=codec)
+
+    def to_wire(self, codec: Any = None) -> bytes:
+        """Serialize to a standalone wire envelope (full timestamp frame)."""
+        from ..wire.frames import encode_message
+
+        data, _ = encode_message(self, codec=codec)
+        return data
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "UpdateMessage":
+        """Decode a standalone wire envelope back into a message.
+
+        Inverse of :meth:`to_wire` for payload messages; a metadata-only
+        message (``payload=False``) ships no value, so its decoded update
+        carries ``value=None`` — exactly what arrived on the wire.
+        """
+        from ..wire.frames import decode_message
+
+        message, _ = decode_message(data)
+        return message
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         tag = "update" if self.payload else "meta"
@@ -293,6 +339,17 @@ class CausalReplica(abc.ABC):
         only as a dummy copy (Appendix D).
         """
         return True
+
+    def wire_codec(self) -> Any:
+        """The timestamp codec for this replica family's metadata, or ``None``.
+
+        Each protocol family registers its codec by overriding this (the
+        paper's replicas return the sparse edge codec, Full-Track the dense
+        matrix codec, …); the transport's byte accounting resolves a
+        message's codec through its sending replica.  ``None`` falls back to
+        type-based dispatch (:func:`repro.wire.codecs.codec_for`).
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Pending-index hooks (optional, for fast apply scheduling)

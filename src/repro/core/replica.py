@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from ..wire.codecs import EDGE_CODEC
 from .protocol import CausalReplica, UpdateMessage
 from .registers import Register, ReplicaId
 from .share_graph import ShareGraph
@@ -161,3 +162,7 @@ class EdgeIndexedReplica(CausalReplica):
     def metadata_size(self) -> int:
         """Number of counters in ``τ_i`` (``|E_i|``)."""
         return self.timestamp.size_counters()
+
+    def wire_codec(self):
+        """The sparse edge-indexed timestamp codec (family ``edge``)."""
+        return EDGE_CODEC

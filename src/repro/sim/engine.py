@@ -47,18 +47,23 @@ from typing import (
 )
 
 from ..core.consistency import ConsistencyChecker, ConsistencyReport
-from ..core.errors import SimulationError, UnknownReplicaError
+from ..core.errors import ConfigurationError, SimulationError, UnknownReplicaError
 from ..core.protocol import CausalReplica, ReplicaEvent, Update, UpdateId, UpdateMessage
 from ..core.registers import Register, ReplicaId
 from ..core.share_graph import ShareGraph
+from ..wire.batch import MessageBatch, encode_batch
+from ..wire.channel import ChannelDeltaEncoder
+from ..wire.frames import WireSizes, message_wire_sizes
 from .delays import Channel, DelayModel, UniformDelay
 
 
 # ======================================================================
 # Events
 # ======================================================================
+# All event classes are slotted: a long open-loop run schedules millions of
+# them, and the per-instance ``__dict__`` would dominate the heap.
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliveryEvent:
     """A message arriving at its destination replica."""
 
@@ -66,7 +71,26 @@ class DeliveryEvent:
     sent_at: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
+class BatchDeliveryEvent:
+    """A whole per-channel message batch arriving as one kernel event.
+
+    ``sent_at`` is the flush (wire) time; ``sent_times`` records when each
+    contained message entered the batching window, so per-message latency
+    accounting includes the window wait.  ``epoch`` is the channel's stream
+    epoch at encode time: a crash severs the channel's byte stream (the
+    peer's decoder state dies with it), and a batch from a stale epoch is
+    discarded on arrival exactly as a broken TCP connection would drop its
+    in-flight data — its contents come back via retransmission/resync.
+    """
+
+    batch: MessageBatch
+    sent_at: float
+    sent_times: Tuple[float, ...]
+    epoch: int = 0
+
+
+@dataclass(frozen=True, slots=True)
 class TimerEvent:
     """A scheduled callback, e.g. a metrics sampler.
 
@@ -78,7 +102,7 @@ class TimerEvent:
     tag: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ArrivalEvent:
     """An open-loop client operation arriving at its scheduled time.
 
@@ -90,7 +114,7 @@ class ArrivalEvent:
     operation: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultEvent:
     """A scheduled fault action (crash, restart, partition, heal, …).
 
@@ -105,7 +129,7 @@ class FaultEvent:
     kind: str = ""
 
 
-Event = Any  # DeliveryEvent | TimerEvent | ArrivalEvent | FaultEvent
+Event = Any  # DeliveryEvent | BatchDeliveryEvent | TimerEvent | ArrivalEvent | FaultEvent
 
 #: Tie-break order for events scheduled at the same instant: faults first
 #: (a crash at time t suppresses a delivery at time t), then deliveries
@@ -114,12 +138,13 @@ Event = Any  # DeliveryEvent | TimerEvent | ArrivalEvent | FaultEvent
 _EVENT_PRIORITY: Dict[type, int] = {
     FaultEvent: 0,
     DeliveryEvent: 1,
+    BatchDeliveryEvent: 1,
     ArrivalEvent: 2,
     TimerEvent: 3,
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Firing:
     """One event popped from the kernel."""
 
@@ -173,6 +198,10 @@ class EventKernel:
         """Scheduled events of one type (linear scan; for tests/metrics)."""
         return sum(1 for entry in self._heap if isinstance(entry[3], event_type))
 
+    def events_of(self, event_type: Type) -> List[Event]:
+        """Scheduled events of one type, in heap (not firing) order."""
+        return [entry[3] for entry in self._heap if isinstance(entry[3], event_type)]
+
     def peek_time(self) -> Optional[float]:
         """The firing time of the next event, or ``None`` when idle."""
         return self._heap[0][0] if self._heap else None
@@ -200,6 +229,22 @@ class EventKernel:
 # ======================================================================
 
 @dataclass
+class ChannelWireStats:
+    """Byte-accurate per-channel traffic accounting (wire accounting on)."""
+
+    messages: int = 0
+    batches: int = 0
+    header_bytes: int = 0
+    timestamp_bytes: int = 0
+    payload_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes put on this channel."""
+        return self.header_bytes + self.timestamp_bytes + self.payload_bytes
+
+
+@dataclass
 class NetworkStats:
     """Aggregate traffic statistics maintained by the transport."""
 
@@ -217,6 +262,25 @@ class NetworkStats:
     retransmissions: int = 0
     #: Deliveries discarded because the destination replica was crashed.
     messages_lost_to_crash: int = 0
+    # -- wire layer ------------------------------------------------------
+    #: Batches flushed onto the wire, and the messages they carried.
+    batches_sent: int = 0
+    batched_messages_sent: int = 0
+    #: Whole batches discarded by a lossy channel fate.
+    batches_dropped: int = 0
+    #: Byte-accurate split of the traffic (populated when wire accounting
+    #: is enabled): envelope/identity bytes vs. timestamp-frame bytes vs.
+    #: payload-value bytes.
+    header_bytes_sent: int = 0
+    timestamp_bytes_sent: int = 0
+    payload_bytes_sent: int = 0
+    #: What the timestamp frames would have cost without delta encoding.
+    timestamp_bytes_full: int = 0
+    #: Timestamp frames shipped as per-channel deltas vs. in full.
+    delta_frames_sent: int = 0
+    full_frames_sent: int = 0
+    #: Per-channel byte breakdown, keyed by (sender, destination).
+    per_channel: Dict[Channel, ChannelWireStats] = field(default_factory=dict)
 
     @property
     def mean_latency(self) -> float:
@@ -224,6 +288,64 @@ class NetworkStats:
         if not self.messages_delivered:
             return 0.0
         return self.total_latency / self.messages_delivered
+
+    @property
+    def bytes_sent(self) -> int:
+        """Total bytes put on the wire (header + timestamp + payload)."""
+        return self.header_bytes_sent + self.timestamp_bytes_sent + self.payload_bytes_sent
+
+    @property
+    def timestamp_delta_savings(self) -> float:
+        """Fraction of full-encoding timestamp bytes saved by delta frames."""
+        if not self.timestamp_bytes_full:
+            return 0.0
+        return 1.0 - self.timestamp_bytes_sent / self.timestamp_bytes_full
+
+    def account_wire(self, channel: Channel, sizes: WireSizes,
+                     messages: int, batches: int = 0) -> None:
+        """Fold one encoded frame/envelope into the aggregate and per-channel books."""
+        self.header_bytes_sent += sizes.header_bytes
+        self.timestamp_bytes_sent += sizes.timestamp_bytes
+        self.payload_bytes_sent += sizes.payload_bytes
+        self.timestamp_bytes_full += sizes.timestamp_bytes_full
+        self.delta_frames_sent += sizes.delta_frames
+        self.full_frames_sent += sizes.full_frames
+        per_channel = self.per_channel.setdefault(channel, ChannelWireStats())
+        per_channel.messages += messages
+        per_channel.batches += batches
+        per_channel.header_bytes += sizes.header_bytes
+        per_channel.timestamp_bytes += sizes.timestamp_bytes
+        per_channel.payload_bytes += sizes.payload_bytes
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Parameters of the transport's per-channel batching window.
+
+    With batching enabled, every message sent on a (sender, destination)
+    channel joins that channel's open window; the window is flushed as one
+    :class:`~repro.wire.batch.MessageBatch` — delivered as a *single*
+    kernel event — when it reaches ``max_messages`` or when its
+    ``max_delay`` kernel-time deadline (armed by the first message) fires,
+    whichever comes first.
+
+    Batched channels behave like one FIFO byte stream per channel (batches
+    on a channel never overtake each other), which is what makes the
+    cross-batch timestamp delta encoding (``delta_encoding=True``) sound.
+    Enabling batching implies wire accounting: every flush is encoded
+    through :mod:`repro.wire` and booked into :class:`NetworkStats` in real
+    bytes.
+    """
+
+    max_messages: int = 16
+    max_delay: float = 1.0
+    delta_encoding: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_messages < 1:
+            raise ConfigurationError("batching max_messages must be at least 1")
+        if self.max_delay < 0:
+            raise ConfigurationError("batching max_delay must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -280,6 +402,8 @@ class Transport:
         self.delay_factor: float = 1.0
         self._held_channels: Set[Channel] = set()
         self._held_messages: List[Tuple[float, UpdateMessage]] = []
+        #: Parked batches: (flush time, per-message send times, batch, epoch).
+        self._held_batches: List[Tuple[float, Tuple[float, ...], MessageBatch, int]] = []
         self._partition_groups: Optional[Tuple[FrozenSet[ReplicaId], ...]] = None
         self._partition_lookup: Dict[ReplicaId, int] = {}
         self._reliability: Optional[ReliabilityConfig] = None
@@ -288,6 +412,23 @@ class Transport:
         self._acked: Set[Tuple[UpdateId, ReplicaId]] = set()
         #: Per-destination durable outbox (crash resync); None = disabled.
         self._sent_log: Optional[Dict[ReplicaId, Dict[UpdateId, Tuple[float, UpdateMessage]]]] = None
+        # -- wire layer ------------------------------------------------
+        self._batching: Optional[BatchingConfig] = None
+        self._wire_accounting: bool = False
+        self._delta_encoder: Optional[ChannelDeltaEncoder] = None
+        #: Resolves a message to its family codec via the sending replica;
+        #: installed by the host once the replicas exist.
+        self._codec_resolver: Optional[Callable[[UpdateMessage], Any]] = None
+        #: Open batching windows: channel -> [(send time, message), …].
+        self._open_batches: Dict[Channel, List[Tuple[float, UpdateMessage]]] = {}
+        #: Per-channel flush sequence numbers and deadline-timer generations.
+        self._batch_seq: Dict[Channel, int] = {}
+        self._flush_generation: Dict[Channel, int] = {}
+        #: Last scheduled batch-arrival time per channel (the FIFO clamp).
+        self._last_batch_arrival: Dict[Channel, float] = {}
+        #: Per-channel stream epoch, bumped when a crash severs the stream
+        #: (see :class:`BatchDeliveryEvent`).
+        self._channel_epoch: Dict[Channel, int] = {}
 
     # ------------------------------------------------------------------
     # Fault-subsystem configuration
@@ -295,6 +436,55 @@ class Transport:
     def enable_reliability(self, config: Optional[ReliabilityConfig] = None) -> None:
         """Turn on the ack + resend-timer layer (idempotent)."""
         self._reliability = config or ReliabilityConfig()
+
+    # ------------------------------------------------------------------
+    # Wire-layer configuration
+    # ------------------------------------------------------------------
+    def enable_wire_accounting(self) -> None:
+        """Book every sent message/batch into the byte-accurate statistics.
+
+        Off by default: the fault-free fast path then never touches the
+        codecs.  Enabling batching turns this on implicitly.
+        """
+        self._wire_accounting = True
+
+    def enable_batching(self, config: Optional[BatchingConfig] = None) -> None:
+        """Turn on per-channel batching windows (implies wire accounting)."""
+        self._batching = config or BatchingConfig()
+        self._wire_accounting = True
+        if self._batching.delta_encoding and self._delta_encoder is None:
+            self._delta_encoder = ChannelDeltaEncoder()
+
+    def set_codec_resolver(
+        self, resolver: Optional[Callable[[UpdateMessage], Any]]
+    ) -> None:
+        """Install the message → family-codec resolver (host-provided)."""
+        self._codec_resolver = resolver
+
+    @property
+    def batching(self) -> Optional[BatchingConfig]:
+        """The active batching configuration, or ``None``."""
+        return self._batching
+
+    def _codec_for(self, message: UpdateMessage) -> Any:
+        if self._codec_resolver is None:
+            return None
+        return self._codec_resolver(message)
+
+    def _account_single(self, message: UpdateMessage) -> None:
+        """Book one standalone (full-frame) envelope, if accounting is on.
+
+        Used by the unbatched send path and by every retransmission/resync
+        re-send, so ``NetworkStats`` byte totals cover *all* copies put on
+        the wire — per-channel message counts therefore include
+        retransmitted copies.
+        """
+        if not self._wire_accounting:
+            return
+        sizes = message_wire_sizes(message, codec=self._codec_for(message))
+        self.stats.account_wire(
+            (message.sender, message.destination), sizes, messages=1
+        )
 
     def enable_sent_log(self) -> None:
         """Start retaining every sent message per destination (idempotent).
@@ -312,7 +502,8 @@ class Transport:
         """Inject a message; it will be delivered after its sampled delay.
 
         ``delay`` overrides the delay model for this single message (used by
-        scripted adversarial schedules).
+        scripted adversarial schedules); such messages bypass the batching
+        window, exactly as an out-of-band control message would.
         """
         self.stats.messages_sent += 1
         self.stats.metadata_counters_sent += message.metadata_size
@@ -325,7 +516,15 @@ class Transport:
             destination_log = self._sent_log.setdefault(message.destination, {})
             destination_log[message.update.uid] = (self.kernel.now, message)
 
+        if self._batching is not None and delay is None:
+            self._enqueue_for_batch(message)
+            return
+
         channel = (message.sender, message.destination)
+        # Unbatched messages ship as standalone envelopes with full
+        # timestamp frames (delta frames need the per-channel FIFO stream
+        # only the batching transport provides).
+        self._account_single(message)
         if self._blocked(channel):
             self._held_messages.append((self.kernel.now, message))
             return
@@ -335,6 +534,124 @@ class Transport:
         """Send a batch of messages."""
         for message in messages:
             self.send(message)
+
+    # ------------------------------------------------------------------
+    # Per-channel batching windows
+    # ------------------------------------------------------------------
+    def _enqueue_for_batch(self, message: UpdateMessage) -> None:
+        """Add a message to its channel's open window, flushing when full."""
+        channel = (message.sender, message.destination)
+        window = self._open_batches.setdefault(channel, [])
+        window.append((self.kernel.now, message))
+        if len(window) >= self._batching.max_messages:
+            self._flush_channel(channel)
+            return
+        if len(window) == 1:
+            # First message arms the kernel-time flush deadline.  The
+            # generation guard makes a stale timer (window already flushed
+            # by count) a no-op without unscheduling anything.
+            generation = self._flush_generation.get(channel, 0)
+
+            def fire(host: "SimulationHost", time: float,
+                     channel=channel, generation=generation) -> None:
+                if self._flush_generation.get(channel, 0) == generation:
+                    self._flush_channel(channel)
+
+            self.kernel.schedule_after(
+                self._batching.max_delay, TimerEvent(callback=fire, tag="batch-flush")
+            )
+
+    def _flush_channel(self, channel: Channel) -> None:
+        """Close a channel's window and put the batch on the wire."""
+        window = self._open_batches.pop(channel, None)
+        if not window:
+            return
+        self._flush_generation[channel] = self._flush_generation.get(channel, 0) + 1
+        seq = self._batch_seq.get(channel, 0)
+        self._batch_seq[channel] = seq + 1
+        sent_times = tuple(sent_at for sent_at, _ in window)
+        batch = MessageBatch(
+            sender=channel[0],
+            destination=channel[1],
+            seq=seq,
+            messages=tuple(message for _, message in window),
+        )
+        # Encoding happens exactly once, at flush, in send order — the
+        # sender side of the per-channel FIFO stream the delta frames
+        # assume.  A parked batch has already consumed its encoder state.
+        epoch = self._channel_epoch.get(channel, 0)
+        _, sizes = encode_batch(
+            batch,
+            encoder=self._delta_encoder,
+            codec=self._codec_for(batch.messages[0]),
+        )
+        self.stats.batches_sent += 1
+        self.stats.batched_messages_sent += len(batch.messages)
+        self.stats.account_wire(channel, sizes, messages=len(batch.messages), batches=1)
+        if self._reliability is not None:
+            for sent_at, message in window:
+                self._track(message, sent_at)
+        if self._blocked(channel):
+            self._held_batches.append((self.kernel.now, sent_times, batch, epoch))
+            return
+        self._transmit_batch(batch, sent_times, sent_at=self.kernel.now, epoch=epoch)
+
+    def flush_open_batches(self) -> None:
+        """Force-flush every open window (tests and explicit shutdown)."""
+        for channel in list(self._open_batches):
+            self._flush_channel(channel)
+
+    @property
+    def open_batch_messages(self) -> int:
+        """Messages waiting in not-yet-flushed batching windows."""
+        return sum(len(window) for window in self._open_batches.values())
+
+    def _transmit_batch(self, batch: MessageBatch, sent_times: Tuple[float, ...],
+                        sent_at: float, epoch: int = 0,
+                        force: bool = False) -> None:
+        """Sample the channel fate for a flushed batch and schedule it."""
+        if force:
+            copies = 1
+        else:
+            copies = self.delay_model.fate(batch.messages[0], self.rng)
+        if copies <= 0:
+            # The whole envelope is lost; with the reliability layer on the
+            # per-message resend timers recover the contents as singles
+            # (full frames).  The channel's delta stream restarts so the
+            # next flushed frame never chains through bytes the receiver
+            # cannot have — every delivered delta frame stays decodable.
+            self.stats.batches_dropped += 1
+            self.stats.messages_dropped += len(batch.messages)
+            if self._delta_encoder is not None:
+                self._delta_encoder.reset(batch.channel)
+            return
+        if copies > 1:
+            self.stats.messages_duplicated += (copies - 1) * len(batch.messages)
+        for _ in range(copies):
+            self._schedule_batch(batch, sent_times, sent_at=sent_at, epoch=epoch)
+
+    def _schedule_batch(self, batch: MessageBatch, sent_times: Tuple[float, ...],
+                        sent_at: float, epoch: int = 0) -> None:
+        """Schedule a batch delivery, clamped to per-channel FIFO order.
+
+        Batches on one channel model a single byte stream (one TCP
+        connection): a later batch never overtakes an earlier one, however
+        the delays are sampled.
+        """
+        latency = self.delay_model.delay(batch.messages[0], self.rng) * self.delay_factor
+        if latency < 0:
+            raise SimulationError(f"negative message delay: {latency}")
+        arrival = max(
+            self.kernel.now + latency,
+            self._last_batch_arrival.get(batch.channel, 0.0),
+        )
+        self._last_batch_arrival[batch.channel] = arrival
+        self.kernel.schedule_at(
+            arrival,
+            BatchDeliveryEvent(
+                batch=batch, sent_at=sent_at, sent_times=sent_times, epoch=epoch
+            ),
+        )
 
     def _transmit(self, message: UpdateMessage, sent_at: float,
                   delay: Optional[float] = None, force: bool = False) -> None:
@@ -372,12 +689,13 @@ class Transport:
             raise SimulationError(f"negative message delay: {latency}")
         self.kernel.schedule_after(latency, DeliveryEvent(message, sent_at=sent_at))
 
-    def record_delivery(self, event: DeliveryEvent, time: float) -> None:
-        """Account for one fired :class:`DeliveryEvent` in the statistics."""
+    def _note_message_delivered(self, message: UpdateMessage, sent_at: float,
+                                time: float) -> None:
+        """Per-message delivery bookkeeping shared by singles and batches."""
         self.stats.messages_delivered += 1
-        self.stats.total_latency += time - event.sent_at
+        self.stats.total_latency += time - sent_at
         if self._reliability is not None:
-            key = (event.message.update.uid, event.message.destination)
+            key = (message.update.uid, message.destination)
             if self._reliability.ack_delay > 0 and key not in self._acked:
                 def ack(host: "SimulationHost", ack_time: float, key=key) -> None:
                     self._acknowledge(key)
@@ -387,6 +705,20 @@ class Transport:
             else:
                 self._acknowledge(key)
 
+    def record_delivery(self, event: DeliveryEvent, time: float) -> None:
+        """Account for one fired :class:`DeliveryEvent` in the statistics."""
+        self._note_message_delivered(event.message, event.sent_at, time)
+
+    def record_batch_delivery(self, event: BatchDeliveryEvent, time: float) -> None:
+        """Account for every message of a delivered batch.
+
+        Each message's latency runs from when it entered the batching
+        window, so the window wait is part of the measured delivery latency
+        (the cost side of the batching trade-off).
+        """
+        for message, sent_at in zip(event.batch.messages, event.sent_times):
+            self._note_message_delivered(message, sent_at, time)
+
     def note_lost_delivery(self, event: DeliveryEvent) -> None:
         """Account for a delivery discarded because its destination is down.
 
@@ -395,6 +727,67 @@ class Transport:
         covers it otherwise.
         """
         self.stats.messages_lost_to_crash += 1
+
+    def note_lost_batch(self, event: BatchDeliveryEvent) -> None:
+        """Account for a whole batch discarded at a crashed destination.
+
+        The crash severs the channel's byte stream: the epoch bump makes
+        every batch still in flight on this channel stale (it dies on
+        arrival, like in-flight data of a broken TCP connection), and the
+        delta encoder restarts so frames flushed after this point go full
+        until a new chain builds up.  Content recovery is the
+        retransmission/resync layer's job — those paths re-send full-frame
+        singles — so every batch that *is* delivered chains only through
+        delivered predecessors.
+        """
+        channel = event.batch.channel
+        self.stats.messages_lost_to_crash += len(event.batch.messages)
+        if event.epoch == self._channel_epoch.get(channel, 0):
+            # A live-stream batch hit a crashed peer the fault layer had
+            # not already severed (hosts without a FaultInjector); cut the
+            # stream here.  A batch from an already-severed epoch must not
+            # bump again — the successor stream is live.
+            self._sever_channel(channel)
+
+    def _sever_channel(self, channel: Channel) -> None:
+        self._channel_epoch[channel] = self._channel_epoch.get(channel, 0) + 1
+        if self._delta_encoder is not None:
+            self._delta_encoder.reset(channel)
+
+    def sever_streams(self, replica_id: ReplicaId) -> None:
+        """Sever the batched streams broken by a replica crash.
+
+        Called by the fault layer at crash time.  Channels *into* the
+        crashed replica lose their receiver-side decoder state, so their
+        epoch is bumped: in-flight batches become stale (they die on
+        arrival, and resync/retransmission recover the contents) and
+        post-crash flushes start fresh delta chains.  Channels *out of*
+        the crashed replica only lose the sender-side encoder state —
+        batches already in flight to live peers remain decodable (the
+        receivers' state is intact and FIFO order holds), so only the
+        encoder chain restarts: the crashed sender's next post-restart
+        flush goes full.  A no-op without batching.
+        """
+        if self._batching is None:
+            return
+        for channel in set(self._batch_seq) | set(self._open_batches):
+            if channel[1] == replica_id:
+                self._sever_channel(channel)
+            elif channel[0] == replica_id and self._delta_encoder is not None:
+                self._delta_encoder.reset(channel)
+
+    def batch_is_stale(self, event: BatchDeliveryEvent) -> bool:
+        """``True`` when the batch's stream epoch predates a crash cut."""
+        return event.epoch != self._channel_epoch.get(event.batch.channel, 0)
+
+    def note_stale_batch(self, event: BatchDeliveryEvent) -> None:
+        """Discard a batch whose stream was severed while it was in flight.
+
+        Counted with the crash losses (the crash is what killed it); the
+        epoch is *not* bumped again — batches flushed after the cut belong
+        to the new stream and must keep flowing.
+        """
+        self.stats.messages_lost_to_crash += len(event.batch.messages)
 
     # ------------------------------------------------------------------
     # Ack + resend-timer reliability layer
@@ -432,6 +825,7 @@ class Transport:
             del self._outstanding[key]
             return
         self.stats.retransmissions += 1
+        self._account_single(message)
         final = attempt >= self._reliability.max_retries
         self._put_on_wire(message, sent_at=sent_at, force=final)
         if final:
@@ -464,6 +858,7 @@ class Transport:
                 continue
             missing.append(uid)
             self.stats.retransmissions += 1
+            self._account_single(message)
             channel = (message.sender, message.destination)
             if self._blocked(channel):
                 self._held_messages.append((self.kernel.now, message))
@@ -534,7 +929,7 @@ class Transport:
         return self._partition_groups is not None
 
     def _flush_parked(self) -> None:
-        """Re-schedule every parked message whose channel is now unblocked."""
+        """Re-schedule every parked message/batch whose channel is now unblocked."""
         still_parked: List[Tuple[float, UpdateMessage]] = []
         for sent_at, message in self._held_messages:
             if self._blocked((message.sender, message.destination)):
@@ -542,11 +937,20 @@ class Transport:
             else:
                 self._schedule(message, sent_at=sent_at)
         self._held_messages = still_parked
+        still_parked_batches: List[Tuple[float, Tuple[float, ...], MessageBatch, int]] = []
+        for sent_at, sent_times, batch, epoch in self._held_batches:
+            if self._blocked(batch.channel):
+                still_parked_batches.append((sent_at, sent_times, batch, epoch))
+            else:
+                self._schedule_batch(batch, sent_times, sent_at=sent_at, epoch=epoch)
+        self._held_batches = still_parked_batches
 
     @property
     def held_count(self) -> int:
         """Number of messages currently parked on held or partitioned channels."""
-        return len(self._held_messages)
+        return len(self._held_messages) + sum(
+            len(batch.messages) for _, _, batch, _ in self._held_batches
+        )
 
 
 # ======================================================================
@@ -704,10 +1108,13 @@ class RunMetrics:
 
         Computed from the completed intervals in :attr:`downtime`; a replica
         still down has its open interval closed by
-        :meth:`~repro.sim.faults.FaultInjector.finalize_downtime`.
+        :meth:`~repro.sim.faults.FaultInjector.finalize_downtime`.  A
+        non-positive horizon (an empty run that never advanced the clock)
+        is well-defined: no time was observed, so every replica reports
+        full availability instead of raising.
         """
         if horizon <= 0:
-            raise SimulationError("availability horizon must be positive")
+            return {rid: 1.0 for rid in replica_ids}
         out: Dict[ReplicaId, float] = {}
         for rid in replica_ids:
             down = sum(
@@ -919,6 +1326,19 @@ class SimulationHost:
             else:
                 self.transport.record_delivery(event, firing.time)
                 self._deliver(event.message)
+        elif isinstance(event, BatchDeliveryEvent):
+            self.last_activity_time = firing.time
+            if self.replica_down(event.batch.destination):
+                # The whole envelope is lost with its crashed destination;
+                # retransmission/resync recover the contents.
+                self.transport.note_lost_batch(event)
+            elif self.transport.batch_is_stale(event):
+                # The stream was severed (crash) while this batch was in
+                # flight; it dies like a broken connection's data.
+                self.transport.note_stale_batch(event)
+            else:
+                self.transport.record_batch_delivery(event, firing.time)
+                self._deliver_batch(event.batch)
         elif isinstance(event, TimerEvent):
             event.callback(self, firing.time)
         elif isinstance(event, ArrivalEvent):
@@ -933,6 +1353,19 @@ class SimulationHost:
     def _deliver(self, message: UpdateMessage) -> None:
         replica = self._replica(message.destination)
         replica.receive(message)
+        self._apply_ready(replica)
+        self._after_delivery(replica)
+
+    def _deliver_batch(self, batch: "MessageBatch") -> None:
+        """Hand a whole batch to its destination, then run one apply pass.
+
+        Buffering every contained message before the single
+        :meth:`_apply_ready` drain is the throughput half of batching: one
+        kernel event and one apply pass amortize over the batch.
+        """
+        replica = self._replica(batch.destination)
+        for message in batch.messages:
+            replica.receive(message)
         self._apply_ready(replica)
         self._after_delivery(replica)
 

@@ -23,12 +23,26 @@ from ..core.errors import SimulationError
 from ..core.protocol import UpdateMessage
 from ..core.registers import ReplicaId
 from .delays import DelayModel
-from .engine import DeliveryEvent, EventKernel, NetworkStats, Transport
+from .engine import (
+    BatchDeliveryEvent,
+    BatchingConfig,
+    ChannelWireStats,
+    DeliveryEvent,
+    EventKernel,
+    NetworkStats,
+    Transport,
+)
 
-__all__ = ["Delivery", "NetworkStats", "SimNetwork"]
+__all__ = [
+    "BatchingConfig",
+    "ChannelWireStats",
+    "Delivery",
+    "NetworkStats",
+    "SimNetwork",
+]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Delivery:
     """One message delivery popped from the network."""
 
@@ -50,6 +64,14 @@ class SimNetwork:
     kernel:
         Optionally a pre-existing :class:`~repro.sim.engine.EventKernel` to
         schedule on; by default the network owns a fresh one.
+    batching:
+        Optionally a :class:`~repro.sim.engine.BatchingConfig`: messages
+        then ride per-channel batching windows delivered as single kernel
+        events, with the wire-format byte accounting implied (see the
+        ``repro.wire`` package).
+    wire_accounting:
+        Book every sent message into byte-accurate
+        :class:`~repro.sim.engine.NetworkStats` even without batching.
     """
 
     def __init__(
@@ -57,9 +79,15 @@ class SimNetwork:
         delay_model: Optional[DelayModel] = None,
         seed: int = 0,
         kernel: Optional[EventKernel] = None,
+        batching: Optional[BatchingConfig] = None,
+        wire_accounting: bool = False,
     ) -> None:
         self.kernel = kernel or EventKernel()
         self.transport = Transport(self.kernel, delay_model=delay_model, seed=seed)
+        if batching is not None:
+            self.transport.enable_batching(batching)
+        elif wire_accounting:
+            self.transport.enable_wire_accounting()
 
     # ------------------------------------------------------------------
     # Pass-through properties
@@ -133,15 +161,40 @@ class SimNetwork:
         return self.transport.held_count
 
     # ------------------------------------------------------------------
+    # Batching window control
+    # ------------------------------------------------------------------
+    @property
+    def batching(self) -> Optional[BatchingConfig]:
+        """The active batching configuration, or ``None``."""
+        return self.transport.batching
+
+    def flush_batches(self) -> None:
+        """Force-flush every open per-channel batching window."""
+        self.transport.flush_open_batches()
+
+    # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
     def pending_count(self) -> int:
-        """Number of scheduled (not yet delivered) messages, excluding held ones."""
-        return self.kernel.pending_of(DeliveryEvent)
+        """Number of scheduled (not yet delivered) messages, excluding held ones.
+
+        Counts the contents of scheduled batches message-by-message, so the
+        number means the same thing with and without batching.
+        """
+        singles = self.kernel.pending_of(DeliveryEvent)
+        batched = sum(
+            len(event.batch.messages)
+            for event in self.kernel.events_of(BatchDeliveryEvent)
+        )
+        return singles + batched
 
     def in_flight(self) -> int:
-        """Total undelivered messages (scheduled + held)."""
-        return self.pending_count() + self.transport.held_count
+        """Total undelivered messages (scheduled + held + open windows)."""
+        return (
+            self.pending_count()
+            + self.transport.held_count
+            + self.transport.open_batch_messages
+        )
 
     def deliver_next(self) -> Optional[Delivery]:
         """Pop the earliest scheduled message, advancing simulated time.

@@ -1,0 +1,105 @@
+"""The wire-format layer: binary codecs, delta frames and batch envelopes.
+
+This package turns the library's in-memory protocol vocabulary
+(:class:`~repro.core.protocol.UpdateMessage` and the timestamp families of
+:mod:`repro.core.timestamps`) into measured bytes-on-wire:
+
+* :mod:`repro.wire.primitives` — varints, zigzag, atoms;
+* :mod:`repro.wire.codecs` — one codec per timestamp family
+  (edge / vector / matrix / hoop), each with full and delta frames;
+* :mod:`repro.wire.frames` — message frames with a header/timestamp/payload
+  byte breakdown (:class:`~repro.wire.frames.WireSizes`);
+* :mod:`repro.wire.channel` — the per-channel delta encoder/decoder pair;
+* :mod:`repro.wire.batch` — the :class:`~repro.wire.batch.MessageBatch`
+  envelope the batching transport ships as a single kernel event.
+
+The simulation transport (:mod:`repro.sim.engine`) uses these to keep
+byte-accurate :class:`~repro.sim.engine.NetworkStats`; experiment E16
+(:func:`repro.analysis.experiments.exp_wire_overhead`) compares the measured
+timestamp bytes against the paper's closed-form lower bounds.
+"""
+
+from .batch import MessageBatch, decode_batch, encode_batch
+from .channel import ChannelDeltaDecoder, ChannelDeltaEncoder
+from .codecs import (
+    CODEC_BY_TAG,
+    EDGE_CODEC,
+    HOOP_CODEC,
+    MATRIX_CODEC,
+    VECTOR_CODEC,
+    EdgeTimestampCodec,
+    HoopTimestampCodec,
+    MatrixTimestampCodec,
+    TimestampCodec,
+    TimestampFrame,
+    VectorTimestampCodec,
+    codec_for,
+    decode_timestamp_frame,
+    decode_value,
+    encode_timestamp_frame,
+    encode_value,
+    register_codec_type,
+)
+from .frames import (
+    WIRE_VERSION,
+    WireSizes,
+    decode_message,
+    decode_message_frame,
+    encode_message,
+    encode_message_frame,
+    message_wire_sizes,
+)
+from .primitives import (
+    WireFormatError,
+    decode_atom,
+    decode_bytes,
+    decode_svarint,
+    decode_uvarint,
+    encode_atom,
+    encode_bytes,
+    encode_svarint,
+    encode_uvarint,
+    uvarint_size,
+)
+
+__all__ = [
+    "CODEC_BY_TAG",
+    "ChannelDeltaDecoder",
+    "ChannelDeltaEncoder",
+    "EDGE_CODEC",
+    "EdgeTimestampCodec",
+    "HOOP_CODEC",
+    "HoopTimestampCodec",
+    "MATRIX_CODEC",
+    "MatrixTimestampCodec",
+    "MessageBatch",
+    "TimestampCodec",
+    "TimestampFrame",
+    "VECTOR_CODEC",
+    "VectorTimestampCodec",
+    "WIRE_VERSION",
+    "WireFormatError",
+    "WireSizes",
+    "codec_for",
+    "decode_atom",
+    "decode_batch",
+    "decode_bytes",
+    "decode_message",
+    "decode_message_frame",
+    "decode_svarint",
+    "decode_timestamp_frame",
+    "decode_uvarint",
+    "decode_value",
+    "encode_atom",
+    "encode_batch",
+    "encode_bytes",
+    "encode_message",
+    "encode_message_frame",
+    "encode_svarint",
+    "encode_timestamp_frame",
+    "encode_uvarint",
+    "encode_value",
+    "message_wire_sizes",
+    "register_codec_type",
+    "uvarint_size",
+]

@@ -1,0 +1,91 @@
+"""Per-channel delta-encoding state: the sender/receiver halves of a stream.
+
+Delta timestamp frames (:mod:`repro.wire.codecs`) are defined against *the
+previous timestamp shipped on the same (sender, destination) channel* — the
+state a real deployment would keep per TCP connection.  The encoder lives at
+the sending transport; the decoder mirrors it at the receiver, consuming
+frames in stream order.
+
+The pairing contract is exactly a FIFO byte stream's: every frame the
+encoder produces for a channel must be decoded in that order.  The batching
+transport satisfies it by construction — batches are encoded at flush time
+in send order, and the wire-format tests replay the same stream through a
+:class:`ChannelDeltaDecoder` to prove ``decode ∘ encode = id``.
+
+A channel with no prior traffic (or one explicitly :meth:`reset`, e.g. after
+a crash loses the peer's stream state) falls back to full frames
+automatically — ``prev`` is simply absent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.protocol import UpdateMessage
+from ..core.registers import ReplicaId
+from .codecs import TimestampCodec
+from .frames import WireSizes, decode_message_frame, encode_message_frame
+
+Channel = Tuple[ReplicaId, ReplicaId]
+
+
+class ChannelDeltaEncoder:
+    """Sender-side per-channel state for timestamp delta frames."""
+
+    def __init__(self) -> None:
+        self._last: Dict[Channel, Any] = {}
+
+    def encode_message(
+        self, message: UpdateMessage, codec: Optional[TimestampCodec] = None
+    ) -> Tuple[bytes, WireSizes]:
+        """Encode one message frame, delta-encoding against channel state."""
+        channel = (message.sender, message.destination)
+        prev = self._last.get(channel)
+        frame, sizes = encode_message_frame(message, codec=codec, prev=prev)
+        self._last[channel] = message.metadata
+        return frame, sizes
+
+    def reset(self, channel: Optional[Channel] = None) -> None:
+        """Forget channel state (one channel, or all): next frame goes full."""
+        if channel is None:
+            self._last.clear()
+        else:
+            self._last.pop(channel, None)
+
+    def peek(self, channel: Channel) -> Optional[Any]:
+        """The last timestamp shipped on ``channel`` (for tests/inspection)."""
+        return self._last.get(channel)
+
+
+class ChannelDeltaDecoder:
+    """Receiver-side mirror of :class:`ChannelDeltaEncoder`.
+
+    Must consume every frame of a channel in encode order (the FIFO-stream
+    contract above); the decoded timestamp becomes the state the next delta
+    frame on that channel is applied to.
+    """
+
+    def __init__(self) -> None:
+        self._last: Dict[Channel, Any] = {}
+
+    def decode_message(
+        self,
+        data: bytes,
+        offset: int,
+        sender: ReplicaId,
+        destination: ReplicaId,
+    ) -> Tuple[UpdateMessage, int]:
+        """Decode one message frame, updating the channel state."""
+        channel = (sender, destination)
+        message, offset = decode_message_frame(
+            data, offset, sender, destination, prev=self._last.get(channel)
+        )
+        self._last[channel] = message.metadata
+        return message, offset
+
+    def reset(self, channel: Optional[Channel] = None) -> None:
+        """Forget channel state (one channel, or all)."""
+        if channel is None:
+            self._last.clear()
+        else:
+            self._last.pop(channel, None)

@@ -1,0 +1,506 @@
+"""Per-timestamp-family binary codecs and the value (payload) codec.
+
+Every protocol family in the library serializes its timestamps through one
+of four codecs, each identified by a one-byte family tag on the wire:
+
+===========  ===============================================  ==========
+family       timestamp shape                                  wire body
+===========  ===============================================  ==========
+``edge``     sparse edge-indexed vector (the paper's ``τ_i``)  count, then (atom a, atom b, uvarint counter) per sorted edge
+``vector``   replica-indexed vector (full replication)         count, then (atom rid, uvarint counter) per sorted replica
+``matrix``   dense ``R × (R−1)`` matrix (Full-Track)           R, the sorted replica ids, then the counters in pair order
+``hoop``     sparse edge-indexed vector over hoop edge sets    same body as ``edge``, distinct tag
+===========  ===============================================  ==========
+
+The matrix codec exploits the one structural fact Full-Track guarantees —
+the index set is *every* ordered replica pair — to avoid shipping edge ids
+at all; the sparse codecs ship explicit ``(tail, head)`` atoms because the
+whole point of the paper's algorithm is that the index set is an arbitrary
+subgraph.
+
+Every codec also implements **delta frames** against a previous timestamp
+with the same index set: counters are monotone non-decreasing over a
+replica's lifetime (``advance`` increments, ``merge`` takes maxima), so a
+delta frame lists only the raised entries as ``(index gap, value delta)``
+varint pairs.  :func:`encode_timestamp_frame` picks whichever of the two
+encodings is smaller, so a delta frame never loses to the full frame it
+replaces.
+
+Frame layout (both modes)::
+
+    [family tag: 1 byte][mode: 1 byte = 0 full | 1 delta][body]
+
+Decoding a delta frame requires the previous timestamp on the channel —
+that per-channel state lives in :mod:`repro.wire.channel`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Dict, List, Mapping, NamedTuple, Optional, Sequence, Tuple, Type
+
+from ..core.timestamps import EdgeTimestamp, VectorTimestamp
+from .primitives import (
+    WireFormatError,
+    atom_size,
+    decode_atom,
+    decode_bytes,
+    decode_svarint,
+    decode_uvarint,
+    encode_atom,
+    encode_bytes,
+    encode_svarint,
+    encode_uvarint,
+    uvarint_size,
+)
+
+MODE_FULL = 0
+MODE_DELTA = 1
+
+
+class TimestampCodec:
+    """One timestamp family's binary encoding.
+
+    Subclasses provide the family identity (:attr:`name`, :attr:`tag`), the
+    full encoding, and the index/counter accessors the shared delta logic
+    needs.  All codecs are stateless singletons; per-channel delta state
+    lives in :class:`~repro.wire.channel.ChannelDeltaEncoder`.
+    """
+
+    #: Human-readable family name (``edge`` / ``vector`` / ``matrix`` / ``hoop``).
+    name: str = ""
+    #: One-byte wire tag.
+    tag: int = 0
+
+    #: Instance attribute the canonical index is cached under.  Edge and
+    #: hoop timestamps share one sort order; the matrix codec's pair order
+    #: differs, so it caches under its own attribute (one ``EdgeTimestamp``
+    #: object is only ever encoded by one family, but the caches must not
+    #: collide even if that changes).
+    _INDEX_CACHE_ATTR = "_wire_sorted_index"
+    _FULL_SIZE_CACHE_ATTR = "_wire_full_size"
+
+    # -- hooks ---------------------------------------------------------
+    def index_of(self, ts: Any) -> Tuple[Any, ...]:
+        """The canonical index entries of ``ts``, cached on the instance.
+
+        Timestamps are immutable and — on broadcast topologies — shared by
+        every outgoing copy of a write, so the sort is paid once per write,
+        not once per destination.
+        """
+        cached = ts.__dict__.get(self._INDEX_CACHE_ATTR)
+        if cached is None:
+            cached = self._build_index(ts)
+            object.__setattr__(ts, self._INDEX_CACHE_ATTR, cached)
+        return cached
+
+    def _build_index(self, ts: Any) -> Tuple[Any, ...]:
+        """Compute the canonical index entries (uncached)."""
+        raise NotImplementedError
+
+    def full_frame_size(self, ts: Any) -> int:
+        """Size in bytes of the *full* frame for ``ts``, without building it.
+
+        Cached on the instance like :meth:`index_of`; used both to charge
+        the no-delta counterfactual in the statistics and to guarantee a
+        delta frame is only used when it actually wins.
+        """
+        cached = ts.__dict__.get(self._FULL_SIZE_CACHE_ATTR)
+        if cached is None:
+            cached = 2 + self._full_body_size(ts)
+            object.__setattr__(ts, self._FULL_SIZE_CACHE_ATTR, cached)
+        return cached
+
+    def _full_body_size(self, ts: Any) -> int:
+        """Byte size of :meth:`encode_full`'s output (size-only pass)."""
+        raise NotImplementedError
+
+    def counters_of(self, ts: Any) -> Mapping[Any, int]:
+        """The ``index entry -> counter`` mapping of ``ts``."""
+        raise NotImplementedError
+
+    def make(self, counters: Dict[Any, int]) -> Any:
+        """Rebuild a timestamp from decoded counters."""
+        raise NotImplementedError
+
+    def encode_full(self, ts: Any) -> bytes:
+        """The self-describing full body (no channel state required)."""
+        raise NotImplementedError
+
+    def decode_full(self, data: bytes, offset: int) -> Tuple[Any, int]:
+        """Inverse of :meth:`encode_full`."""
+        raise NotImplementedError
+
+    # -- shared delta logic --------------------------------------------
+    def encode_delta(self, ts: Any, prev: Any) -> Optional[bytes]:
+        """Delta body against ``prev``, or ``None`` when no delta applies.
+
+        A delta frame exists iff ``ts`` and ``prev`` share the index set and
+        no counter decreased (both always hold for successive timestamps of
+        one live replica; restarts and index-set changes fall back to full).
+        """
+        if type(prev) is not type(ts):
+            return None
+        index = self.index_of(ts)
+        if index != self.index_of(prev):
+            return None
+        counters = self.counters_of(ts)
+        previous = self.counters_of(prev)
+        changed: List[Tuple[int, int]] = []
+        for position, entry in enumerate(index):
+            step = counters[entry] - previous[entry]
+            if step < 0:
+                return None
+            if step:
+                changed.append((position, step))
+        out = bytearray(encode_uvarint(len(changed)))
+        last = -1
+        for position, step in changed:
+            out += encode_uvarint(position - last - 1)
+            out += encode_uvarint(step)
+            last = position
+        return bytes(out)
+
+    def decode_delta(self, data: bytes, offset: int, prev: Any) -> Tuple[Any, int]:
+        """Apply a delta body to ``prev``; returns ``(timestamp, new_offset)``."""
+        index = self.index_of(prev)
+        counters = dict(self.counters_of(prev))
+        count, offset = decode_uvarint(data, offset)
+        position = -1
+        for _ in range(count):
+            gap, offset = decode_uvarint(data, offset)
+            step, offset = decode_uvarint(data, offset)
+            position += gap + 1
+            if position >= len(index):
+                raise WireFormatError("delta frame indexes past the previous timestamp")
+            counters[index[position]] += step
+        return self.make(counters), offset
+
+
+class EdgeTimestampCodec(TimestampCodec):
+    """Sparse codec for the paper's edge-indexed timestamps."""
+
+    name = "edge"
+    tag = 1
+
+    def _build_index(self, ts: EdgeTimestamp) -> Tuple[Any, ...]:
+        return tuple(sorted(ts.counters))
+
+    def counters_of(self, ts: EdgeTimestamp) -> Mapping[Any, int]:
+        return ts.counters
+
+    def make(self, counters: Dict[Any, int]) -> EdgeTimestamp:
+        return EdgeTimestamp(counters)
+
+    def encode_full(self, ts: EdgeTimestamp) -> bytes:
+        counters = ts.counters
+        out = bytearray(encode_uvarint(len(counters)))
+        for edge in self.index_of(ts):
+            out += encode_atom(edge[0])
+            out += encode_atom(edge[1])
+            out += encode_uvarint(counters[edge])
+        return bytes(out)
+
+    def _full_body_size(self, ts: EdgeTimestamp) -> int:
+        size = uvarint_size(len(ts.counters))
+        for (tail, head), value in ts.counters.items():
+            size += atom_size(tail) + atom_size(head) + uvarint_size(value)
+        return size
+
+    def decode_full(self, data: bytes, offset: int) -> Tuple[EdgeTimestamp, int]:
+        count, offset = decode_uvarint(data, offset)
+        counters: Dict[Tuple[Any, Any], int] = {}
+        for _ in range(count):
+            tail, offset = decode_atom(data, offset)
+            head, offset = decode_atom(data, offset)
+            value, offset = decode_uvarint(data, offset)
+            counters[(tail, head)] = value
+        return EdgeTimestamp(counters), offset
+
+
+class HoopTimestampCodec(EdgeTimestampCodec):
+    """The hoop-tracking family: edge-shaped timestamps, distinct wire tag.
+
+    Hoop-derived edge sets are sparse like the paper's, so the body is the
+    edge codec's; the separate tag keeps per-family byte accounting honest.
+    """
+
+    name = "hoop"
+    tag = 4
+
+
+class VectorTimestampCodec(TimestampCodec):
+    """Codec for classical replica-indexed vector timestamps."""
+
+    name = "vector"
+    tag = 2
+
+    def _build_index(self, ts: VectorTimestamp) -> Tuple[Any, ...]:
+        return tuple(sorted(ts.counters))
+
+    def counters_of(self, ts: VectorTimestamp) -> Mapping[Any, int]:
+        return ts.counters
+
+    def make(self, counters: Dict[Any, int]) -> VectorTimestamp:
+        return VectorTimestamp(counters)
+
+    def encode_full(self, ts: VectorTimestamp) -> bytes:
+        counters = ts.counters
+        out = bytearray(encode_uvarint(len(counters)))
+        for rid in self.index_of(ts):
+            out += encode_atom(rid)
+            out += encode_uvarint(counters[rid])
+        return bytes(out)
+
+    def _full_body_size(self, ts: VectorTimestamp) -> int:
+        size = uvarint_size(len(ts.counters))
+        for rid, value in ts.counters.items():
+            size += atom_size(rid) + uvarint_size(value)
+        return size
+
+    def decode_full(self, data: bytes, offset: int) -> Tuple[VectorTimestamp, int]:
+        count, offset = decode_uvarint(data, offset)
+        counters: Dict[Any, int] = {}
+        for _ in range(count):
+            rid, offset = decode_atom(data, offset)
+            value, offset = decode_uvarint(data, offset)
+            counters[rid] = value
+        return VectorTimestamp(counters), offset
+
+
+class MatrixTimestampCodec(TimestampCodec):
+    """Dense codec for Full-Track's complete ``R × (R−1)`` matrix clocks.
+
+    The index set of a Full-Track timestamp is *every* ordered pair over the
+    replica set, so the wire body ships the replica ids once and the
+    counters positionally — 2 atoms per replica instead of 2 atoms per pair.
+    """
+
+    name = "matrix"
+    tag = 3
+
+    _INDEX_CACHE_ATTR = "_wire_matrix_index"
+    _FULL_SIZE_CACHE_ATTR = "_wire_matrix_full_size"
+
+    @staticmethod
+    def _replica_ids(ts: EdgeTimestamp) -> Tuple[Any, ...]:
+        ids = set()
+        for tail, head in ts.counters:
+            ids.add(tail)
+            ids.add(head)
+        return tuple(sorted(ids))
+
+    @staticmethod
+    def _all_pairs(ids: Sequence[Any]) -> Tuple[Tuple[Any, Any], ...]:
+        return tuple((a, b) for a in ids for b in ids if a != b)
+
+    def _build_index(self, ts: EdgeTimestamp) -> Tuple[Any, ...]:
+        pairs = self._all_pairs(self._replica_ids(ts))
+        if len(pairs) != len(ts.counters) or frozenset(pairs) != frozenset(ts.counters):
+            raise WireFormatError(
+                "matrix codec requires a complete ordered-pair index set; "
+                f"got {len(ts.counters)} of {len(pairs)} pairs"
+            )
+        return pairs
+
+    def counters_of(self, ts: EdgeTimestamp) -> Mapping[Any, int]:
+        return ts.counters
+
+    def make(self, counters: Dict[Any, int]) -> EdgeTimestamp:
+        return EdgeTimestamp(counters)
+
+    def encode_full(self, ts: EdgeTimestamp) -> bytes:
+        pairs = self.index_of(ts)
+        ids = self._replica_ids(ts)
+        counters = ts.counters
+        out = bytearray(encode_uvarint(len(ids)))
+        for rid in ids:
+            out += encode_atom(rid)
+        for pair in pairs:
+            out += encode_uvarint(counters[pair])
+        return bytes(out)
+
+    def _full_body_size(self, ts: EdgeTimestamp) -> int:
+        self.index_of(ts)  # validates completeness
+        ids = self._replica_ids(ts)
+        size = uvarint_size(len(ids)) + sum(atom_size(rid) for rid in ids)
+        for value in ts.counters.values():
+            size += uvarint_size(value)
+        return size
+
+    def decode_full(self, data: bytes, offset: int) -> Tuple[EdgeTimestamp, int]:
+        count, offset = decode_uvarint(data, offset)
+        ids: List[Any] = []
+        for _ in range(count):
+            rid, offset = decode_atom(data, offset)
+            ids.append(rid)
+        counters: Dict[Tuple[Any, Any], int] = {}
+        for pair in self._all_pairs(ids):
+            value, offset = decode_uvarint(data, offset)
+            counters[pair] = value
+        return EdgeTimestamp(counters), offset
+
+
+#: The four family singletons, and the wire-tag dispatch table.
+EDGE_CODEC = EdgeTimestampCodec()
+VECTOR_CODEC = VectorTimestampCodec()
+MATRIX_CODEC = MatrixTimestampCodec()
+HOOP_CODEC = HoopTimestampCodec()
+
+CODEC_BY_TAG: Dict[int, TimestampCodec] = {
+    codec.tag: codec for codec in (EDGE_CODEC, VECTOR_CODEC, MATRIX_CODEC, HOOP_CODEC)
+}
+
+#: Fallback type-based dispatch for metadata whose replica family is unknown
+#: (e.g. a message inspected outside any cluster).
+_CODEC_BY_TYPE: Dict[Type, TimestampCodec] = {
+    EdgeTimestamp: EDGE_CODEC,
+    VectorTimestamp: VECTOR_CODEC,
+}
+
+
+def register_codec_type(metadata_type: Type, codec: TimestampCodec) -> None:
+    """Register a fallback codec for a metadata type (extension hook)."""
+    _CODEC_BY_TYPE[metadata_type] = codec
+    CODEC_BY_TAG[codec.tag] = codec
+
+
+def codec_for(metadata: Any) -> TimestampCodec:
+    """The fallback codec for a metadata object, dispatched on its type."""
+    codec = _CODEC_BY_TYPE.get(type(metadata))
+    if codec is None:
+        raise WireFormatError(
+            f"no timestamp codec registered for {type(metadata).__name__}"
+        )
+    return codec
+
+
+class TimestampFrame(NamedTuple):
+    """One encoded timestamp frame plus its accounting facts."""
+
+    data: bytes
+    used_delta: bool
+    #: What the full (non-delta) frame would have cost, in bytes — equal to
+    #: ``len(data)`` when ``used_delta`` is false.  Feeds the delta-savings
+    #: accounting in :class:`~repro.sim.engine.NetworkStats`.
+    full_size: int
+
+
+def encode_timestamp_frame(
+    ts: Any,
+    codec: Optional[TimestampCodec] = None,
+    prev: Optional[Any] = None,
+) -> TimestampFrame:
+    """Encode one timestamp as a tagged frame.
+
+    With ``prev`` given (the previous timestamp shipped on the channel) a
+    delta body is attempted and used whenever it is both valid and strictly
+    smaller than the full body — a delta frame therefore never loses to the
+    full frame it replaces.
+    """
+    codec = codec or codec_for(ts)
+    if prev is not None:
+        delta = codec.encode_delta(ts, prev)
+        if delta is not None:
+            # The full frame is only *sized* here (a cached, allocation-free
+            # pass) — never built — so the delta fast path stays cheap.
+            full_size = codec.full_frame_size(ts)
+            if 2 + len(delta) < full_size:
+                return TimestampFrame(
+                    bytes((codec.tag, MODE_DELTA)) + delta, True, full_size
+                )
+    full = codec.encode_full(ts)
+    return TimestampFrame(
+        bytes((codec.tag, MODE_FULL)) + full, False, 2 + len(full)
+    )
+
+
+def decode_timestamp_frame(
+    data: bytes, offset: int = 0, prev: Optional[Any] = None
+) -> Tuple[Any, int]:
+    """Decode a tagged timestamp frame (``prev`` required for delta mode)."""
+    if offset + 2 > len(data):
+        raise WireFormatError("truncated timestamp frame header")
+    tag, mode = data[offset], data[offset + 1]
+    offset += 2
+    codec = CODEC_BY_TAG.get(tag)
+    if codec is None:
+        raise WireFormatError(f"unknown timestamp family tag {tag}")
+    if mode == MODE_FULL:
+        return codec.decode_full(data, offset)
+    if mode == MODE_DELTA:
+        if prev is None:
+            raise WireFormatError(
+                "delta timestamp frame without channel state (previous timestamp)"
+            )
+        return codec.decode_delta(data, offset, prev)
+    raise WireFormatError(f"unknown timestamp frame mode {mode}")
+
+
+# ----------------------------------------------------------------------
+# Payload values
+# ----------------------------------------------------------------------
+# Register values are opaque to the protocol; the workloads write short
+# strings.  The value codec covers the common scalar types with one tag
+# byte each and falls back to pickle for anything else, so every payload
+# round-trips exactly.
+
+_VALUE_NONE = 0
+_VALUE_FALSE = 1
+_VALUE_TRUE = 2
+_VALUE_INT = 3
+_VALUE_FLOAT = 4
+_VALUE_STR = 5
+_VALUE_BYTES = 6
+_VALUE_PICKLE = 7
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one register value (tag byte + body)."""
+    if value is None:
+        return bytes((_VALUE_NONE,))
+    if value is False:
+        return bytes((_VALUE_FALSE,))
+    if value is True:
+        return bytes((_VALUE_TRUE,))
+    if isinstance(value, int):
+        return bytes((_VALUE_INT,)) + encode_svarint(value)
+    if isinstance(value, float):
+        return bytes((_VALUE_FLOAT,)) + struct.pack("<d", value)
+    if isinstance(value, str):
+        return bytes((_VALUE_STR,)) + encode_bytes(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return bytes((_VALUE_BYTES,)) + encode_bytes(value)
+    return bytes((_VALUE_PICKLE,)) + encode_bytes(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+
+
+def decode_value(data: bytes, offset: int = 0) -> Tuple[Any, int]:
+    """Decode one register value; returns ``(value, new_offset)``."""
+    if offset >= len(data):
+        raise WireFormatError("truncated value frame")
+    tag = data[offset]
+    offset += 1
+    if tag == _VALUE_NONE:
+        return None, offset
+    if tag == _VALUE_FALSE:
+        return False, offset
+    if tag == _VALUE_TRUE:
+        return True, offset
+    if tag == _VALUE_INT:
+        return decode_svarint(data, offset)
+    if tag == _VALUE_FLOAT:
+        if offset + 8 > len(data):
+            raise WireFormatError("truncated float value")
+        return struct.unpack_from("<d", data, offset)[0], offset + 8
+    if tag == _VALUE_STR:
+        raw, offset = decode_bytes(data, offset)
+        return raw.decode("utf-8"), offset
+    if tag == _VALUE_BYTES:
+        return decode_bytes(data, offset)
+    if tag == _VALUE_PICKLE:
+        raw, offset = decode_bytes(data, offset)
+        return pickle.loads(raw), offset
+    raise WireFormatError(f"unknown value tag {tag}")

@@ -1,0 +1,191 @@
+"""Message frames: one ``UpdateMessage`` as bytes, with a size breakdown.
+
+A message frame carries everything the receiving replica needs that the
+surrounding envelope does not already say.  Batched messages share a
+(sender, destination) channel with their envelope, so the frame itself
+holds only::
+
+    [flags: 1 byte (bit0 = payload present)]
+    [atom issuer][uvarint seq][atom register][uvarint metadata_size]
+    [value frame, iff payload]
+    [timestamp frame]
+
+Every encoder returns a :class:`WireSizes` breakdown alongside the bytes,
+splitting the frame into **header** (identity, routing, flags), **timestamp**
+(the metadata frame — the paper's object of study) and **payload** (the
+written value) bytes, so the network statistics can report exactly where the
+bytes on the wire go.
+
+Metadata-only messages (``payload=False``, the dummy-register optimization's
+notifications) ship no value at all; decoding one yields an update whose
+``value`` is ``None`` — faithfully reproducing what a real wire format would
+deliver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from ..core.protocol import Update, UpdateMessage
+from ..core.registers import ReplicaId
+from .codecs import (
+    TimestampCodec,
+    codec_for,
+    decode_timestamp_frame,
+    decode_value,
+    encode_timestamp_frame,
+    encode_value,
+)
+from .primitives import (
+    WireFormatError,
+    decode_atom,
+    decode_uvarint,
+    encode_atom,
+    encode_uvarint,
+)
+
+#: Wire-format version byte leading every standalone envelope.
+WIRE_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class WireSizes:
+    """Byte breakdown of one encoded message (or an aggregate of several)."""
+
+    header_bytes: int = 0
+    timestamp_bytes: int = 0
+    payload_bytes: int = 0
+    #: What the timestamp would have cost fully encoded (= ``timestamp_bytes``
+    #: unless a delta frame was used).
+    timestamp_bytes_full: int = 0
+    delta_frames: int = 0
+    full_frames: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes on the wire for this frame."""
+        return self.header_bytes + self.timestamp_bytes + self.payload_bytes
+
+    def __add__(self, other: "WireSizes") -> "WireSizes":
+        return WireSizes(
+            header_bytes=self.header_bytes + other.header_bytes,
+            timestamp_bytes=self.timestamp_bytes + other.timestamp_bytes,
+            payload_bytes=self.payload_bytes + other.payload_bytes,
+            timestamp_bytes_full=self.timestamp_bytes_full + other.timestamp_bytes_full,
+            delta_frames=self.delta_frames + other.delta_frames,
+            full_frames=self.full_frames + other.full_frames,
+        )
+
+
+def encode_message_frame(
+    message: UpdateMessage,
+    codec: Optional[TimestampCodec] = None,
+    prev: Optional[Any] = None,
+) -> Tuple[bytes, WireSizes]:
+    """Encode one message frame (envelope-relative: no sender/destination).
+
+    ``prev`` is the previous timestamp shipped on the message's channel; when
+    given, the timestamp frame delta-encodes against it whenever that is
+    smaller (see :func:`~repro.wire.codecs.encode_timestamp_frame`).
+    """
+    update = message.update
+    header = bytearray()
+    header.append(1 if message.payload else 0)
+    header += encode_atom(update.issuer)
+    header += encode_uvarint(update.seq)
+    header += encode_atom(update.register)
+    header += encode_uvarint(message.metadata_size)
+    payload = encode_value(update.value) if message.payload else b""
+    frame = encode_timestamp_frame(message.metadata, codec=codec, prev=prev)
+    sizes = WireSizes(
+        header_bytes=len(header),
+        timestamp_bytes=len(frame.data),
+        payload_bytes=len(payload),
+        timestamp_bytes_full=frame.full_size,
+        delta_frames=1 if frame.used_delta else 0,
+        full_frames=0 if frame.used_delta else 1,
+    )
+    return bytes(header) + payload + frame.data, sizes
+
+
+def decode_message_frame(
+    data: bytes,
+    offset: int,
+    sender: ReplicaId,
+    destination: ReplicaId,
+    prev: Optional[Any] = None,
+) -> Tuple[UpdateMessage, int]:
+    """Decode one message frame; sender/destination come from the envelope."""
+    if offset >= len(data):
+        raise WireFormatError("truncated message frame")
+    flags = data[offset]
+    offset += 1
+    issuer, offset = decode_atom(data, offset)
+    seq, offset = decode_uvarint(data, offset)
+    register, offset = decode_atom(data, offset)
+    metadata_size, offset = decode_uvarint(data, offset)
+    payload = bool(flags & 1)
+    value: Any = None
+    if payload:
+        value, offset = decode_value(data, offset)
+    metadata, offset = decode_timestamp_frame(data, offset, prev=prev)
+    message = UpdateMessage(
+        update=Update(issuer=issuer, seq=seq, register=register, value=value),
+        sender=sender,
+        destination=destination,
+        metadata=metadata,
+        metadata_size=metadata_size,
+        payload=payload,
+    )
+    return message, offset
+
+
+# ----------------------------------------------------------------------
+# Standalone (unbatched) message envelopes
+# ----------------------------------------------------------------------
+
+def encode_message(
+    message: UpdateMessage,
+    codec: Optional[TimestampCodec] = None,
+    prev: Optional[Any] = None,
+) -> Tuple[bytes, WireSizes]:
+    """Encode one message as a complete standalone envelope."""
+    envelope = bytearray((WIRE_VERSION,))
+    envelope += encode_atom(message.sender)
+    envelope += encode_atom(message.destination)
+    frame, sizes = encode_message_frame(message, codec=codec, prev=prev)
+    sizes = WireSizes(header_bytes=len(envelope)) + sizes
+    return bytes(envelope) + frame, sizes
+
+
+def decode_message(
+    data: bytes, offset: int = 0, prev: Optional[Any] = None
+) -> Tuple[UpdateMessage, int]:
+    """Decode a standalone message envelope."""
+    if offset >= len(data) or data[offset] != WIRE_VERSION:
+        raise WireFormatError("bad or missing wire version byte")
+    offset += 1
+    sender, offset = decode_atom(data, offset)
+    destination, offset = decode_atom(data, offset)
+    return decode_message_frame(data, offset, sender, destination, prev=prev)
+
+
+def message_wire_sizes(
+    message: UpdateMessage, codec: Optional[TimestampCodec] = None
+) -> WireSizes:
+    """Byte breakdown of ``message`` as a standalone, fully-encoded envelope."""
+    _, sizes = encode_message(message, codec=codec)
+    return sizes
+
+
+__all__ = [
+    "WIRE_VERSION",
+    "WireSizes",
+    "decode_message",
+    "decode_message_frame",
+    "encode_message",
+    "encode_message_frame",
+    "message_wire_sizes",
+    "codec_for",
+]

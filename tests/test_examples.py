@@ -30,6 +30,14 @@ EXPECTED_OUTPUT = {
         "exactly-once holds",
         "All three chaos scenarios passed the consistency checker.",
     ],
+    "wire_overhead.py": [
+        "Anatomy of one update message",
+        "round trip: decode(encode(message)) == message",
+        "delta frames",
+        "per-channel bytes",
+        "E16",
+        "All wire-layer runs passed the consistency checker.",
+    ],
 }
 
 

@@ -1,0 +1,110 @@
+"""Degenerate-input regression tests for the metrics layer.
+
+An empty run — no operations, no deliveries, no samples, a clock that never
+advanced — must flow through every summary/percentile helper and produce
+well-defined values instead of raising.  These tests pin that contract for
+:class:`~repro.sim.engine.LatencySummary`, :class:`~repro.sim.engine.RunMetrics`,
+:class:`~repro.sim.metrics.MetadataProfile` and the byte-accounting additions.
+"""
+
+from __future__ import annotations
+
+from repro.core.share_graph import ShareGraph
+from repro.sim.cluster import Cluster
+from repro.sim.engine import (
+    LatencySummary,
+    NetworkStats,
+    RunMetrics,
+    throughput_timeline,
+)
+from repro.sim.metrics import MetadataProfile
+from repro.sim.topologies import figure5_placement
+from repro.sim.workloads import (
+    OpenLoopWorkload,
+    Workload,
+    run_open_loop,
+    run_workload,
+)
+
+
+class TestLatencySummaryDegenerate:
+    def test_empty_samples_yield_zeros(self):
+        summary = LatencySummary.from_samples([])
+        assert summary == LatencySummary(
+            count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, max=0.0
+        )
+
+    def test_single_sample_is_every_percentile(self):
+        summary = LatencySummary.from_samples([4.5])
+        assert summary.count == 1
+        assert summary.mean == summary.p50 == summary.p90 == summary.p99 == 4.5
+        assert summary.max == 4.5
+
+
+class TestRunMetricsDegenerate:
+    def test_empty_metrics_summaries_do_not_raise(self):
+        metrics = RunMetrics()
+        assert metrics.mean_apply_latency == 0.0
+        assert metrics.apply_latency_summary().count == 0
+        assert metrics.operation_latency_summary().count == 0
+        assert metrics.recovery_latency_summary().count == 0
+        assert metrics.apply_throughput(10.0) == []
+        assert metrics.operation_throughput(10.0) == []
+        assert metrics.queue_depth_summary() == {}
+
+    def test_availability_with_zero_horizon_is_full(self):
+        # An empty run never advances the clock; the availability of an
+        # unobserved window is full availability, not an exception.
+        metrics = RunMetrics()
+        assert metrics.availability(0.0, [1, 2, 3]) == {1: 1.0, 2: 1.0, 3: 1.0}
+        metrics.downtime[1] = [(0.0, 5.0)]
+        assert metrics.availability(0.0, [1]) == {1: 1.0}
+
+    def test_availability_with_no_replicas_is_empty(self):
+        assert RunMetrics().availability(10.0, []) == {}
+
+    def test_throughput_timeline_empty(self):
+        assert throughput_timeline([], 5.0) == []
+
+
+class TestMetadataProfileDegenerate:
+    def test_empty_profile_means_and_maxima(self):
+        profile = MetadataProfile(
+            protocol="empty", counters_per_replica={}, storage_per_replica={}
+        )
+        assert profile.mean_counters == 0.0
+        assert profile.max_counters == 0
+        assert profile.total_storage == 0
+        assert profile.bits_per_replica(max_updates=16) == {}
+
+
+class TestNetworkStatsDegenerate:
+    def test_fresh_stats_ratios_are_zero(self):
+        stats = NetworkStats()
+        assert stats.mean_latency == 0.0
+        assert stats.bytes_sent == 0
+        assert stats.timestamp_delta_savings == 0.0
+        assert stats.per_channel == {}
+
+
+class TestEmptyRuns:
+    def test_empty_closed_loop_workload(self):
+        graph = ShareGraph.from_placement(figure5_placement())
+        cluster = Cluster(graph, seed=1)
+        result = run_workload(cluster, Workload("empty", ()))
+        assert result.consistent
+        assert result.messages_sent == 0
+        assert result.mean_apply_latency == 0.0
+
+    def test_empty_open_loop_workload(self):
+        graph = ShareGraph.from_placement(figure5_placement())
+        cluster = Cluster(graph, seed=1)
+        result = run_open_loop(cluster, OpenLoopWorkload("empty", ()))
+        assert result.consistent
+        assert result.makespan == 0.0
+        assert result.effective_throughput == 0.0
+        assert result.apply_latency.count == 0
+        assert result.queue_depths == {}
+        # The degenerate availability path: the clock never moved.
+        availability = cluster.metrics.availability(cluster.now, graph.replica_ids)
+        assert all(value == 1.0 for value in availability.values())

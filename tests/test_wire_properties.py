@@ -1,0 +1,211 @@
+"""Property-based tests (hypothesis) for the wire codecs.
+
+Random share graphs drive random write/apply sequences through all four
+replica families, and every timestamp the protocols actually produce must:
+
+* round-trip exactly through its family codec (``decode ∘ encode = id``),
+  in full mode and through a per-channel delta stream;
+* have an encoded size that is monotone against the paper's counter
+  measure: at least one byte per counter, non-decreasing under pointwise
+  counter growth, and strictly increasing when the index set grows.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.full_track import FullTrackReplica
+from repro.baselines.hoop_tracking import HoopTrackingReplica
+from repro.baselines.vector_clock_full import FullReplicationReplica
+from repro.core.registers import RegisterPlacement
+from repro.core.replica import EdgeIndexedReplica
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamps import EdgeTimestamp, VectorTimestamp
+from repro.wire import (
+    ChannelDeltaDecoder,
+    ChannelDeltaEncoder,
+    decode_timestamp_frame,
+    encode_timestamp_frame,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+edges_strategy = st.dictionaries(
+    keys=st.tuples(st.integers(1, 6), st.integers(1, 6)).filter(lambda e: e[0] != e[1]),
+    values=st.integers(0, 2**40),
+    min_size=1,
+    max_size=16,
+)
+
+vector_strategy = st.dictionaries(
+    keys=st.integers(1, 12), values=st.integers(0, 2**40), min_size=1, max_size=12
+)
+
+
+@st.composite
+def placements(draw, max_replicas: int = 5, max_registers: int = 6):
+    """Random register placements in which every register has ≥ 1 owner."""
+    num_replicas = draw(st.integers(2, max_replicas))
+    num_registers = draw(st.integers(1, max_registers))
+    stores = {rid: set() for rid in range(1, num_replicas + 1)}
+    for reg_index in range(num_registers):
+        owners = draw(
+            st.sets(st.integers(1, num_replicas), min_size=1, max_size=num_replicas)
+        )
+        for owner in owners:
+            stores[owner].add(f"r{reg_index}")
+    for rid in stores:
+        stores[rid].add(f"local_{rid}")
+    return RegisterPlacement.from_dict(stores)
+
+
+FAMILIES = {
+    "edge": EdgeIndexedReplica,
+    "matrix": FullTrackReplica,
+    "vector": FullReplicationReplica,
+    "hoop": HoopTrackingReplica,
+}
+
+
+def _replica_timestamp_sequence(graph, factory, seed, length=12):
+    """Drive one replica with random local writes and cross-replica applies,
+    yielding the (message, codec) pairs its protocol actually emits."""
+    rng = random.Random(seed)
+    replicas = {rid: factory(graph, rid) for rid in graph.replica_ids}
+    produced = []
+    for _ in range(length):
+        rid = rng.choice(list(graph.replica_ids))
+        replica = replicas[rid]
+        registers = sorted(replica.registers & set(graph.registers_at(rid)))
+        if not registers:
+            registers = sorted(replica.registers)
+        register = rng.choice(registers)
+        messages = replica.write(register, rng.random())
+        for message in messages:
+            produced.append((message, replica.wire_codec()))
+        # Deliver a random prefix so merges advance other replicas' clocks.
+        for message in messages:
+            if rng.random() < 0.7:
+                replicas[message.destination].receive(message)
+                replicas[message.destination].apply_ready()
+    return produced
+
+
+# ----------------------------------------------------------------------
+# Round-trip identity for protocol-produced timestamps, all four families
+# ----------------------------------------------------------------------
+
+class TestProtocolRoundTrips:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(placements(), st.integers(0, 10_000))
+    def test_all_families_round_trip_real_timestamp_sequences(self, placement, seed):
+        graph = ShareGraph.from_placement(placement)
+        for family, cls in FAMILIES.items():
+            factory = lambda g, rid: cls(g, rid)  # noqa: E731
+            for message, codec in _replica_timestamp_sequence(graph, factory, seed):
+                frame = encode_timestamp_frame(message.metadata, codec=codec)
+                decoded, offset = decode_timestamp_frame(frame.data)
+                assert decoded == message.metadata, family
+                assert offset == len(frame.data)
+                # The byte measure lower-bounds to the counter measure.
+                assert len(frame.data) >= message.metadata.size_counters()
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(placements(), st.integers(0, 10_000))
+    def test_channel_delta_streams_round_trip(self, placement, seed):
+        graph = ShareGraph.from_placement(placement)
+        for family, cls in FAMILIES.items():
+            factory = lambda g, rid: cls(g, rid)  # noqa: E731
+            encoder, decoder = ChannelDeltaEncoder(), ChannelDeltaDecoder()
+            for message, codec in _replica_timestamp_sequence(graph, factory, seed):
+                data, sizes = encoder.encode_message(message, codec=codec)
+                decoded, offset = decoder.decode_message(
+                    data, 0, message.sender, message.destination
+                )
+                assert decoded == message, family
+                assert offset == len(data)
+                # A delta frame never exceeds its full counterfactual.
+                assert sizes.timestamp_bytes <= sizes.timestamp_bytes_full
+
+
+# ----------------------------------------------------------------------
+# Monotonicity of encoded size vs. the counter measure
+# ----------------------------------------------------------------------
+
+class TestSizeMonotonicity:
+    @settings(max_examples=100, deadline=None)
+    @given(edges_strategy)
+    def test_edge_bytes_lower_bounded_by_counters(self, counters):
+        ts = EdgeTimestamp(counters)
+        frame = encode_timestamp_frame(ts)
+        assert len(frame.data) >= ts.size_counters()
+
+    @settings(max_examples=100, deadline=None)
+    @given(edges_strategy, st.integers(0, 2**20))
+    def test_edge_pointwise_growth_never_shrinks_encoding(self, counters, bump):
+        ts = EdgeTimestamp(counters)
+        grown = EdgeTimestamp({e: v + bump for e, v in counters.items()})
+        assert len(encode_timestamp_frame(grown).data) >= len(
+            encode_timestamp_frame(ts).data
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(edges_strategy)
+    def test_edge_index_growth_strictly_grows_encoding(self, counters):
+        ts = EdgeTimestamp(counters)
+        extra_edge = (99, 100)
+        assert extra_edge not in counters
+        grown = EdgeTimestamp({**counters, extra_edge: 0})
+        assert len(encode_timestamp_frame(grown).data) > len(
+            encode_timestamp_frame(ts).data
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(vector_strategy, st.integers(0, 2**20))
+    def test_vector_pointwise_growth_never_shrinks_encoding(self, counters, bump):
+        ts = VectorTimestamp(counters)
+        grown = VectorTimestamp({r: v + bump for r, v in counters.items()})
+        assert len(encode_timestamp_frame(grown).data) >= len(
+            encode_timestamp_frame(ts).data
+        )
+        assert len(encode_timestamp_frame(ts).data) >= ts.size_counters()
+
+    @settings(max_examples=100, deadline=None)
+    @given(edges_strategy)
+    def test_full_round_trip_arbitrary_edge_timestamps(self, counters):
+        ts = EdgeTimestamp(counters)
+        frame = encode_timestamp_frame(ts)
+        assert decode_timestamp_frame(frame.data)[0] == ts
+
+    @settings(max_examples=100, deadline=None)
+    @given(vector_strategy)
+    def test_full_round_trip_arbitrary_vector_timestamps(self, counters):
+        ts = VectorTimestamp(counters)
+        frame = encode_timestamp_frame(ts)
+        assert decode_timestamp_frame(frame.data)[0] == ts
+
+    @settings(max_examples=60, deadline=None)
+    @given(edges_strategy, edges_strategy)
+    def test_delta_round_trip_monotone_pairs(self, base, growth):
+        """For any prev ≤ ts on the same index, the delta frame reproduces ts."""
+        prev = EdgeTimestamp(base)
+        ts = EdgeTimestamp(
+            {e: v + growth.get(e, 0) for e, v in base.items()}
+        )
+        frame = encode_timestamp_frame(ts, prev=prev)
+        assert len(frame.data) <= frame.full_size
+        decoded, _ = decode_timestamp_frame(frame.data, prev=prev)
+        assert decoded == ts
