@@ -64,6 +64,7 @@ from ..sim.metrics import (
     edge_indexed_profile,
     full_replication_profile,
 )
+from ..sim.reconfig import ReconfigManager, random_churn_schedule
 from ..sim.topologies import (
     COUNTEREXAMPLE_IDS,
     clique_placement,
@@ -86,6 +87,7 @@ from ..sim.workloads import (
     bursty_workload,
     causal_chain_workload,
     poisson_workload,
+    poisson_workload_dynamic,
     run_open_loop,
     run_workload,
     uniform_workload,
@@ -1113,10 +1115,15 @@ def _workload_update_budget(workload) -> int:
 
     The closed-form bounds charge each counter ``log2 m`` bits, where ``m``
     is the per-replica update budget; the workload's realised maximum is the
-    tightest honest choice.
+    tightest honest choice.  Accepts closed-loop workloads (``operations``)
+    and open-loop ones (``arrivals`` of timed operations) so E16 and E17
+    share one budget rule.
     """
+    operations = getattr(workload, "operations", None)
+    if operations is None:
+        operations = [arrival.operation for arrival in workload.arrivals]
     writes: Dict[ReplicaId, int] = {}
-    for operation in workload.operations:
+    for operation in operations:
         if operation.kind == "write":
             writes[operation.replica_id] = writes.get(operation.replica_id, 0) + 1
     return max(2, max(writes.values(), default=2))
@@ -1279,3 +1286,248 @@ def render_client_server(result: ClientServerResult) -> str:
     )
     status = "consistent" if result.consistent else "VIOLATED"
     return f"{table}\n\n{clients}\n\nexecution: {status}"
+
+
+# ======================================================================
+# E17 — Dynamic membership: churn rate × topology under open-loop load
+# ======================================================================
+
+@dataclass(frozen=True)
+class ReconfigurationRow:
+    """One epoch segment of one (architecture × topology × churn) run."""
+
+    architecture: str
+    topology: str
+    #: Churn level label, e.g. ``"j2/l1/e1"`` (joins/leaves/edge changes).
+    churn: str
+    epoch: int
+    num_replicas: int
+    #: Messages and timestamp bytes sent while this epoch was active.
+    messages: int
+    timestamp_bytes: int
+    counters: int
+    #: Mean ``|E_i|`` of the epoch's share graph (the metadata step E17
+    #: expects the measured traffic to follow).
+    mean_edges: float
+    #: Closed-form lower bound (Theorem 12/13/15) in bytes per message,
+    #: averaged over replicas; ``nan`` when no closed form applies.
+    bound_bytes_per_message: float
+    # -- run-level facts, repeated on each of the run's rows --------------
+    reconfigs: int
+    #: Mean migration-window span (window open → commit), simulated time.
+    window_mean: float
+    #: Mean state-transfer duration (commit → last bootstrap applied).
+    transfer_mean: float
+    rejected_operations: int
+    #: Minimum availability over the final members (dips come only from
+    #: migration windows and transfers in a fault-free run).
+    availability_min: float
+    consistent: bool
+
+    @property
+    def ts_bytes_per_message(self) -> float:
+        """Mean timestamp bytes per message inside this epoch segment."""
+        if not self.messages:
+            return 0.0
+        return self.timestamp_bytes / self.messages
+
+    @property
+    def counters_per_message(self) -> float:
+        """Mean shipped counters per message inside this epoch segment."""
+        if not self.messages:
+            return 0.0
+        return self.counters / self.messages
+
+
+def _reconfig_latency_summary(metrics) -> Tuple[float, float]:
+    """Mean window span and mean transfer duration from the run metrics."""
+    windows = metrics.migration_windows
+    window_mean = (
+        sum(end - start for start, end in windows) / len(windows) if windows else 0.0
+    )
+    transfer_starts: Dict[str, float] = {}
+    durations: List[float] = []
+    for record in metrics.reconfig_timeline:
+        if record.kind == "transfer-start":
+            transfer_starts[record.detail.split(":")[0]] = record.time
+        elif record.kind == "transfer-complete":
+            started = transfer_starts.pop(record.detail, None)
+            if started is not None:
+                durations.append(record.time - started)
+    transfer_mean = sum(durations) / len(durations) if durations else 0.0
+    return window_mean, transfer_mean
+
+
+def reconfig_topologies() -> Dict[str, RegisterPlacement]:
+    """The E17 topology axis: a tree (closed-form bounds apply at every
+    epoch, since churn joins leaves and removes degree-1 replicas) and the
+    Figure 5 general graph (no closed form; edge churn included)."""
+    return {
+        "tree9": tree_placement(9),
+        "figure5": figure5_placement(),
+    }
+
+
+def reconfig_churn_levels(topology: str) -> Dict[str, Tuple[int, int, int]]:
+    """The E17 churn axis: (joins, leaves, edge changes) per run.
+
+    The tree topology takes no edge changes — an added chord creates a
+    cycle and forfeits the Theorem-12 closed form the tree column exists
+    to track at every epoch; the general graph exercises edge churn (and
+    the state transfer it triggers) instead.
+    """
+    if topology == "tree9":
+        return {"none": (0, 0, 0), "j2": (2, 0, 0), "j2/l1": (2, 1, 0)}
+    return {"none": (0, 0, 0), "j2": (2, 0, 0), "j2/l1/e1": (2, 1, 1)}
+
+
+def exp_reconfiguration(
+    rate: float = 0.4,
+    duration: float = 300.0,
+    window: float = 5.0,
+    seed: int = 13,
+) -> List[ReconfigurationRow]:
+    """Sweep churn rate × topology on both architectures (E17).
+
+    Every cell replays the same seeded churn schedule and the same
+    membership-aware Poisson workload, with wire accounting on (full
+    timestamp frames, no batching, so measured bytes compare directly
+    against the closed-form bounds).  Reported per epoch segment: the
+    traffic sent while that configuration was active and the
+    configuration's own metadata measures — mean ``|E_i|`` and the
+    Theorem 12/13/15 bound in bytes per message where one applies.  The
+    consistency checker must pass across all epochs in every cell, and in
+    a fault-free run every availability dip must sit inside a migration
+    window or a state transfer.
+    """
+    rows: List[ReconfigurationRow] = []
+    for topology_name, placement in reconfig_topologies().items():
+        for churn_name, (joins, leaves, edges) in reconfig_churn_levels(
+            topology_name
+        ).items():
+            # Trees use leaf-attach joins (closed-form bounds keep applying
+            # at every epoch); the general graph uses group joins and edge
+            # changes that replicate existing registers, exercising state
+            # transfer.
+            schedule = random_churn_schedule(
+                placement,
+                duration,
+                joins=joins,
+                leaves=leaves,
+                edge_changes=edges,
+                seed=seed,
+                join_style="leaf" if topology_name == "tree9" else "group",
+            )
+            placements = schedule.placements_over(placement, window=window)
+            workload = poisson_workload_dynamic(
+                placements, rate=rate, duration=duration, seed=seed,
+            )
+            budget = _workload_update_budget(workload)
+            graph = ShareGraph.from_placement(placement)
+            for architecture in ("peer-to-peer", "client-server"):
+                if architecture == "peer-to-peer":
+                    host: SimulationHost = Cluster(
+                        graph,
+                        delay_model=UniformDelay(1, 10),
+                        seed=seed,
+                        wire_accounting=True,
+                    )
+                else:
+                    host = ClientServerCluster.with_colocated_clients(
+                        graph,
+                        delay_model=UniformDelay(1, 10),
+                        seed=seed,
+                        wire_accounting=True,
+                    )
+                manager = ReconfigManager(host, window=window)
+                manager.install(schedule)
+                result = run_open_loop(host, workload)
+                window_mean, transfer_mean = _reconfig_latency_summary(host.metrics)
+                horizon = host.last_activity_time
+                availability = host.metrics.availability(
+                    horizon, host.share_graph.replica_ids
+                )
+                availability_min = min(availability.values()) if availability else 1.0
+                for segment in manager.epoch_segments():
+                    segment_graph: ShareGraph = segment["share_graph"]
+                    bounds = [
+                        bound
+                        for bound in (
+                            lower_bound_bits(segment_graph, rid, budget)
+                            for rid in segment_graph.replica_ids
+                        )
+                        if bound is not None
+                    ]
+                    bound_bytes = (
+                        sum(bounds) / len(bounds) / 8.0 if bounds else float("nan")
+                    )
+                    edge_counts = [
+                        len(timestamp_edges(segment_graph, rid))
+                        for rid in segment_graph.replica_ids
+                    ]
+                    rows.append(
+                        ReconfigurationRow(
+                            architecture=architecture,
+                            topology=topology_name,
+                            churn=churn_name,
+                            epoch=segment["epoch"],
+                            num_replicas=segment_graph.num_replicas,
+                            messages=segment["messages"],
+                            timestamp_bytes=segment["timestamp_bytes"],
+                            counters=segment["counters"],
+                            mean_edges=sum(edge_counts) / len(edge_counts),
+                            bound_bytes_per_message=bound_bytes,
+                            reconfigs=host.metrics.reconfigs,
+                            window_mean=window_mean,
+                            transfer_mean=transfer_mean,
+                            rejected_operations=host.metrics.rejected_operations,
+                            availability_min=availability_min,
+                            consistent=result.consistent,
+                        )
+                    )
+    return rows
+
+
+def render_reconfiguration(rows: Sequence[ReconfigurationRow]) -> str:
+    """Text table of the E17 sweep."""
+    return render_table(
+        [
+            "arch",
+            "topology",
+            "churn",
+            "epoch",
+            "R",
+            "msgs",
+            "ts B",
+            "ts B/msg",
+            "ctr/msg",
+            "mean |E_i|",
+            "bound B/msg",
+            "window",
+            "transfer",
+            "rejected",
+            "avail min",
+            "consistent",
+        ],
+        [
+            (
+                r.architecture,
+                r.topology,
+                r.churn,
+                r.epoch,
+                r.num_replicas,
+                r.messages,
+                r.timestamp_bytes,
+                f"{r.ts_bytes_per_message:.1f}",
+                f"{r.counters_per_message:.1f}",
+                f"{r.mean_edges:.1f}",
+                f"{r.bound_bytes_per_message:.1f}",
+                f"{r.window_mean:.1f}",
+                f"{r.transfer_mean:.1f}",
+                r.rejected_operations,
+                f"{r.availability_min:.3f}",
+                "yes" if r.consistent else "NO",
+            )
+            for r in rows
+        ],
+    )

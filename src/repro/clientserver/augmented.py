@@ -59,14 +59,22 @@ class ClientAssignment:
             raise ConfigurationError(f"unknown client {client_id!r}") from None
 
     def client_edges(self) -> FrozenSet[Edge]:
-        """All directed edges ``e_jk`` induced by some client with ``j, k ∈ R_c``."""
-        edges: Set[Edge] = set()
-        for rids in self.replica_sets.values():
-            for j in rids:
-                for k in rids:
-                    if j != k:
-                        edges.add((j, k))
-        return frozenset(edges)
+        """All directed edges ``e_jk`` induced by some client with ``j, k ∈ R_c``.
+
+        Cached on the instance (assignments are immutable): the augmented
+        edge set is read on every adjacency query of the loop enumeration.
+        """
+        cached = self.__dict__.get("_client_edges")
+        if cached is None:
+            edges: Set[Edge] = set()
+            for rids in self.replica_sets.values():
+                for j in rids:
+                    for k in rids:
+                        if j != k:
+                            edges.add((j, k))
+            cached = frozenset(edges)
+            object.__setattr__(self, "_client_edges", cached)
+        return cached
 
     def linked(self, j: ReplicaId, k: ReplicaId) -> bool:
         """``True`` iff some client accesses both ``j`` and ``k``."""
@@ -95,8 +103,14 @@ class AugmentedShareGraph:
 
     @property
     def edges(self) -> FrozenSet[Edge]:
-        """``Ê = E ∪ {e_jk | ∃ client c with j, k ∈ R_c}``."""
-        return self.share_graph.edges | self.clients.client_edges()
+        """``Ê = E ∪ {e_jk | ∃ client c with j, k ∈ R_c}`` (cached; the
+        instance is immutable and this union sits on the hot path of the
+        augmented-loop enumeration)."""
+        cached = self.__dict__.get("_edges")
+        if cached is None:
+            cached = self.share_graph.edges | self.clients.client_edges()
+            object.__setattr__(self, "_edges", cached)
+        return cached
 
     def has_edge(self, j: ReplicaId, k: ReplicaId) -> bool:
         """``True`` iff ``e_jk ∈ Ê``."""
@@ -213,6 +227,33 @@ def has_augmented_loop(
     return False
 
 
+def augmented_loop_edges(
+    augmented: AugmentedShareGraph,
+    observer: ReplicaId,
+    max_loop_length: Optional[int] = None,
+) -> FrozenSet[Edge]:
+    """Every edge witnessed by some augmented ``(observer, e_jk)``-loop.
+
+    One cycle enumeration per observer (every split of every cycle is
+    tested against the conditions), instead of re-enumerating the cycles
+    once per candidate edge as :func:`has_augmented_loop` would — same
+    result, ``|E|`` times cheaper, which matters when dynamic membership
+    recomputes every ``Ê_i`` at each epoch change.
+    """
+    share_edges = augmented.share_graph.edges
+    loops: Set[Edge] = set()
+    for cycle in augmented.simple_cycles_through(observer, max_length=max_loop_length):
+        for split in range(1, len(cycle) - 1):
+            jk = (cycle[split + 1], cycle[split])
+            if jk in loops or jk not in share_edges or observer in jk:
+                continue
+            l_side = tuple(cycle[1:split + 1])
+            r_side = tuple(cycle[split + 1:])
+            if augmented_loop_conditions(augmented, observer, jk, l_side, r_side):
+                loops.add(jk)
+    return frozenset(loops)
+
+
 def augmented_timestamp_edges(
     augmented: AugmentedShareGraph,
     replica_id: ReplicaId,
@@ -226,13 +267,9 @@ def augmented_timestamp_edges(
     """
     share_edges = augmented.share_graph.edges
     incident = augmented.incident_edges(replica_id)
-    loops: Set[Edge] = set()
-    for e in share_edges:
-        j, k = e
-        if replica_id in (j, k):
-            continue
-        if has_augmented_loop(augmented, replica_id, e, max_loop_length=max_loop_length):
-            loops.add(e)
+    loops = augmented_loop_edges(
+        augmented, replica_id, max_loop_length=max_loop_length
+    )
     return frozenset((incident | loops) & share_edges)
 
 

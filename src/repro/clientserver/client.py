@@ -42,11 +42,15 @@ class ClientAgent:
         This client's identifier.
     """
 
-    def __init__(self, augmented: AugmentedShareGraph, client_id: ClientId) -> None:
+    def __init__(self, augmented: AugmentedShareGraph, client_id: ClientId,
+                 timestamp_edges_by_replica=None) -> None:
         self.augmented = augmented
         self.client_id = client_id
         self.replica_set: FrozenSet[ReplicaId] = augmented.clients.replicas_of(client_id)
-        self.index_edges: FrozenSet[Edge] = client_index_edges(augmented, client_id)
+        self.index_edges: FrozenSet[Edge] = client_index_edges(
+            augmented, client_id,
+            timestamp_edges_by_replica=timestamp_edges_by_replica,
+        )
         #: The client timestamp ``µ_c``.
         self.timestamp: EdgeTimestamp = EdgeTimestamp.zero(self.index_edges)
         #: Completed operations, in session order.
@@ -105,3 +109,28 @@ class ClientAgent:
     def metadata_size(self) -> int:
         """Number of counters in ``µ_c``."""
         return self.timestamp.size_counters()
+
+    # ------------------------------------------------------------------
+    # Epoch migration (session handoff)
+    # ------------------------------------------------------------------
+    def migrate(
+        self,
+        new_augmented: AugmentedShareGraph,
+        timestamp_edges_by_replica=None,
+    ) -> None:
+        """Adopt a new configuration (client side).
+
+        The client's replica set ``R_c`` may have changed — a server it was
+        pinned to can leave, in which case the cluster re-homes the session
+        to a surviving replica — so the index set ``∪_{i ∈ R_c} Ê_i`` is
+        recomputed and ``µ_c`` projected onto it.  Surviving entries keep
+        their counters: the dependencies the client has observed remain
+        expressible exactly as far as the new configuration tracks them.
+        """
+        self.augmented = new_augmented
+        self.replica_set = new_augmented.clients.replicas_of(self.client_id)
+        self.index_edges = client_index_edges(
+            new_augmented, self.client_id,
+            timestamp_edges_by_replica=timestamp_edges_by_replica,
+        )
+        self.timestamp = self.timestamp.migrated(self.index_edges)

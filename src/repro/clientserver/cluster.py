@@ -32,7 +32,12 @@ from ..core.share_graph import ShareGraph
 from ..sim.delays import DelayModel
 from ..sim.engine import BatchingConfig, SimulationHost
 from ..sim.network import SimNetwork
-from .augmented import AugmentedShareGraph, ClientAssignment, ClientId
+from .augmented import (
+    AugmentedShareGraph,
+    ClientAssignment,
+    ClientId,
+    build_all_augmented_timestamp_edges,
+)
 from .client import ClientAgent
 from .server import ClientRequest, ClientServerReplica
 
@@ -64,8 +69,14 @@ class ClientServerCluster(SimulationHost):
             for rid in share_graph.replica_ids
         }
         self.transport.set_codec_resolver(self._codec_for_message)
+        # One shared Ê_i computation for every client's index set (each
+        # ClientAgent would otherwise recompute all replicas' edge sets).
+        edges_map = build_all_augmented_timestamp_edges(self.augmented)
         self.clients: Dict[ClientId, ClientAgent] = {
-            cid: ClientAgent(self.augmented, cid) for cid in clients.client_ids
+            cid: ClientAgent(
+                self.augmented, cid, timestamp_edges_by_replica=edges_map
+            )
+            for cid in clients.client_ids
         }
         #: Updates each client has (transitively) observed, for ↪' bookkeeping.
         self._client_seen: Dict[ClientId, Set[UpdateId]] = {
@@ -80,6 +91,10 @@ class ClientServerCluster(SimulationHost):
             replica_set = clients.replicas_of(cid)
             if len(replica_set) == 1:
                 self._colocated.setdefault(next(iter(replica_set)), cid)
+        #: Whether the cluster follows the one-client-per-replica parity
+        #: convention (set by :meth:`with_colocated_clients`); joiners then
+        #: automatically get a pinned client.
+        self._auto_colocated = False
 
     @classmethod
     def with_colocated_clients(
@@ -101,7 +116,7 @@ class ClientServerCluster(SimulationHost):
         clients = ClientAssignment.from_dict(
             {f"c{rid}": {rid} for rid in share_graph.replica_ids}
         )
-        return cls(
+        cluster = cls(
             share_graph,
             clients,
             delay_model=delay_model,
@@ -109,6 +124,8 @@ class ClientServerCluster(SimulationHost):
             batching=batching,
             wire_accounting=wire_accounting,
         )
+        cluster._auto_colocated = True
+        return cluster
 
     def _replica_map(self) -> Dict[ReplicaId, CausalReplica]:
         return self.servers
@@ -116,6 +133,70 @@ class ClientServerCluster(SimulationHost):
     def _codec_for_message(self, message: UpdateMessage) -> Any:
         server = self.servers.get(message.sender)
         return server.wire_codec() if server is not None else None
+
+    # ------------------------------------------------------------------
+    # Membership hooks (dynamic reconfiguration)
+    # ------------------------------------------------------------------
+    def _remove_member(self, replica_id: ReplicaId) -> None:
+        del self.servers[replica_id]
+
+    def _migrate_members(self, new_graph: ShareGraph, epoch: int) -> None:
+        """Migrate servers *and* client sessions to the new configuration.
+
+        Rebuilds the client assignment first: leavers disappear from every
+        ``R_c``, a session left with no reachable server is handed off to
+        the lowest surviving replica, and — under the colocated-parity
+        convention — each joiner gets a fresh pinned client ``c<rid>``.
+        The new augmented share graph then drives both the servers'
+        ``Ê_i`` recomputation and the clients' ``µ_c`` re-indexing.
+        """
+        members = set(new_graph.replica_ids)
+        survivors = sorted(set(self.servers) & members)
+        joiners = sorted(members - set(self.servers))
+        replica_sets: Dict[ClientId, Any] = {}
+        for cid in self.augmented.clients.client_ids:
+            kept = frozenset(
+                rid
+                for rid in self.augmented.clients.replicas_of(cid)
+                if rid in members
+            )
+            if not kept:
+                # Session handoff: the only server(s) this client could
+                # reach have left; re-home it to the lowest survivor.
+                kept = frozenset({min(survivors)})
+            replica_sets[cid] = kept
+        if self._auto_colocated:
+            for rid in joiners:
+                cid = f"c{rid}"
+                if cid not in replica_sets:
+                    replica_sets[cid] = frozenset({rid})
+        assignment = ClientAssignment(replica_sets)
+        self.augmented = AugmentedShareGraph(new_graph, assignment)
+        for rid in survivors:
+            self.servers[rid].migrate_augmented(self.augmented, epoch)
+        edges_map = build_all_augmented_timestamp_edges(self.augmented)
+        for cid in sorted(assignment.client_ids):
+            if cid in self.clients:
+                self.clients[cid].migrate(
+                    self.augmented, timestamp_edges_by_replica=edges_map
+                )
+            else:
+                self.clients[cid] = ClientAgent(
+                    self.augmented, cid, timestamp_edges_by_replica=edges_map
+                )
+                self._client_seen[cid] = set()
+        self._colocated = {}
+        for cid in assignment.client_ids:
+            replica_set = assignment.replicas_of(cid)
+            if len(replica_set) == 1:
+                self._colocated.setdefault(next(iter(replica_set)), cid)
+
+    def _add_member(self, replica_id: ReplicaId, new_graph: ShareGraph,
+                    epoch: int) -> CausalReplica:
+        server = ClientServerReplica(self.augmented, replica_id)
+        server.epoch = epoch
+        self.servers[replica_id] = server
+        return server
 
     # ------------------------------------------------------------------
     # Client operations
@@ -134,7 +215,7 @@ class ClientServerCluster(SimulationHost):
         """
         client = self.clients[client_id]
         target = client.choose_replica(register, preferred=replica_id)
-        if self.replica_down(target):
+        if self.operation_rejected(target):
             self.metrics.rejected_operations += 1
             return None
         request = ClientRequest(
@@ -173,7 +254,7 @@ class ClientServerCluster(SimulationHost):
         """
         client = self.clients[client_id]
         target = client.choose_replica(register, preferred=replica_id)
-        if self.replica_down(target):
+        if self.operation_rejected(target):
             self.metrics.rejected_operations += 1
             return None
         request = ClientRequest(
@@ -212,6 +293,14 @@ class ClientServerCluster(SimulationHost):
         """
         client_id = self._colocated.get(operation.replica_id)
         if client_id is None:
+            if self.reconfig_manager is not None and not self.is_member(
+                operation.replica_id
+            ):
+                # The workload targeted a replica that has left (or not yet
+                # joined) the configuration: reject, exactly as the
+                # peer-to-peer architecture does.
+                self.metrics.rejected_operations += 1
+                return None
             raise ConfigurationError(
                 f"no client is co-located with replica {operation.replica_id!r}; "
                 "build the cluster with ClientServerCluster.with_colocated_clients"
@@ -256,6 +345,12 @@ class ClientServerCluster(SimulationHost):
                 # A fault event crashed the server while the request was
                 # waiting; the buffered request is volatile, so the
                 # operation is rejected rather than served after restart.
+                self.metrics.rejected_operations += 1
+                return None
+            if target not in self.servers or request.register not in server.registers:
+                # A reconfiguration removed the server — or took the
+                # register away from it — while the request was buffered;
+                # the session sees the operation rejected.
                 self.metrics.rejected_operations += 1
                 return None
             self._dispatch(server.serve_waiting(sim_time=self.now))

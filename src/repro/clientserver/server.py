@@ -207,6 +207,33 @@ class ClientServerReplica(EdgeIndexedReplica):
                 destination=dest,
                 metadata=self.timestamp,
                 metadata_size=self.timestamp.size_counters(),
+                epoch=self.epoch,
             )
             for dest in self.destinations(register)
+        ]
+
+    # ------------------------------------------------------------------
+    # Epoch migration
+    # ------------------------------------------------------------------
+    def _rebuild_timestamp_graph(self, new_graph: ShareGraph) -> TimestampGraph:
+        """``Ê_i`` over the new augmented graph (set by :meth:`migrate_augmented`)."""
+        edges = augmented_timestamp_edges(self.augmented, self.replica_id)
+        return TimestampGraph.from_edges(new_graph, self.replica_id, edges)
+
+    def migrate_augmented(self, new_augmented: AugmentedShareGraph,
+                          epoch: int) -> None:
+        """Adopt a new configuration (server side).
+
+        Recomputes the augmented timestamp graph against the new share
+        graph *and* the new client assignment (a leave can change both),
+        projects the timestamp, and drops buffered client requests whose
+        register this server no longer stores — their clients see the
+        operation rejected, exactly like a crash would reject it.
+        """
+        self.augmented = new_augmented
+        self.migrate(new_augmented.share_graph, epoch)
+        self.waiting_requests = [
+            request
+            for request in self.waiting_requests
+            if request.register in self.registers
         ]

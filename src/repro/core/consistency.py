@@ -18,6 +18,7 @@ rely on.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -124,10 +125,82 @@ class ConsistencyChecker:
         registers each replica stores (safety is only required for registers
         in ``X_i``) and which replicas must eventually apply each update
         (liveness).
+    epoch_history:
+        Under dynamic membership (:mod:`repro.sim.reconfig`), the ordered
+        ``(start time, share graph)`` sequence of configurations the run
+        went through.  Safety is then judged per event against the
+        configuration active at the event's ``sim_time`` (a replica's
+        ``X_i`` may grow and shrink across epochs, and replicas may exist
+        in only some epochs); liveness is judged against the *final*
+        configuration — every update on register ``x`` must eventually be
+        applied at every replica that stores ``x`` when the run ends, which
+        is exactly what obliges joiners to receive pre-join history via
+        state transfer and releases leavers from post-leave obligations.
+        ``None`` (the default) means a single static configuration:
+        ``share_graph`` governs everything, as in the paper.
     """
 
-    def __init__(self, share_graph: ShareGraph) -> None:
+    def __init__(
+        self,
+        share_graph: ShareGraph,
+        epoch_history: Optional[Sequence[Tuple[float, ShareGraph]]] = None,
+    ) -> None:
         self.share_graph = share_graph
+        self.epoch_history: Tuple[Tuple[float, ShareGraph], ...] = (
+            tuple(epoch_history) if epoch_history else ((0.0, share_graph),)
+        )
+        self._epoch_starts = [start for start, _ in self.epoch_history]
+        self._stored_cache: Dict[Tuple[ReplicaId, int], Optional[frozenset]] = {}
+
+    def _stored_in_epoch(self, replica_id: ReplicaId,
+                         index: int) -> Optional[frozenset]:
+        cached = self._stored_cache.get((replica_id, index))
+        if cached is None and (replica_id, index) not in self._stored_cache:
+            graph = self.epoch_history[index][1]
+            cached = (
+                graph.registers_at(replica_id)
+                if replica_id in graph.placement
+                else None
+            )
+            self._stored_cache[(replica_id, index)] = cached
+        return cached
+
+    def _stored_at(self, replica_id: ReplicaId, time: float) -> Optional[frozenset]:
+        """``X_i`` in the configuration governing an event at ``time``.
+
+        An event stamped *exactly* at an epoch boundary belongs ambiguously
+        to both sides — the commit flush applies the old epoch's tail at
+        the commit instant.  For a replica present in both configurations,
+        such events are judged against the intersection of the two ``X_i``
+        sets: a register gained at the boundary imposes no obligation on
+        old-epoch applies (its history is still in the bootstrap stream),
+        and a register dropped imposes none either.  Away from boundaries
+        the scan walks from the latest epoch whose start is ≤ ``time``
+        backwards to the first configuration that contains the replica (a
+        leaver's trace events predate its removal).  Returns ``None`` when
+        no governing configuration knows the replica at all.
+        """
+        index = bisect_right(self._epoch_starts, time) - 1
+        if 0 < index < len(self.epoch_history) and self._epoch_starts[index] == time:
+            newer = self._stored_in_epoch(replica_id, index)
+            older = None
+            j = index - 1
+            while j >= 0 and older is None:
+                older = self._stored_in_epoch(replica_id, j)
+                j -= 1
+            if newer is not None and older is not None:
+                return newer & older
+            return newer if newer is not None else older
+        while index >= 0:
+            stored = self._stored_in_epoch(replica_id, index)
+            if stored is not None:
+                return stored
+            index -= 1
+        return None
+
+    @property
+    def _final_graph(self) -> ShareGraph:
+        return self.epoch_history[-1][1]
 
     # ------------------------------------------------------------------
     # Entry points
@@ -171,7 +244,8 @@ class ConsistencyChecker:
         relation: HappenedBefore,
         report: ConsistencyReport,
     ) -> None:
-        stored = self.share_graph.registers_at(replica_id)
+        static = len(self.epoch_history) == 1
+        stored = self.share_graph.registers_at(replica_id) if static else frozenset()
         applied_so_far: set = set()
         for position, event in enumerate(events):
             if event.kind not in (EventKind.ISSUE, EventKind.APPLY):
@@ -180,6 +254,8 @@ class ConsistencyChecker:
             if update is None:
                 continue
             report.checked_applications += 1
+            if not static:
+                stored = self._stored_at(replica_id, event.sim_time) or frozenset()
             # Safety only constrains applications of updates to registers the
             # replica stores; metadata-only applications (dummy registers) are
             # exempt from the "u1 for register x in X_i" premise but still
@@ -218,10 +294,12 @@ class ConsistencyChecker:
             }
         for update in relation.all_updates():
             try:
-                owners = self.share_graph.replicas_storing(update.register)
+                owners = self._final_graph.replicas_storing(update.register)
             except Exception:
-                # Registers unknown to the share graph (e.g. virtual registers
-                # introduced by optimizations) impose no liveness obligation.
+                # Registers unknown to the (final) share graph — virtual
+                # registers introduced by optimizations, or registers that
+                # left the system with their last replica — impose no
+                # liveness obligation.
                 continue
             for replica_id in owners:
                 if replica_id not in events_by_replica:

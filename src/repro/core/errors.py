@@ -80,3 +80,13 @@ class LivenessViolationError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an invalid internal state."""
+
+
+class ReconfigurationError(ReproError):
+    """A dynamic-membership operation was invalid or unsupported.
+
+    Raised when a reconfiguration action names a replica or register
+    inconsistently with the current configuration (joining an existing id,
+    removing an unknown replica, orphaning a register), or when a protocol
+    family that does not implement epoch migration is asked to migrate.
+    """

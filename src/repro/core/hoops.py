@@ -21,6 +21,15 @@ tracking that Theorem 8 proves unnecessary, and on counterexample 2
 (Figure 8b) the modified definition waives tracking that Theorem 8 proves
 necessary.  This module implements both notions so the discrepancy can be
 recomputed mechanically (experiments E2/E3).
+
+The hoop criterion is also runnable as a protocol: the
+:class:`~repro.baselines.hoop_tracking.HoopTrackingReplica` baseline plugs
+:func:`hoop_tracked_edges` into the edge-indexed timestamp machinery via
+:meth:`~repro.core.timestamp_graph.TimestampGraph.from_edges`.  It therefore
+rides the same indexed pending-buffer apply path as the paper's algorithm
+(``blocking_key`` wake keys, not the seed implementation's full rescan of
+the pending buffer after every apply) — the two baselines differ only in
+which edge set they index.
 """
 
 from __future__ import annotations

@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import (
     Any,
+    Callable,
     ClassVar,
     Deque,
     Dict,
@@ -37,7 +38,7 @@ from typing import (
     Tuple,
 )
 
-from .errors import ProtocolError, RegisterNotStoredError
+from .errors import ProtocolError, ReconfigurationError, RegisterNotStoredError
 from .registers import Register, ReplicaId
 
 class _AnyKey:
@@ -68,6 +69,41 @@ ANY_KEY = _AnyKey()
 
 #: A globally unique update identifier: ``(issuing replica, per-replica sequence number)``.
 UpdateId = Tuple[ReplicaId, int]
+
+#: Pending-index key gating *all* normal traffic at a replica that is still
+#: receiving a state-transfer stream: pre-transfer history must finish
+#: applying before any post-reconfiguration update does, because the new
+#: epoch's timestamps cannot express dependencies on pre-epoch updates.
+BOOTSTRAP_GATE = ("bootstrap-gate",)
+
+
+@dataclass(frozen=True, slots=True)
+class BootstrapMetadata:
+    """Metadata of a state-transfer (bootstrap) message.
+
+    When a replica joins — or an existing replica gains registers through a
+    share-graph edge change — the reconfiguration coordinator replays the
+    gained registers' update history to it as ordinary
+    :class:`UpdateMessage`\\ s through the transport (so delays, batching,
+    the sent-log and the crash-recovery resync all apply).  These messages
+    bypass the protocol's delivery predicate: the coordinator has already
+    topologically sorted them along ``↪``, and the receiver applies them
+    strictly in ``index`` order (0-based, ``total`` messages in the stream).
+
+    Attributes
+    ----------
+    index:
+        Position of this message in the transfer stream.
+    total:
+        Stream length; applying message ``total - 1`` completes the
+        transfer and lifts the replica's :data:`BOOTSTRAP_GATE`.
+    epoch:
+        The configuration epoch the transfer belongs to.
+    """
+
+    index: int
+    total: int
+    epoch: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -142,6 +178,12 @@ class UpdateMessage:
     metadata: Any
     metadata_size: int
     payload: bool = True
+    #: The configuration epoch the message was issued in.  Stamped by the
+    #: sending replica, carried in the wire frame header, and checked at
+    #: delivery: a frame from a stale epoch is rejected cleanly (its content
+    #: is recovered by the retransmission/resync layers, never by decoding
+    #: metadata whose index structure no longer matches the configuration).
+    epoch: int = 0
 
     # -- wire-format hooks ---------------------------------------------
     # The binary encoding itself lives in :mod:`repro.wire` (which imports
@@ -256,14 +298,25 @@ class CausalReplica(abc.ABC):
     predicate open.  Concrete subclasses fill those in.
 
     Subclasses must implement the five abstract methods; the base class
-    provides the register storage, the pending buffer, the local event trace
-    and the apply loop that repeatedly scans the pending buffer (step 4 of
-    the prototype).
+    provides the register storage, the pending buffer with its wake-key
+    index, the local event trace, and the indexed apply loop realising
+    step 4 of the prototype (:meth:`apply_ready`; the original full-rescan
+    semantics survive as the :meth:`apply_ready_rescan` reference).
     """
 
     def __init__(self, replica_id: ReplicaId, registers: Iterable[Register]) -> None:
         self.replica_id = replica_id
         self.registers: FrozenSet[Register] = frozenset(registers)
+        #: The configuration epoch this replica currently runs in; bumped by
+        #: :meth:`migrate` and stamped onto every outgoing message.
+        self.epoch: int = 0
+        #: State-transfer stream length, or ``None`` when no transfer is in
+        #: progress.  While a transfer is active the replica applies only
+        #: bootstrap messages (in index order) and parks all normal traffic
+        #: under :data:`BOOTSTRAP_GATE`.
+        self._bootstrap_total: Optional[int] = None
+        #: Next expected bootstrap stream index.
+        self._bootstrap_next: int = 0
         #: Current value of every locally stored register (None = never written).
         self.store: Dict[Register, Any] = {r: None for r in self.registers}
         #: Remote updates received but not yet applied.  Applied messages
@@ -455,6 +508,7 @@ class CausalReplica(abc.ABC):
                 metadata=metadata,
                 metadata_size=size,
                 payload=self.payload_for(register, dest),
+                epoch=self.epoch,
             )
             for dest in self.destinations(register)
         ]
@@ -494,17 +548,71 @@ class CausalReplica(abc.ABC):
         applied_now: List[Update] = []
         while self._recheck:
             message = self._recheck.popleft()
-            key = self.blocking_key(message)
+            key = self._effective_blocking_key(message)
             if key is None:
                 self._apply(message, sim_time)
                 applied_now.append(message.update)
                 self._applied_pending_uids.add(message.update.uid)
-                self.notify_pending(self.applied_keys(message))
+                self.notify_pending(self._effective_applied_keys(message))
             else:
                 self._blocked.setdefault(key, []).append(message)
         if applied_now:
             self._compact_pending()
         return applied_now
+
+    # ------------------------------------------------------------------
+    # State transfer (bootstrap streams) and the gate over normal traffic
+    # ------------------------------------------------------------------
+    def _effective_blocking_key(self, message: UpdateMessage) -> Optional[Hashable]:
+        """The full delivery decision: bootstrap stream order, then the gate,
+        then the protocol predicate.
+
+        Bootstrap messages apply strictly in stream-index order (the
+        coordinator pre-sorted them along ``↪``); while a stream is open,
+        every normal message parks under :data:`BOOTSTRAP_GATE` so no
+        post-reconfiguration update can overtake pre-epoch history.
+        """
+        metadata = message.metadata
+        if isinstance(metadata, BootstrapMetadata):
+            if metadata.index == self._bootstrap_next:
+                return None
+            return ("bootstrap", metadata.index)
+        if self._bootstrap_total is not None:
+            return BOOTSTRAP_GATE
+        return self.blocking_key(message)
+
+    def _effective_applied_keys(
+        self, message: UpdateMessage
+    ) -> Optional[Iterable[Hashable]]:
+        """Wake keys for an applied message, bootstrap streams included."""
+        if isinstance(message.metadata, BootstrapMetadata):
+            keys: List[Hashable] = [("bootstrap", self._bootstrap_next)]
+            if self._bootstrap_total is None:
+                # The stream just completed: lift the gate.
+                keys.append(BOOTSTRAP_GATE)
+            return keys
+        return self.applied_keys(message)
+
+    def begin_bootstrap(self, total: int) -> None:
+        """Open a state-transfer stream of ``total`` messages.
+
+        Called by the reconfiguration coordinator immediately before it
+        sends the stream.  Until the stream completes, the replica applies
+        only bootstrap messages (in order) and gates everything else.
+        """
+        if total <= 0:
+            raise ProtocolError(f"bootstrap stream length must be positive: {total}")
+        if self._bootstrap_total is not None:
+            raise ProtocolError(
+                f"replica {self.replica_id!r} already has a state transfer open"
+            )
+        self._bootstrap_total = total
+        self._bootstrap_next = 0
+
+    @property
+    def bootstrapping(self) -> bool:
+        """``True`` while a state-transfer stream is still being applied."""
+        return self._bootstrap_total is not None
 
     def _compact_pending(self, force: bool = False) -> None:
         """Drop tombstoned (applied) messages from the pending list.
@@ -530,7 +638,7 @@ class CausalReplica(abc.ABC):
         while progress:
             progress = False
             for message in list(self.pending):
-                if not self.can_apply(message):
+                if self._effective_blocking_key(message) is not None:
                     continue
                 self.pending.remove(message)
                 self._apply(message, sim_time)
@@ -546,11 +654,114 @@ class CausalReplica(abc.ABC):
         update = message.update
         if message.payload and update.register in self.registers:
             self.store[update.register] = update.value
-        self.absorb_metadata(message)
+        if isinstance(message.metadata, BootstrapMetadata):
+            # Bootstrap messages carry stream-position metadata, not a
+            # timestamp: advance the stream instead of merging.
+            self._bootstrap_next += 1
+            if (
+                self._bootstrap_total is not None
+                and self._bootstrap_next >= self._bootstrap_total
+            ):
+                self._bootstrap_total = None
+        else:
+            self.absorb_metadata(message)
         self.applied.append(update)
         self._applied_uids.add(update.uid)
         self._pending_uids.discard(update.uid)
         self._record(EventKind.APPLY, update, update.register, sim_time)
+
+    # ------------------------------------------------------------------
+    # Epoch migration (dynamic membership support)
+    # ------------------------------------------------------------------
+    def migrate(self, new_graph: Any, epoch: int) -> None:
+        """Adopt a new configuration: recompute the timestamp structure for
+        the new share graph and carry the local state across the epoch.
+
+        Protocol families that support dynamic membership override this
+        (the paper's edge-indexed family does); the default refuses, so a
+        reconfiguration against an unsupported baseline fails loudly
+        instead of silently corrupting its metadata.
+        """
+        raise ReconfigurationError(
+            f"protocol family {type(self).__name__} does not implement "
+            "epoch migration"
+        )
+
+    def _migrate_common(self, new_registers: Iterable[Register], epoch: int) -> None:
+        """The family-independent half of :meth:`migrate`.
+
+        Adjusts the register store (gained registers start unwritten — their
+        history arrives via the bootstrap stream; lost registers are
+        dropped), garbage-collects pending messages whose register is no
+        longer stored here, bumps the epoch, and re-keys the whole pending
+        index against the new timestamp structure (every surviving message
+        is re-examined on the next :meth:`apply_ready`).
+        """
+        new_registers = frozenset(new_registers)
+        for register in new_registers - self.registers:
+            self.store.setdefault(register, None)
+        for register in self.registers - new_registers:
+            self.store.pop(register, None)
+        self.registers = new_registers
+        self.discard_pending(
+            lambda message: message.update.register not in new_registers
+        )
+        self.epoch = epoch
+        self._compact_pending(force=True)
+        self._recheck = deque(self.pending)
+        self._blocked = {}
+
+    def discard_pending(self, drop: Callable[[UpdateMessage], bool]) -> List[UpdateMessage]:
+        """Remove buffered messages matching ``drop`` from the pending buffer.
+
+        Used by epoch migration to garbage-collect messages for registers
+        the replica no longer stores.  Already-applied (tombstoned) entries
+        are never handed to ``drop``.  Returns the discarded messages.
+        """
+        dropped = [
+            message
+            for message in self.pending
+            if message.update.uid in self._pending_uids and drop(message)
+        ]
+        if not dropped:
+            return []
+        uids = {message.update.uid for message in dropped}
+        self._pending_uids -= uids
+        self.pending = [m for m in self.pending if m.update.uid not in uids]
+        self._remove_from_index(uids)
+        return dropped
+
+    def _remove_from_index(self, uids: Set[UpdateId]) -> None:
+        """Scrub uids from the recheck queue and every blocked bucket."""
+        self._recheck = deque(m for m in self._recheck if m.update.uid not in uids)
+        for key in list(self._blocked):
+            bucket = [m for m in self._blocked[key] if m.update.uid not in uids]
+            if bucket:
+                self._blocked[key] = bucket
+            else:
+                del self._blocked[key]
+
+    def force_apply(self, message: UpdateMessage, sim_time: float = 0.0) -> None:
+        """Apply a buffered message unconditionally (coordinator override).
+
+        The reconfiguration flush uses this for messages still blocked after
+        the old epoch's traffic has fully arrived: the coordinator applies
+        them in a globally valid causal order, which the per-edge predicate
+        can no longer certify once the edges that carried the dependency are
+        about to disappear.
+        """
+        uid = message.update.uid
+        if uid in self._applied_uids:
+            return
+        if uid not in self._pending_uids:
+            raise ProtocolError(
+                f"force_apply of a message not buffered at replica "
+                f"{self.replica_id!r}: {message}"
+            )
+        self._apply(message, sim_time)
+        self._applied_pending_uids.add(uid)
+        self._remove_from_index({uid})
+        self._compact_pending()
 
     # ------------------------------------------------------------------
     # Durable state (crash/restart support)

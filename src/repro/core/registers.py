@@ -155,6 +155,55 @@ class RegisterPlacement:
             stores[rid] |= {str(r) for r in regs}
         return RegisterPlacement.from_dict(stores)
 
+    def with_replica(
+        self, replica_id: ReplicaId, registers: Iterable[Register]
+    ) -> "RegisterPlacement":
+        """Return a new placement with an additional replica (a *join*).
+
+        The joiner may store brand-new registers, registers that already
+        exist elsewhere (joining their replication group), or a mix.  Used
+        by the reconfiguration subsystem (:mod:`repro.sim.reconfig`).
+        """
+        if replica_id in self.stores:
+            raise ConfigurationError(
+                f"replica {replica_id!r} is already part of the placement"
+            )
+        stores: Dict[ReplicaId, Iterable[Register]] = {
+            rid: regs for rid, regs in self.stores.items()
+        }
+        stores[replica_id] = frozenset(str(r) for r in registers)
+        return RegisterPlacement.from_dict(stores)
+
+    def without_replica(self, replica_id: ReplicaId) -> "RegisterPlacement":
+        """Return a new placement with one replica removed (a *leave*).
+
+        Registers stored only at the leaving replica disappear with it; the
+        reconfiguration layer is responsible for deciding whether that is
+        acceptable for the change at hand.
+        """
+        if replica_id not in self.stores:
+            raise UnknownReplicaError(replica_id)
+        return RegisterPlacement.from_dict(
+            {rid: regs for rid, regs in self.stores.items() if rid != replica_id}
+        )
+
+    def without_registers_at(
+        self, replica_id: ReplicaId, registers: Iterable[Register]
+    ) -> "RegisterPlacement":
+        """Return a new placement with some registers dropped from one replica.
+
+        The reconfiguration layer uses this to remove share-graph edges: a
+        directed edge ``e_ij`` disappears once ``X_ij = ∅``.
+        """
+        dropped = frozenset(str(r) for r in registers)
+        current = self.registers_at(replica_id)
+        missing = dropped - current
+        if missing:
+            raise UnknownRegisterError(sorted(missing)[0])
+        stores: Dict[ReplicaId, FrozenSet[Register]] = dict(self.stores)
+        stores[replica_id] = current - dropped
+        return RegisterPlacement.from_dict(stores)
+
     def restricted_to(self, replica_ids: Iterable[ReplicaId]) -> "RegisterPlacement":
         """Return the placement induced on a subset of replicas."""
         keep = set(replica_ids)

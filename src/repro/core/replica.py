@@ -166,3 +166,37 @@ class EdgeIndexedReplica(CausalReplica):
     def wire_codec(self):
         """The sparse edge-indexed timestamp codec (family ``edge``)."""
         return EDGE_CODEC
+
+    # ------------------------------------------------------------------
+    # Epoch migration
+    # ------------------------------------------------------------------
+    def _rebuild_timestamp_graph(self, new_graph: ShareGraph) -> TimestampGraph:
+        """Recompute the timestamp graph for a new share graph.
+
+        The bounded-loop restriction (if any) is carried across the epoch;
+        the client–server subclass overrides this to use the augmented
+        edge set instead.
+        """
+        return TimestampGraph.build(
+            new_graph, self.replica_id,
+            max_loop_length=self.timestamp_graph.max_loop_length,
+        )
+
+    def migrate(self, new_graph: ShareGraph, epoch: int) -> None:
+        """Adopt a new share graph: recompute ``E_i`` and project ``τ_i``.
+
+        Counters of edges present in both epochs are preserved — that is
+        what keeps the per-edge FIFO chains (the ``τ_i[e_ki] = T[e_ki]−1``
+        conjuncts) intact across the transition.  Removed edges are
+        garbage-collected; new edges start at zero, which is their true
+        count since no update was ever stamped on them.  The base-class
+        half re-keys the pending buffer and adjusts the register store.
+        """
+        self.share_graph = new_graph
+        self.timestamp_graph = self._rebuild_timestamp_graph(new_graph)
+        self.timestamp = self.timestamp.migrated(self.timestamp_graph.edges)
+        self._incoming_edges = tuple(
+            sorted(e for e in self.timestamp_graph.edges if e[1] == self.replica_id)
+        )
+        self._changed_incoming = []
+        self._migrate_common(new_graph.registers_at(self.replica_id), epoch)

@@ -23,6 +23,23 @@ timestamp ``τ_i`` indexed by the edges of its timestamp graph ``E_i``
 Different replicas track different edge sets, so two timestamps generally
 have different lengths and index sets; the operations above are defined to
 cope with that non-uniformity exactly as in the paper.
+
+Two notes on how the library applies these definitions in practice:
+
+* Predicate ``J`` is *not* evaluated by rescanning the whole pending buffer
+  after every apply (the naive reading of step 4 of the prototype, and how
+  the seed implementation worked).  Since PR 1, replicas evaluate the
+  predicate once per recheck through
+  :meth:`~repro.core.protocol.CausalReplica.blocking_key`, park each
+  blocked message under the exact conjunct that failed (a ``("seq", e_ki,
+  n)`` or ``("ge", e_ji)`` wake key), and re-examine only the messages a
+  later merge plausibly unblocked.  The functions below remain the
+  readable reference semantics and are what the differential tests check
+  the indexed path against.
+* Under dynamic membership (:mod:`repro.sim.reconfig`) the index set of a
+  timestamp changes between epochs: :meth:`EdgeTimestamp.migrated` projects
+  a timestamp onto a new edge set, keeping surviving counters, dropping
+  counters of removed edges and zero-initialising new ones.
 """
 
 from __future__ import annotations
@@ -129,6 +146,20 @@ class EdgeTimestamp:
             if e in counters:
                 counters[e] += 1
         return EdgeTimestamp._from_validated(counters)
+
+    def migrated(self, edges: Iterable[Edge]) -> "EdgeTimestamp":
+        """Project this timestamp onto a new index set (epoch migration).
+
+        Surviving edges keep their counters, edges absent from ``edges``
+        are dropped (the garbage-collection half of a *leave* or edge
+        removal), and new edges start at zero (the widening half of a
+        *join* or edge addition) — new edges carried no updates in any
+        earlier epoch, so zero is their true count.
+        """
+        counters = self.counters
+        return EdgeTimestamp._from_validated(
+            {(e[0], e[1]): counters.get(e, 0) for e in edges}
+        )
 
     def merged_with(self, other: "EdgeTimestamp",
                     shared_edges: Optional[Iterable[Edge]] = None) -> "EdgeTimestamp":

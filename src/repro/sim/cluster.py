@@ -74,6 +74,7 @@ class Cluster(SimulationHost):
                 wire_accounting=wire_accounting,
             ),
         )
+        self.replica_factory = replica_factory
         self.replicas: Dict[ReplicaId, CausalReplica] = {
             rid: replica_factory(share_graph, rid) for rid in share_graph.replica_ids
         }
@@ -89,6 +90,23 @@ class Cluster(SimulationHost):
         return self.replicas
 
     # ------------------------------------------------------------------
+    # Membership hooks (dynamic reconfiguration)
+    # ------------------------------------------------------------------
+    def _add_member(self, replica_id: ReplicaId, new_graph: ShareGraph,
+                    epoch: int) -> CausalReplica:
+        replica = self.replica_factory(new_graph, replica_id)
+        replica.epoch = epoch
+        self.replicas[replica_id] = replica
+        return replica
+
+    def _remove_member(self, replica_id: ReplicaId) -> None:
+        del self.replicas[replica_id]
+
+    def _migrate_members(self, new_graph: ShareGraph, epoch: int) -> None:
+        for replica_id in sorted(self.replicas):
+            self.replicas[replica_id].migrate(new_graph, epoch)
+
+    # ------------------------------------------------------------------
     # Client operations (peer-to-peer architecture, Figure 1a)
     # ------------------------------------------------------------------
     def replica(self, replica_id: ReplicaId) -> CausalReplica:
@@ -100,9 +118,10 @@ class Cluster(SimulationHost):
         """Issue a write at the client co-located with ``replica_id``.
 
         Returns ``None`` (rejecting the operation) while the replica is
-        crashed by the fault injector — the availability cost of a fault.
+        crashed by the fault injector, outside the current membership, or
+        migrating — the availability cost of faults and reconfiguration.
         """
-        if self.replica_down(replica_id):
+        if self.operation_rejected(replica_id):
             self.metrics.rejected_operations += 1
             return None
         replica = self.replica(replica_id)
@@ -117,9 +136,9 @@ class Cluster(SimulationHost):
         """Issue a read at the client co-located with ``replica_id``.
 
         Returns ``None`` (rejecting the operation) while the replica is
-        crashed by the fault injector.
+        crashed, outside the current membership, or migrating.
         """
-        if self.replica_down(replica_id):
+        if self.operation_rejected(replica_id):
             self.metrics.rejected_operations += 1
             return None
         self._record_operation("read")

@@ -129,18 +129,35 @@ class FaultEvent:
     kind: str = ""
 
 
-Event = Any  # DeliveryEvent | BatchDeliveryEvent | TimerEvent | ArrivalEvent | FaultEvent
+@dataclass(frozen=True, slots=True)
+class ReconfigEvent:
+    """A scheduled reconfiguration step (window open, epoch commit).
+
+    Like faults, reconfigurations are first-class kernel events, so a
+    membership-change schedule replays deterministically against the rest
+    of the event stream.  The action is invoked as ``action(host, time)``;
+    the :class:`~repro.sim.reconfig.ReconfigManager` builds these from a
+    declarative :class:`~repro.sim.reconfig.ReconfigSchedule`.
+    """
+
+    action: Callable[["SimulationHost", float], None]
+    kind: str = ""
+
+
+Event = Any  # DeliveryEvent | BatchDeliveryEvent | TimerEvent | ArrivalEvent | FaultEvent | ReconfigEvent
 
 #: Tie-break order for events scheduled at the same instant: faults first
-#: (a crash at time t suppresses a delivery at time t), then deliveries
-#: (so arrivals and samplers observe the freshest replica state), then
-#: arrivals, then timers.
+#: (a crash at time t suppresses a delivery at time t), then
+#: reconfiguration steps (a commit at time t flushes a delivery scheduled
+#: at time t into the old epoch), then deliveries (so arrivals and samplers
+#: observe the freshest replica state), then arrivals, then timers.
 _EVENT_PRIORITY: Dict[type, int] = {
     FaultEvent: 0,
-    DeliveryEvent: 1,
-    BatchDeliveryEvent: 1,
-    ArrivalEvent: 2,
-    TimerEvent: 3,
+    ReconfigEvent: 1,
+    DeliveryEvent: 2,
+    BatchDeliveryEvent: 2,
+    ArrivalEvent: 3,
+    TimerEvent: 4,
 }
 
 
@@ -174,7 +191,7 @@ class EventKernel:
             raise SimulationError(
                 f"cannot schedule an event at {time} < now ({self.now})"
             )
-        priority = _EVENT_PRIORITY.get(type(event), 4)
+        priority = _EVENT_PRIORITY.get(type(event), 5)
         heapq.heappush(self._heap, (time, priority, next(self._counter), event))
 
     def schedule_after(self, delay: float, event: Event) -> None:
@@ -209,6 +226,27 @@ class EventKernel:
     def peek_event(self) -> Optional[Event]:
         """The next event without popping it, or ``None`` when idle."""
         return self._heap[0][3] if self._heap else None
+
+    def extract(self, predicate: Callable[[Event], bool]) -> List[Event]:
+        """Remove every scheduled event matching ``predicate`` from the queue.
+
+        Returns the extracted events in their would-have-fired order
+        (time, priority, insertion), without advancing the clock.  Used by
+        the reconfiguration commit to flush the old epoch's in-flight
+        deliveries at the epoch boundary; determinism is preserved because
+        the extraction order is the firing order.
+        """
+        matched: List[Tuple[float, int, int, Event]] = []
+        kept: List[Tuple[float, int, int, Event]] = []
+        for entry in self._heap:
+            if predicate(entry[3]):
+                matched.append(entry)
+            else:
+                kept.append(entry)
+        if matched:
+            heapq.heapify(kept)
+            self._heap = kept
+        return [entry[3] for entry in sorted(matched)]
 
     # ------------------------------------------------------------------
     # Firing
@@ -262,6 +300,13 @@ class NetworkStats:
     retransmissions: int = 0
     #: Deliveries discarded because the destination replica was crashed.
     messages_lost_to_crash: int = 0
+    #: Frames rejected at delivery because their epoch tag predates the
+    #: receiver's configuration (dynamic membership; content recovery is
+    #: the retransmission/resync layers' job).
+    messages_rejected_stale_epoch: int = 0
+    #: Bytes of membership-change announcements broadcast by the
+    #: reconfiguration coordinator (the membership codec's frames).
+    reconfig_bytes_sent: int = 0
     # -- wire layer ------------------------------------------------------
     #: Batches flushed onto the wire, and the messages they carried.
     batches_sent: int = 0
@@ -410,6 +455,9 @@ class Transport:
         #: Unacknowledged tracked messages: (uid, destination) -> (sent_at, message).
         self._outstanding: Dict[Tuple[UpdateId, ReplicaId], Tuple[float, UpdateMessage]] = {}
         self._acked: Set[Tuple[UpdateId, ReplicaId]] = set()
+        #: Messages already delivered whose (delayed) ack has not fired yet;
+        #: still in ``_outstanding``, but they need no re-delivery.
+        self._pending_acks: Set[Tuple[UpdateId, ReplicaId]] = set()
         #: Per-destination durable outbox (crash resync); None = disabled.
         self._sent_log: Optional[Dict[ReplicaId, Dict[UpdateId, Tuple[float, UpdateMessage]]]] = None
         # -- wire layer ------------------------------------------------
@@ -697,6 +745,8 @@ class Transport:
         if self._reliability is not None:
             key = (message.update.uid, message.destination)
             if self._reliability.ack_delay > 0 and key not in self._acked:
+                self._pending_acks.add(key)
+
                 def ack(host: "SimulationHost", ack_time: float, key=key) -> None:
                     self._acknowledge(key)
                 self.kernel.schedule_after(
@@ -780,6 +830,83 @@ class Transport:
         """``True`` when the batch's stream epoch predates a crash cut."""
         return event.epoch != self._channel_epoch.get(event.batch.channel, 0)
 
+    # ------------------------------------------------------------------
+    # Dynamic membership support
+    # ------------------------------------------------------------------
+    def take_outstanding(self) -> List[Tuple[float, UpdateMessage]]:
+        """Claim every unacknowledged tracked message, in deterministic order.
+
+        The reconfiguration flush delivers these directly at the epoch
+        boundary; they are acknowledged here (before delivery) so pending
+        retransmission timers become no-ops and no old-epoch copy survives
+        into the new configuration.  Messages already delivered and merely
+        awaiting a delayed ack are acknowledged without being returned —
+        re-delivering them would double-count delivery statistics.
+        """
+        out = [
+            self._outstanding[key]
+            for key in sorted(self._outstanding)
+            if key not in self._pending_acks
+        ]
+        for key in list(self._outstanding):
+            self._acknowledge(key)
+        return out
+
+    def take_held_messages(self) -> List[Tuple[float, UpdateMessage]]:
+        """Claim every parked (held/partitioned) single message (epoch flush)."""
+        held = self._held_messages
+        self._held_messages = []
+        return held
+
+    def take_held_batches(
+        self,
+    ) -> List[Tuple[float, Tuple[float, ...], MessageBatch, int]]:
+        """Claim every parked batch (epoch flush)."""
+        held = self._held_batches
+        self._held_batches = []
+        return held
+
+    def restart_delta_streams(self) -> None:
+        """Reset every channel's timestamp delta chain (epoch boundary).
+
+        After a migration, the last-shipped timestamp on each channel is
+        indexed by the retired configuration's edges; the next frame on
+        every channel must go full.
+        """
+        if self._delta_encoder is not None:
+            self._delta_encoder.reset()
+
+    def forget_replica(self, replica_id: ReplicaId) -> None:
+        """Garbage-collect all per-replica transport state (a *leave*).
+
+        Drops the leaver's sent-log outbox, reliability tracking, batching
+        stream state and delta chains; aggregate statistics are preserved
+        (they describe the past, which the leave does not rewrite).
+        """
+        if self._sent_log is not None:
+            self._sent_log.pop(replica_id, None)
+        for key in [k for k in self._outstanding if k[1] == replica_id]:
+            del self._outstanding[key]
+        self._acked = {k for k in self._acked if k[1] != replica_id}
+        self._pending_acks = {k for k in self._pending_acks if k[1] != replica_id}
+        stale_channels = {
+            channel
+            for book in (self._batch_seq, self._open_batches)
+            for channel in book
+            if replica_id in channel
+        }
+        for book in (
+            self._batch_seq,
+            self._flush_generation,
+            self._last_batch_arrival,
+            self._channel_epoch,
+        ):
+            for channel in [c for c in book if replica_id in c]:
+                del book[channel]
+        if self._delta_encoder is not None:
+            for channel in stale_channels:
+                self._delta_encoder.reset(channel)
+
     def note_stale_batch(self, event: BatchDeliveryEvent) -> None:
         """Discard a batch whose stream was severed while it was in flight.
 
@@ -795,6 +922,7 @@ class Transport:
     def _acknowledge(self, key: Tuple[UpdateId, ReplicaId]) -> None:
         self._acked.add(key)
         self._outstanding.pop(key, None)
+        self._pending_acks.discard(key)
 
     def _track(self, message: UpdateMessage, sent_at: float) -> None:
         key = (message.update.uid, message.destination)
@@ -1073,6 +1201,19 @@ class RunMetrics:
     #: Simulated time from each restart until the replica had re-applied
     #: every update it missed while down (one sample per recovery).
     recovery_latencies: List[float] = field(default_factory=list)
+    # -- reconfiguration subsystem ---------------------------------------
+    #: Configuration changes committed during the run.
+    reconfigs: int = 0
+    #: Every reconfiguration step (window open / commit / transfer done),
+    #: in firing order.
+    reconfig_timeline: List[FaultRecord] = field(default_factory=list)
+    #: Completed migration windows ``(opened_at, committed_at)``; client
+    #: operations at the replicas a change affects are rejected inside its
+    #: window, which is where any reconfiguration availability dip lives.
+    migration_windows: List[Tuple[float, float]] = field(default_factory=list)
+    #: Pending messages the commit flush had to apply by coordinator order
+    #: (normally zero: the flush plus the apply fixpoint drain everything).
+    reconfig_forced_applies: int = 0
 
     @property
     def mean_apply_latency(self) -> float:
@@ -1181,6 +1322,18 @@ class SimulationHost:
         #: :class:`~repro.sim.faults.FaultInjector`); ``None`` on the
         #: fault-free fast path, which every hook below checks first.
         self.fault_injector: Optional["Any"] = None
+        #: The attached reconfiguration coordinator, if any (set by
+        #: :class:`~repro.sim.reconfig.ReconfigManager`); ``None`` on the
+        #: static-membership fast path.
+        self.reconfig_manager: Optional["Any"] = None
+        #: The current configuration epoch (bumped at every commit).
+        self.epoch: int = 0
+        #: ``(start time, share graph)`` per epoch, in order; drives the
+        #: epoch-aware consistency check and the E17 analyses.
+        self.epoch_history: List[Tuple[float, ShareGraph]] = [(0.0, share_graph)]
+        #: Event traces of replicas that have left the configuration —
+        #: their history stays part of the checked execution.
+        self._retired_events: Dict[ReplicaId, Tuple[ReplicaEvent, ...]] = {}
 
     @property
     def now(self) -> float:
@@ -1212,6 +1365,54 @@ class SimulationHost:
     def _extra_happened_before(self) -> Optional[Sequence[Tuple[UpdateId, UpdateId]]]:
         """Additional ``↪`` edges for the checker (client sessions)."""
         return None
+
+    # ------------------------------------------------------------------
+    # Membership hooks (dynamic reconfiguration)
+    # ------------------------------------------------------------------
+    def _add_member(self, replica_id: ReplicaId, new_graph: ShareGraph,
+                    epoch: int) -> CausalReplica:
+        """Create the protocol instance for a joining replica (at commit)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support dynamic membership"
+        )
+
+    def _remove_member(self, replica_id: ReplicaId) -> None:
+        """Retire a leaving replica, keeping its trace for the checker."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support dynamic membership"
+        )
+
+    def _migrate_members(self, new_graph: ShareGraph, epoch: int) -> None:
+        """Migrate every surviving replica to the new configuration."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support dynamic membership"
+        )
+
+    def _retire_trace(self, replica_id: ReplicaId) -> None:
+        """Capture a leaver's event trace before it is dropped."""
+        replica = self._replica(replica_id)
+        self._retired_events[replica_id] = tuple(replica.events)
+
+    def is_member(self, replica_id: ReplicaId) -> bool:
+        """``True`` while ``replica_id`` is part of the current configuration."""
+        return replica_id in self._replica_map()
+
+    def operation_rejected(self, replica_id: ReplicaId) -> bool:
+        """Whether a client operation addressed to ``replica_id`` is rejected.
+
+        Operations are rejected at non-members (left, or not yet joined),
+        at crashed replicas, and at replicas inside a migration window or
+        still receiving a state-transfer stream — the availability cost of
+        faults and reconfiguration.  Under static membership (no
+        reconfiguration manager) an unknown replica id stays a caller
+        error: the subsequent lookup raises ``UnknownReplicaError``.
+        """
+        if replica_id not in self._replica_map():
+            return self.reconfig_manager is not None
+        if self.replica_down(replica_id):
+            return True
+        manager = self.reconfig_manager
+        return manager is not None and manager.rejecting(replica_id)
 
     # ------------------------------------------------------------------
     # Bookkeeping helpers for subclasses
@@ -1251,6 +1452,8 @@ class SimulationHost:
                 self.metrics.apply_latencies.append(self.now - issued_at)
         if applied and self.fault_injector is not None:
             self.fault_injector.note_applies(replica.replica_id, applied, self.now)
+        if applied and self.reconfig_manager is not None:
+            self.reconfig_manager.note_applies(replica.replica_id, applied, self.now)
         pending = replica.pending_count()
         previous = self.metrics.max_pending.get(replica.replica_id, 0)
         self.metrics.max_pending[replica.replica_id] = max(previous, pending)
@@ -1276,6 +1479,15 @@ class SimulationHost:
     ) -> None:
         """Schedule a fault action at absolute simulated time ``time``."""
         self.kernel.schedule_at(time, FaultEvent(action=action, kind=kind))
+
+    def schedule_reconfig_at(
+        self,
+        time: float,
+        action: Callable[["SimulationHost", float], None],
+        kind: str = "",
+    ) -> None:
+        """Schedule a reconfiguration step at absolute simulated time ``time``."""
+        self.kernel.schedule_at(time, ReconfigEvent(action=action, kind=kind))
 
     def schedule_arrival(self, delay: float, operation: "Any") -> None:
         """Schedule an open-loop client operation ``delay`` units from now."""
@@ -1346,11 +1558,30 @@ class SimulationHost:
             self._handle_arrival(event.operation)
         elif isinstance(event, FaultEvent):
             event.action(self, firing.time)
+        elif isinstance(event, ReconfigEvent):
+            event.action(self, firing.time)
         else:  # pragma: no cover - future event types
             raise SimulationError(f"unknown event type {type(event).__name__}")
         return True
 
+    def _accepts_epoch(self, message: UpdateMessage) -> bool:
+        """Epoch admission control: reject frames from retired configurations.
+
+        The commit flush completes the old epoch before the new one
+        installs, so in supported schedules no live frame ever arrives
+        stale — this check is the wire contract's safety net (a stale
+        frame's metadata indexes a configuration that no longer exists and
+        must not reach the predicate).  Rejections are counted, and content
+        recovery is the retransmission/resync layers' responsibility.
+        """
+        if message.epoch == self.epoch:
+            return True
+        self.transport.stats.messages_rejected_stale_epoch += 1
+        return False
+
     def _deliver(self, message: UpdateMessage) -> None:
+        if not self._accepts_epoch(message):
+            return
         replica = self._replica(message.destination)
         replica.receive(message)
         self._apply_ready(replica)
@@ -1363,8 +1594,11 @@ class SimulationHost:
         :meth:`_apply_ready` drain is the throughput half of batching: one
         kernel event and one apply pass amortize over the batch.
         """
+        accepted = [m for m in batch.messages if self._accepts_epoch(m)]
+        if not accepted:
+            return
         replica = self._replica(batch.destination)
-        for message in batch.messages:
+        for message in accepted:
             replica.receive(message)
         self._apply_ready(replica)
         self._after_delivery(replica)
@@ -1430,12 +1664,26 @@ class SimulationHost:
     # Shared introspection, checking and metrics
     # ------------------------------------------------------------------
     def events_by_replica(self) -> Dict[ReplicaId, Sequence[ReplicaEvent]]:
-        """Each replica's local issue/apply/read trace."""
-        return {rid: tuple(r.events) for rid, r in self._replica_map().items()}
+        """Each replica's local issue/apply/read trace.
+
+        Replicas that left the configuration contribute the trace they had
+        accumulated up to their removal: a leave does not erase history
+        from the checked execution.
+        """
+        out = {rid: tuple(r.events) for rid, r in self._replica_map().items()}
+        for rid, events in self._retired_events.items():
+            out.setdefault(rid, events)
+        return out
 
     def check_consistency(self, check_liveness: bool = True) -> ConsistencyReport:
-        """Validate the execution so far against the paper's Definition 2/26."""
-        checker = ConsistencyChecker(self.share_graph)
+        """Validate the execution so far against the paper's Definition 2/26.
+
+        Under dynamic membership the checker receives the whole epoch
+        history, so safety is judged against the configuration active when
+        each event happened and liveness against the final configuration.
+        """
+        history = self.epoch_history if len(self.epoch_history) > 1 else None
+        checker = ConsistencyChecker(self.share_graph, epoch_history=history)
         return checker.check(
             self.events_by_replica(),
             check_liveness=check_liveness,

@@ -363,6 +363,62 @@ def poisson_workload(
     return OpenLoopWorkload("poisson", tuple(arrivals))
 
 
+def poisson_workload_dynamic(
+    placements: Sequence[Tuple[float, "Any"]],
+    rate: float,
+    duration: float,
+    write_fraction: float = 0.7,
+    seed: int = 0,
+) -> OpenLoopWorkload:
+    """Memoryless open-loop arrivals that target a *changing* replica set.
+
+    ``placements`` is the configuration timeline
+    ``[(effective time, RegisterPlacement), …]`` (normally produced by
+    :meth:`repro.sim.reconfig.ReconfigSchedule.placements_over`): each
+    arrival at time ``t`` picks its target replica and register from the
+    placement in effect at ``t``, so joiners start receiving traffic once
+    they are scheduled to be members and leavers stop.  Arrivals landing in
+    a migration window — or before a deferred commit actually installs the
+    configuration — are rejected by the host and counted, which is exactly
+    the availability cost the reconfiguration experiments measure.
+    """
+    if rate <= 0:
+        raise ConfigurationError("rate must be positive")
+    if duration <= 0:
+        raise ConfigurationError("duration must be positive")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigurationError("write_fraction must be in [0, 1]")
+    if not placements:
+        raise ConfigurationError("placements timeline must be non-empty")
+    timeline = sorted(placements, key=lambda entry: entry[0])
+    rng = random.Random(seed)
+    arrivals: List[TimedOperation] = []
+    t = rng.expovariate(rate)
+    index = 0
+    while t <= duration:
+        placement = timeline[0][1]
+        for start, candidate in timeline:
+            if start <= t:
+                placement = candidate
+            else:
+                break
+        # Draw a replica that stores at least one register (a joiner with a
+        # fresh empty register set cannot serve operations yet).
+        replica_ids = [
+            rid for rid in placement.replica_ids if placement.registers_at(rid)
+        ]
+        replica_id = rng.choice(replica_ids)
+        register = rng.choice(sorted(placement.registers_at(replica_id)))
+        if rng.random() < write_fraction:
+            operation = Operation("write", replica_id, register, value=f"d{index}")
+        else:
+            operation = Operation("read", replica_id, register)
+        arrivals.append(TimedOperation(time=t, operation=operation))
+        t += rng.expovariate(rate)
+        index += 1
+    return OpenLoopWorkload("poisson-dynamic", tuple(arrivals))
+
+
 def bursty_workload(
     graph: ShareGraph,
     burst_rate: float,

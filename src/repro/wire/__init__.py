@@ -11,7 +11,14 @@ This package turns the library's in-memory protocol vocabulary
   byte breakdown (:class:`~repro.wire.frames.WireSizes`);
 * :mod:`repro.wire.channel` — the per-channel delta encoder/decoder pair;
 * :mod:`repro.wire.batch` — the :class:`~repro.wire.batch.MessageBatch`
-  envelope the batching transport ships as a single kernel event.
+  envelope the batching transport ships as a single kernel event;
+* :mod:`repro.wire.membership` — the membership-change codec announcing a
+  committed reconfiguration (:mod:`repro.sim.reconfig`) to the new epoch's
+  members.
+
+Every message frame carries its configuration epoch in the header, so a
+receiver rejects cross-epoch frames cleanly instead of decoding timestamp
+metadata whose index structure belongs to a retired configuration.
 
 The simulation transport (:mod:`repro.sim.engine`) uses these to keep
 byte-accurate :class:`~repro.sim.engine.NetworkStats`; experiment E16
@@ -26,10 +33,12 @@ from .codecs import (
     EDGE_CODEC,
     HOOP_CODEC,
     MATRIX_CODEC,
+    RECONFIG_CODEC,
     VECTOR_CODEC,
     EdgeTimestampCodec,
     HoopTimestampCodec,
     MatrixTimestampCodec,
+    ReconfigCodec,
     TimestampCodec,
     TimestampFrame,
     VectorTimestampCodec,
@@ -48,6 +57,12 @@ from .frames import (
     encode_message,
     encode_message_frame,
     message_wire_sizes,
+)
+from .membership import (
+    MEMBERSHIP_VERSION,
+    MembershipChange,
+    decode_membership_change,
+    encode_membership_change,
 )
 from .primitives import (
     WireFormatError,
@@ -71,8 +86,12 @@ __all__ = [
     "HOOP_CODEC",
     "HoopTimestampCodec",
     "MATRIX_CODEC",
+    "MEMBERSHIP_VERSION",
     "MatrixTimestampCodec",
+    "MembershipChange",
     "MessageBatch",
+    "RECONFIG_CODEC",
+    "ReconfigCodec",
     "TimestampCodec",
     "TimestampFrame",
     "VECTOR_CODEC",
@@ -84,6 +103,7 @@ __all__ = [
     "decode_atom",
     "decode_batch",
     "decode_bytes",
+    "decode_membership_change",
     "decode_message",
     "decode_message_frame",
     "decode_svarint",
@@ -93,6 +113,7 @@ __all__ = [
     "encode_atom",
     "encode_batch",
     "encode_bytes",
+    "encode_membership_change",
     "encode_message",
     "encode_message_frame",
     "encode_svarint",

@@ -40,6 +40,7 @@ import pickle
 import struct
 from typing import Any, Dict, List, Mapping, NamedTuple, Optional, Sequence, Tuple, Type
 
+from ..core.protocol import BootstrapMetadata
 from ..core.timestamps import EdgeTimestamp, VectorTimestamp
 from .primitives import (
     WireFormatError,
@@ -342,14 +343,60 @@ class MatrixTimestampCodec(TimestampCodec):
         return EdgeTimestamp(counters), offset
 
 
-#: The four family singletons, and the wire-tag dispatch table.
+class ReconfigCodec(TimestampCodec):
+    """The membership/state-transfer family: bootstrap stream positions.
+
+    State-transfer messages (:class:`~repro.core.protocol.BootstrapMetadata`)
+    carry no counters at all — just the configuration epoch and the stream
+    position — so their frame is three varints.  Delta frames never apply
+    (there is nothing to delta against), and the distinct family tag keeps
+    reconfiguration traffic separable in per-family byte accounting.
+    """
+
+    name = "reconfig"
+    tag = 5
+
+    def index_of(self, ts: BootstrapMetadata) -> Tuple[Any, ...]:
+        return ()
+
+    def counters_of(self, ts: BootstrapMetadata) -> Mapping[Any, int]:
+        return {}
+
+    def full_frame_size(self, ts: BootstrapMetadata) -> int:
+        return 2 + self._full_body_size(ts)
+
+    def _full_body_size(self, ts: BootstrapMetadata) -> int:
+        return (
+            uvarint_size(ts.epoch) + uvarint_size(ts.index) + uvarint_size(ts.total)
+        )
+
+    def encode_full(self, ts: BootstrapMetadata) -> bytes:
+        return (
+            encode_uvarint(ts.epoch)
+            + encode_uvarint(ts.index)
+            + encode_uvarint(ts.total)
+        )
+
+    def decode_full(self, data: bytes, offset: int) -> Tuple[BootstrapMetadata, int]:
+        epoch, offset = decode_uvarint(data, offset)
+        index, offset = decode_uvarint(data, offset)
+        total, offset = decode_uvarint(data, offset)
+        return BootstrapMetadata(index=index, total=total, epoch=epoch), offset
+
+    def encode_delta(self, ts: BootstrapMetadata, prev: Any) -> Optional[bytes]:
+        return None
+
+
+#: The family singletons, and the wire-tag dispatch table.
 EDGE_CODEC = EdgeTimestampCodec()
 VECTOR_CODEC = VectorTimestampCodec()
 MATRIX_CODEC = MatrixTimestampCodec()
 HOOP_CODEC = HoopTimestampCodec()
+RECONFIG_CODEC = ReconfigCodec()
 
 CODEC_BY_TAG: Dict[int, TimestampCodec] = {
-    codec.tag: codec for codec in (EDGE_CODEC, VECTOR_CODEC, MATRIX_CODEC, HOOP_CODEC)
+    codec.tag: codec
+    for codec in (EDGE_CODEC, VECTOR_CODEC, MATRIX_CODEC, HOOP_CODEC, RECONFIG_CODEC)
 }
 
 #: Fallback type-based dispatch for metadata whose replica family is unknown
@@ -357,6 +404,7 @@ CODEC_BY_TAG: Dict[int, TimestampCodec] = {
 _CODEC_BY_TYPE: Dict[Type, TimestampCodec] = {
     EdgeTimestamp: EDGE_CODEC,
     VectorTimestamp: VECTOR_CODEC,
+    BootstrapMetadata: RECONFIG_CODEC,
 }
 
 
@@ -399,6 +447,11 @@ def encode_timestamp_frame(
     smaller than the full body — a delta frame therefore never loses to the
     full frame it replaces.
     """
+    if isinstance(ts, BootstrapMetadata):
+        # State-transfer metadata always ships through its own family,
+        # regardless of which timestamp codec the sending replica's normal
+        # traffic uses (bootstrap frames share channels with that traffic).
+        codec = RECONFIG_CODEC
     codec = codec or codec_for(ts)
     if prev is not None:
         delta = codec.encode_delta(ts, prev)

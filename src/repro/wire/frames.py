@@ -6,9 +6,16 @@ surrounding envelope does not already say.  Batched messages share a
 holds only::
 
     [flags: 1 byte (bit0 = payload present)]
+    [uvarint epoch]
     [atom issuer][uvarint seq][atom register][uvarint metadata_size]
     [value frame, iff payload]
     [timestamp frame]
+
+The epoch tag is the wire half of dynamic membership
+(:mod:`repro.sim.reconfig`): a receiver in a newer configuration rejects a
+stale-epoch frame cleanly — its timestamp's index structure belongs to a
+configuration that no longer exists — and relies on the retransmission /
+anti-entropy layers for content recovery.
 
 Every encoder returns a :class:`WireSizes` breakdown alongside the bytes,
 splitting the frame into **header** (identity, routing, flags), **timestamp**
@@ -45,8 +52,9 @@ from .primitives import (
     encode_uvarint,
 )
 
-#: Wire-format version byte leading every standalone envelope.
-WIRE_VERSION = 1
+#: Wire-format version byte leading every standalone envelope.  Version 2
+#: added the per-message configuration-epoch tag to the frame header.
+WIRE_VERSION = 2
 
 
 @dataclass(frozen=True, slots=True)
@@ -92,6 +100,7 @@ def encode_message_frame(
     update = message.update
     header = bytearray()
     header.append(1 if message.payload else 0)
+    header += encode_uvarint(message.epoch)
     header += encode_atom(update.issuer)
     header += encode_uvarint(update.seq)
     header += encode_atom(update.register)
@@ -121,6 +130,7 @@ def decode_message_frame(
         raise WireFormatError("truncated message frame")
     flags = data[offset]
     offset += 1
+    epoch, offset = decode_uvarint(data, offset)
     issuer, offset = decode_atom(data, offset)
     seq, offset = decode_uvarint(data, offset)
     register, offset = decode_atom(data, offset)
@@ -137,6 +147,7 @@ def decode_message_frame(
         metadata=metadata,
         metadata_size=metadata_size,
         payload=payload,
+        epoch=epoch,
     )
     return message, offset
 

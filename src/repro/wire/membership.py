@@ -1,0 +1,157 @@
+"""The membership-change codec: one configuration change as bytes.
+
+When the reconfiguration coordinator (:mod:`repro.sim.reconfig`) commits a
+new configuration, it announces the change to every member of the new
+epoch.  This module defines the announcement's wire format::
+
+    [version: 1 byte][uvarint epoch]
+    [uvarint join count]   [atom rid][uvarint reg count][atom register]*  per join
+    [uvarint leave count]  [atom rid]*
+    [uvarint grant count]  [atom rid][uvarint reg count][atom register]*  per grant
+    [uvarint revoke count] [atom rid][uvarint reg count][atom register]*  per revoke
+
+*Joins* add a replica with an initial register set; *leaves* remove one;
+*grants*/*revokes* add or drop registers at an existing replica (the way
+share-graph edges appear and disappear).  The simulator uses the codec for
+byte-accurate accounting of the coordinator's announcement broadcast and to
+prove the change round-trips; a real deployment would ship exactly these
+bytes.
+
+A frame also certifies which epoch it creates, so a member can reject an
+announcement that does not extend its current epoch by exactly one — the
+membership-layer analogue of the per-message epoch tag in
+:mod:`repro.wire.frames`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..core.registers import Register, ReplicaId
+from .primitives import (
+    WireFormatError,
+    decode_atom,
+    decode_uvarint,
+    encode_atom,
+    encode_uvarint,
+)
+
+#: Version byte leading every membership-change frame.
+MEMBERSHIP_VERSION = 1
+
+
+@dataclass(frozen=True)
+class MembershipChange:
+    """One committed configuration change, as announced to the members.
+
+    Attributes
+    ----------
+    epoch:
+        The epoch this change creates (the old epoch plus one).
+    joins:
+        ``{replica id: initial register set}`` of joining replicas.
+    leaves:
+        Replica ids leaving the configuration.
+    grants:
+        ``{replica id: registers}`` newly stored at existing replicas.
+    revokes:
+        ``{replica id: registers}`` dropped from existing replicas.
+    """
+
+    epoch: int
+    joins: Dict[ReplicaId, FrozenSet[Register]] = field(default_factory=dict)
+    leaves: Tuple[ReplicaId, ...] = ()
+    grants: Dict[ReplicaId, FrozenSet[Register]] = field(default_factory=dict)
+    revokes: Dict[ReplicaId, FrozenSet[Register]] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for timelines and tables."""
+        parts: List[str] = []
+        for rid in sorted(self.joins):
+            parts.append(f"+{rid}")
+        for rid in self.leaves:
+            parts.append(f"-{rid}")
+        for rid in sorted(self.grants):
+            parts.append(f"{rid}+{{{','.join(sorted(self.grants[rid]))}}}")
+        for rid in sorted(self.revokes):
+            parts.append(f"{rid}-{{{','.join(sorted(self.revokes[rid]))}}}")
+        return f"epoch {self.epoch}: " + (" ".join(parts) or "no-op")
+
+
+def _encode_register_map(
+    mapping: Dict[ReplicaId, FrozenSet[Register]]
+) -> bytes:
+    out = bytearray(encode_uvarint(len(mapping)))
+    for rid in sorted(mapping):
+        out += encode_atom(rid)
+        registers = sorted(mapping[rid])
+        out += encode_uvarint(len(registers))
+        for register in registers:
+            out += encode_atom(register)
+    return bytes(out)
+
+
+def _decode_register_map(
+    data: bytes, offset: int
+) -> Tuple[Dict[ReplicaId, FrozenSet[Register]], int]:
+    count, offset = decode_uvarint(data, offset)
+    mapping: Dict[ReplicaId, FrozenSet[Register]] = {}
+    for _ in range(count):
+        rid, offset = decode_atom(data, offset)
+        reg_count, offset = decode_uvarint(data, offset)
+        registers = []
+        for _ in range(reg_count):
+            register, offset = decode_atom(data, offset)
+            registers.append(register)
+        mapping[rid] = frozenset(registers)
+    return mapping, offset
+
+
+def encode_membership_change(change: MembershipChange) -> bytes:
+    """Encode one membership change as a standalone frame."""
+    out = bytearray((MEMBERSHIP_VERSION,))
+    out += encode_uvarint(change.epoch)
+    out += _encode_register_map(change.joins)
+    out += encode_uvarint(len(change.leaves))
+    for rid in sorted(change.leaves):
+        out += encode_atom(rid)
+    out += _encode_register_map(change.grants)
+    out += _encode_register_map(change.revokes)
+    return bytes(out)
+
+
+def decode_membership_change(
+    data: bytes, offset: int = 0
+) -> Tuple[MembershipChange, int]:
+    """Decode a membership-change frame; returns ``(change, new offset)``."""
+    if offset >= len(data) or data[offset] != MEMBERSHIP_VERSION:
+        raise WireFormatError("bad or missing membership frame version byte")
+    offset += 1
+    epoch, offset = decode_uvarint(data, offset)
+    joins, offset = _decode_register_map(data, offset)
+    leave_count, offset = decode_uvarint(data, offset)
+    leaves = []
+    for _ in range(leave_count):
+        rid, offset = decode_atom(data, offset)
+        leaves.append(rid)
+    grants, offset = _decode_register_map(data, offset)
+    revokes, offset = _decode_register_map(data, offset)
+    return (
+        MembershipChange(
+            epoch=epoch,
+            joins=joins,
+            leaves=tuple(leaves),
+            grants=grants,
+            revokes=revokes,
+        ),
+        offset,
+    )
+
+
+__all__ = [
+    "MEMBERSHIP_VERSION",
+    "MembershipChange",
+    "decode_membership_change",
+    "encode_membership_change",
+]

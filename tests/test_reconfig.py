@@ -1,0 +1,539 @@
+"""Tests for dynamic membership (repro.sim.reconfig).
+
+Covers the acceptance scenarios: a 64-replica open-loop run adding 8
+replicas and removing 4 mid-run stays causally consistent on both
+architectures; availability dips only inside migration windows; epoch
+migration edge cases (reconfig during an open partition, joiner crash
+mid-state-transfer, back-to-back reconfigs); same-seed determinism of a
+run containing a full reconfiguration schedule; and the wire-level epoch
+machinery (epoch tags, stale-frame rejection, the membership codec, the
+bootstrap stream gate).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clientserver import ClientServerCluster
+from repro.core.errors import ReconfigurationError
+from repro.core.protocol import BootstrapMetadata, Update, UpdateMessage
+from repro.core.registers import RegisterPlacement
+from repro.core.replica import EdgeIndexedReplica
+from repro.core.share_graph import ShareGraph
+from repro.core.timestamps import EdgeTimestamp
+from repro.sim.cluster import Cluster
+from repro.sim.delays import FixedDelay, UniformDelay
+from repro.sim.faults import FaultInjector, FaultSchedule, crash, heal, partition, restart
+from repro.sim.reconfig import (
+    ReconfigManager,
+    ReconfigSchedule,
+    add_edge,
+    apply_action,
+    join,
+    leave,
+    membership_change_of,
+    random_churn_schedule,
+    remove_edge,
+)
+from repro.sim.topologies import figure5_placement, tree_placement
+from repro.sim.workloads import Operation, poisson_workload_dynamic, run_open_loop
+from repro.wire.membership import decode_membership_change, encode_membership_change
+
+
+def path_placement_small() -> RegisterPlacement:
+    """The Figure 3 path: 1-{x}-2-{y}-3-{z}-4."""
+    return RegisterPlacement.from_dict(
+        {1: {"x"}, 2: {"x", "y"}, 3: {"y", "z"}, 4: {"z"}}
+    )
+
+
+def churned_run(architecture: str, placement, schedule, *, window=3.0,
+                rate=0.4, duration=150.0, seed=7, delay=None):
+    """Build a host, attach a manager, install a schedule, run open-loop."""
+    graph = ShareGraph.from_placement(placement)
+    delay = delay or UniformDelay(1, 10)
+    if architecture == "peer-to-peer":
+        host = Cluster(graph, delay_model=delay, seed=seed)
+    else:
+        host = ClientServerCluster.with_colocated_clients(
+            graph, delay_model=delay, seed=seed
+        )
+    manager = ReconfigManager(host, window=window)
+    manager.install(schedule)
+    placements = schedule.placements_over(placement, window=window)
+    workload = poisson_workload_dynamic(
+        placements, rate=rate, duration=duration, seed=seed
+    )
+    result = run_open_loop(host, workload)
+    return host, manager, result
+
+
+# ======================================================================
+# Action algebra and placement derivation
+# ======================================================================
+
+class TestActions:
+    def test_join_adds_replica_with_grants(self):
+        placement = path_placement_small()
+        action = join(10.0, 5, {"link"}, grants={4: {"link"}})
+        new = apply_action(placement, action)
+        assert new.registers_at(5) == {"link"}
+        assert "link" in new.registers_at(4)
+        graph = ShareGraph.from_placement(new)
+        assert graph.has_edge(4, 5)
+
+    def test_join_existing_id_rejected(self):
+        with pytest.raises(Exception):
+            apply_action(path_placement_small(), join(1.0, 2, {"q"}))
+
+    def test_leave_removes_replica(self):
+        new = apply_action(path_placement_small(), leave(1.0, 4))
+        assert 4 not in new.replica_ids
+        # z survives at replica 3 (single-owner local state).
+        assert new.stores_register(3, "z")
+
+    def test_remove_edge_drops_shared_registers_from_second_endpoint(self):
+        new = apply_action(path_placement_small(), remove_edge(1.0, 2, 3))
+        assert not new.shared_registers(2, 3)
+        assert new.stores_register(2, "y")
+        assert not new.stores_register(3, "y")
+
+    def test_remove_missing_edge_rejected(self):
+        with pytest.raises(ReconfigurationError):
+            apply_action(path_placement_small(), remove_edge(1.0, 1, 4))
+
+    def test_add_edge_places_register_at_both(self):
+        new = apply_action(path_placement_small(), add_edge(1.0, 1, 4))
+        assert ShareGraph.from_placement(new).has_edge(1, 4)
+
+    def test_membership_change_roundtrips_on_the_wire(self):
+        old = path_placement_small()
+        new = apply_action(old, join(1.0, 5, {"x", "w"}))
+        change = membership_change_of(old, new, epoch=3)
+        decoded, _ = decode_membership_change(encode_membership_change(change))
+        assert decoded == change
+        assert decoded.joins == {5: frozenset({"x", "w"})}
+
+    def test_placements_over_timeline(self):
+        placement = path_placement_small()
+        schedule = ReconfigSchedule(
+            "t", (leave(20.0, 4), join(10.0, 5, {"x"}))
+        )
+        timeline = schedule.placements_over(placement, window=2.0)
+        # Actions are sorted by time; effective times include the window.
+        assert [t for t, _ in timeline] == [0.0, 12.0, 22.0]
+        assert 5 in timeline[1][1].replica_ids
+        assert 4 not in timeline[2][1].replica_ids
+
+
+# ======================================================================
+# Timestamp projection and the bootstrap gate
+# ======================================================================
+
+class TestMigrationPrimitives:
+    def test_edge_timestamp_migrated_projects_and_widens(self):
+        ts = EdgeTimestamp({(1, 2): 4, (2, 1): 7, (2, 3): 1})
+        migrated = ts.migrated([(1, 2), (2, 1), (9, 1)])
+        assert migrated[(1, 2)] == 4
+        assert migrated[(2, 1)] == 7
+        assert migrated[(9, 1)] == 0
+        assert (2, 3) not in migrated
+
+    def test_replica_migrate_preserves_surviving_counters(self):
+        placement = path_placement_small()
+        graph = ShareGraph.from_placement(placement)
+        replica = EdgeIndexedReplica(graph, 2)
+        replica.write("x", 1)
+        replica.write("y", 2)
+        old = dict(replica.timestamp.counters)
+        new_placement = apply_action(placement, join(0.0, 5, {"y"}))
+        new_graph = ShareGraph.from_placement(new_placement)
+        replica.migrate(new_graph, epoch=1)
+        assert replica.epoch == 1
+        for edge, value in replica.timestamp.items():
+            if edge in old:
+                assert value == old[edge]
+            else:
+                assert value == 0
+
+    def test_unsupported_family_refuses_migration(self):
+        from repro.baselines.full_track import FullTrackReplica
+
+        graph = ShareGraph.from_placement(path_placement_small())
+        replica = FullTrackReplica(graph, 1)
+        with pytest.raises(ReconfigurationError):
+            replica.migrate(graph, epoch=1)
+
+    def test_bootstrap_stream_applies_in_order_and_gates_normal_traffic(self):
+        graph = ShareGraph.from_placement(path_placement_small())
+        replica = EdgeIndexedReplica(graph, 2)
+        peer = EdgeIndexedReplica(graph, 1)
+        normal = peer.write("x", "live")[0]
+        replica.begin_bootstrap(2)
+        assert replica.bootstrapping
+        boot = [
+            UpdateMessage(
+                update=Update(3, i + 1, "y", f"old{i}"),
+                sender=3, destination=2,
+                metadata=BootstrapMetadata(index=i, total=2),
+                metadata_size=0,
+            )
+            for i in range(2)
+        ]
+        # Normal traffic and the out-of-order tail arrive first: all parked.
+        replica.receive(normal)
+        replica.receive(boot[1])
+        assert replica.apply_ready() == []
+        # The stream head unblocks everything in order, then lifts the gate.
+        replica.receive(boot[0])
+        applied = replica.apply_ready()
+        assert [u.value for u in applied] == ["old0", "old1", "live"]
+        assert not replica.bootstrapping
+        assert replica.store["y"] == "old1"
+
+    def test_begin_bootstrap_rejects_nested_streams(self):
+        graph = ShareGraph.from_placement(path_placement_small())
+        replica = EdgeIndexedReplica(graph, 2)
+        replica.begin_bootstrap(1)
+        with pytest.raises(Exception):
+            replica.begin_bootstrap(1)
+
+
+# ======================================================================
+# Wire-level epoch machinery
+# ======================================================================
+
+class TestEpochWire:
+    def test_frame_header_carries_epoch(self):
+        message = UpdateMessage(
+            update=Update(1, 1, "x", "v"), sender=1, destination=2,
+            metadata=EdgeTimestamp({(1, 2): 1}), metadata_size=1, epoch=5,
+        )
+        decoded = UpdateMessage.from_wire(message.to_wire())
+        assert decoded.epoch == 5
+        assert decoded.update == message.update
+
+    def test_bootstrap_metadata_roundtrips(self):
+        message = UpdateMessage(
+            update=Update(1, 1, "x", "v"), sender=1, destination=2,
+            metadata=BootstrapMetadata(index=3, total=9, epoch=2),
+            metadata_size=0, epoch=2,
+        )
+        decoded = UpdateMessage.from_wire(message.to_wire())
+        assert decoded.metadata == BootstrapMetadata(index=3, total=9, epoch=2)
+
+    def test_stale_epoch_frame_rejected_cleanly(self):
+        graph = ShareGraph.from_placement(path_placement_small())
+        cluster = Cluster(graph, delay_model=FixedDelay(1.0), seed=0)
+        ReconfigManager(cluster, window=1.0)
+        stale = UpdateMessage(
+            update=Update(1, 1, "x", "v"), sender=1, destination=2,
+            metadata=EdgeTimestamp({(1, 2): 1}), metadata_size=1, epoch=7,
+        )
+        cluster.network.send(stale)
+        cluster.run_until_quiescent()
+        assert cluster.network.stats.messages_rejected_stale_epoch == 1
+        assert not cluster.replica(2).has_applied((1, 1))
+
+
+# ======================================================================
+# End-to-end reconfiguration on both architectures
+# ======================================================================
+
+ARCHITECTURES = ("peer-to-peer", "client-server")
+
+
+class TestReconfigurationRuns:
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    def test_join_leave_edge_change_stays_consistent(self, architecture):
+        placement = figure5_placement()
+        schedule = ReconfigSchedule(
+            "mixed",
+            (
+                join(40.0, 5, {"y", "extra5"}),     # joins y's group: transfer
+                leave(80.0, 5),
+                add_edge(110.0, 1, 3, register="y"),  # 3 gains y: transfer
+                remove_edge(140.0, 1, 3),
+            ),
+        )
+        host, manager, result = churned_run(
+            architecture, placement, schedule, duration=200.0
+        )
+        assert result.consistent
+        assert host.metrics.reconfigs == 4
+        assert host.epoch == 4
+        assert not manager.warming_replicas()
+        # The joiner received y's pre-join history before it left again,
+        # and replica 3 received it when the edge appeared.
+        assert any(
+            record.kind == "transfer-complete"
+            for record in host.metrics.reconfig_timeline
+        )
+        assert host.network.stats.messages_rejected_stale_epoch == 0
+
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    def test_metadata_steps_to_new_configuration(self, architecture):
+        placement = tree_placement(6)
+        schedule = ReconfigSchedule(
+            "grow", (join(50.0, 7, {"tree_2_5"}),)
+        )
+        host, manager, result = churned_run(
+            architecture, placement, schedule, duration=120.0
+        )
+        assert result.consistent
+        # Every member's counter count equals |E_i| of the *new* graph.
+        from repro.clientserver.augmented import augmented_timestamp_edges
+        from repro.core.timestamp_graph import timestamp_edges
+
+        for rid, size in host.metadata_sizes().items():
+            if architecture == "peer-to-peer":
+                expected = len(timestamp_edges(host.share_graph, rid))
+            else:
+                expected = len(augmented_timestamp_edges(host.augmented, rid))
+            assert size == expected
+
+    def test_availability_dips_only_in_migration_windows(self):
+        placement = tree_placement(8)
+        schedule = ReconfigSchedule(
+            "churn",
+            (
+                leave(50.0, 8),
+                add_edge(90.0, 2, 5, register="tree_1_2"),
+            ),
+        )
+        host, manager, result = churned_run(
+            "peer-to-peer", placement, schedule, duration=160.0
+        )
+        assert result.consistent
+        windows = list(host.metrics.migration_windows)
+        transfers = [
+            record.time
+            for record in host.metrics.reconfig_timeline
+            if record.kind == "transfer-start"
+        ]
+        for replica_id, intervals in host.metrics.downtime.items():
+            for down_at, up_at in intervals:
+                in_window = any(s <= down_at and up_at <= e for s, e in windows)
+                in_transfer = any(abs(down_at - t) < 1e-9 for t in transfers)
+                assert in_window or in_transfer
+        # Rejections happened only because of the reconfiguration.
+        assert host.metrics.crashes == 0
+
+    def test_session_handoff_when_server_leaves(self):
+        placement = tree_placement(5)
+        schedule = ReconfigSchedule("handoff", (leave(40.0, 5),))
+        host, manager, result = churned_run(
+            "client-server", placement, schedule, duration=100.0
+        )
+        assert result.consistent
+        client = host.clients["c5"]
+        # The leaver's pinned client was re-homed to a surviving replica.
+        assert client.replica_set == frozenset({min(host.servers)})
+
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    def test_acceptance_64_replicas_8_joins_4_leaves(self, architecture):
+        placement = tree_placement(64)
+        schedule = random_churn_schedule(
+            placement, 300.0, joins=8, leaves=4, seed=23, join_style="leaf"
+        )
+        host, manager, result = churned_run(
+            architecture, placement, schedule,
+            window=4.0, rate=0.8, duration=300.0, seed=23,
+        )
+        assert result.consistent
+        assert host.metrics.reconfigs == 12
+        assert host.epoch == 12
+        assert host.share_graph.num_replicas == 64 + 8 - 4
+        assert host.network.stats.messages_rejected_stale_epoch == 0
+
+
+# ======================================================================
+# Epoch migration edge cases
+# ======================================================================
+
+class TestEdgeCases:
+    def test_reconfig_during_open_partition_defers_until_heal(self):
+        placement = tree_placement(6)
+        graph = ShareGraph.from_placement(placement)
+        cluster = Cluster(graph, delay_model=FixedDelay(2.0), seed=3)
+        injector = FaultInjector(cluster)
+        injector.install(
+            FaultSchedule(
+                "split", (partition(30.0, [1, 2, 3], [4, 5, 6]), heal(90.0))
+            )
+        )
+        manager = ReconfigManager(cluster, window=5.0)
+        schedule = ReconfigSchedule("during-partition", (leave(40.0, 6),))
+        manager.install(schedule)
+        placements = schedule.placements_over(placement, window=5.0)
+        workload = poisson_workload_dynamic(
+            placements, rate=0.4, duration=120.0, seed=3
+        )
+        result = run_open_loop(cluster, workload)
+        assert result.consistent
+        assert cluster.metrics.reconfigs == 1
+        # The commit waited for the heal: the epoch changed at (not before)
+        # the heal time, and the deferral is on the timeline.
+        assert cluster.epoch_history[-1][0] >= 90.0
+        assert any(
+            record.kind == "reconfig-deferred" and "partition" in record.detail
+            for record in cluster.metrics.reconfig_timeline
+        )
+
+    def test_joiner_crash_mid_state_transfer_recovers_via_resync(self):
+        placement = figure5_placement()
+        graph = ShareGraph.from_placement(placement)
+        cluster = Cluster(graph, delay_model=FixedDelay(5.0), seed=4)
+        injector = FaultInjector(cluster)
+        manager = ReconfigManager(cluster, window=2.0)
+        # Seed y with history so the joiner has a real stream to receive.
+        for round_index in range(4):
+            cluster.schedule_arrival_at(
+                1.0 + round_index, Operation("write", 1, "y", f"y{round_index}")
+            )
+        # Join at 20 (commit at 22); the stream is in flight (FixedDelay 5)
+        # when the joiner crashes at 24; restart at 40 resyncs it.
+        schedule = ReconfigSchedule("join", (join(20.0, 5, {"y"}),))
+        manager.install(schedule)
+        injector.install(
+            FaultSchedule("crash-joiner", (crash(24.0, 5), restart(40.0, 5)))
+        )
+        cluster.run_until_quiescent()
+        assert not manager.warming_replicas()
+        report = cluster.check_consistency()
+        assert report.is_causally_consistent
+        joiner = cluster.replica(5)
+        assert not joiner.bootstrapping
+        # The joiner holds y's full history despite the mid-transfer crash.
+        assert joiner.store["y"] == "y3"
+        assert cluster.metrics.crashes == 1
+        assert cluster.network.stats.messages_lost_to_crash > 0
+
+    def test_back_to_back_reconfigs_serialize(self):
+        placement = tree_placement(6)
+        schedule = ReconfigSchedule(
+            "burst",
+            (
+                join(50.0, 7, {"tree_1_2"}),
+                join(50.0, 8, {"tree_1_3"}),
+                leave(51.0, 6),
+            ),
+        )
+        host, manager, result = churned_run(
+            "peer-to-peer", placement, schedule, duration=130.0, window=4.0
+        )
+        assert result.consistent
+        assert host.metrics.reconfigs == 3
+        assert host.epoch == 3
+        # Windows are serialized: each opens no earlier than the previous
+        # commit.
+        windows = host.metrics.migration_windows
+        for (_, prev_end), (next_start, _) in zip(windows, windows[1:]):
+            assert next_start >= prev_end
+
+    def test_same_seed_determinism_with_full_schedule(self):
+        placement = tree_placement(8)
+        schedule = random_churn_schedule(
+            placement, 150.0, joins=2, leaves=1, edge_changes=1,
+            seed=11, join_style="group",
+        )
+
+        def one_run():
+            host, manager, result = churned_run(
+                "peer-to-peer", placement, schedule,
+                duration=150.0, seed=11,
+            )
+            traces = {
+                rid: [
+                    (event.kind.value, event.update.uid if event.update else None)
+                    for event in events
+                ]
+                for rid, events in host.events_by_replica().items()
+            }
+            return (
+                result.consistent,
+                host.epoch,
+                host.metrics.applies,
+                host.metrics.rejected_operations,
+                host.network.stats.messages_sent,
+                [(r.time, r.kind, r.detail) for r in host.metrics.reconfig_timeline],
+                traces,
+                host.metadata_sizes(),
+            )
+
+        assert one_run() == one_run()
+
+    def test_flush_claims_messages_sent_onto_held_channels_mid_flush(self):
+        """A serve unblocked *by* the commit flush can multicast old-epoch
+        messages onto an explicitly held channel; the flush must claim
+        those too, or they would surface after the epoch bump as stale
+        frames and be lost for good."""
+        from repro.clientserver import ClientAssignment
+
+        placement = RegisterPlacement.from_dict(
+            {1: {"x"}, 2: {"x", "y"}, 3: {"y"}, 4: {"q", "y"}}
+        )
+        graph = ShareGraph.from_placement(placement)
+        clients = ClientAssignment.from_dict({"c": {2, 3}})
+        cluster = ClientServerCluster(
+            graph, clients, delay_model=FixedDelay(10.0), seed=0
+        )
+        manager = ReconfigManager(cluster, window=3.0)
+        manager.install(ReconfigSchedule("leave4", (leave(5.0, 4),)))
+        cluster.transport.hold(3, 2)
+        cluster.transport.hold(2, 1)
+        # The roaming client writes y at 3, making µ_c run ahead of server
+        # 2; its next write of x at 2 buffers behind J1 until 3's update
+        # reaches 2 — which only the commit flush's *held-channel claim*
+        # provides (the (3, 2) channel is held, so the update is parked,
+        # not scheduled).  Serving it then multicasts an old-epoch
+        # x-update onto the still-held (2, 1) channel — after this flush
+        # iteration already claimed the parked traffic.
+        assert cluster.client_write("c", "y", "v1", replica_id=3) is not None
+        issued = cluster.client_write("c", "x", "v2", replica_id=2)
+        assert issued is not None
+        cluster.run_until_quiescent()
+        assert cluster.network.stats.messages_rejected_stale_epoch == 0
+        assert cluster.servers[1].has_applied(issued.uid)
+        assert cluster.check_consistency().is_causally_consistent
+
+    def test_flush_apply_at_gaining_replica_is_not_a_false_violation(self):
+        """An old-epoch message flushed at the commit instant must be judged
+        against the old configuration's register set: a register gained in
+        the same commit imposes no obligation on the flushed apply (its
+        history is still in the bootstrap stream)."""
+        placement = RegisterPlacement.from_dict(
+            {1: {"x", "y"}, 2: {"y"}, 3: {"x"}}
+        )
+        graph = ShareGraph.from_placement(placement)
+        cluster = Cluster(graph, delay_model=FixedDelay(15.0), seed=0)
+        manager = ReconfigManager(cluster, window=2.0)
+        manager.install(
+            ReconfigSchedule("gain", (add_edge(10.0, 3, 2, register="x"),))
+        )
+        # u1(x) ↪ u2(y); u2 is still in flight to replica 2 at the commit
+        # (t=12 < delivery t=17), so the flush applies it exactly at the
+        # epoch boundary — while x's history reaches 2 only via transfer.
+        cluster.schedule_arrival_at(1.0, Operation("write", 1, "x", "x1"))
+        cluster.schedule_arrival_at(2.0, Operation("write", 1, "y", "y1"))
+        cluster.run_until_quiescent()
+        report = cluster.check_consistency()
+        assert report.is_causally_consistent, report.summary()
+        assert cluster.replica(2).store["x"] == "x1"
+
+    def test_churn_schedule_rejects_leave_on_tiny_placement(self):
+        placement = RegisterPlacement.from_dict({1: {"x"}, 2: {"x"}})
+        with pytest.raises(ReconfigurationError):
+            random_churn_schedule(placement, 100.0, joins=0, leaves=1, seed=0)
+
+    def test_rejoining_a_retired_id_is_refused(self):
+        placement = tree_placement(4)
+        schedule = ReconfigSchedule(
+            "rejoin", (leave(20.0, 4), join(60.0, 4, {"tree_1_2"}))
+        )
+        graph = ShareGraph.from_placement(placement)
+        cluster = Cluster(graph, delay_model=FixedDelay(2.0), seed=0)
+        manager = ReconfigManager(cluster, window=2.0)
+        manager.install(schedule)
+        with pytest.raises(ReconfigurationError):
+            cluster.run_until_quiescent()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Check that internal Markdown links in the repo's docs resolve.
+
+Scans the given Markdown files (default: README.md, EXPERIMENTS.md and
+docs/*.md) for inline links ``[text](target)`` and validates every
+*internal* target:
+
+* a relative path must exist (relative to the file containing the link);
+* a ``#fragment`` must match a heading in the target file (GitHub-style
+  slugs: lowercased, punctuation stripped, spaces to hyphens);
+* bare ``#fragment`` links resolve against the containing file.
+
+External links (``http://``, ``https://``, ``mailto:``) are ignored — CI
+must not depend on the network.  Exits non-zero listing every broken
+link.  Run from the repository root::
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Set
+
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading."""
+    text = re.sub(r"[`*_~]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> Set[str]:
+    content = path.read_text(encoding="utf-8")
+    slugs: Set[str] = set()
+    for match in HEADING_RE.finditer(CODE_FENCE_RE.sub("", content)):
+        slugs.add(slugify(match.group(1)))
+    return slugs
+
+
+def check_file(path: Path, root: Path) -> List[str]:
+    errors: List[str] = []
+    try:
+        name = str(path.relative_to(root))
+    except ValueError:
+        name = str(path)
+    content = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(content):
+        target = match.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                errors.append(f"{name}: broken link -> {target}")
+                continue
+        else:
+            resolved = path.resolve()
+        if fragment and resolved.suffix == ".md":
+            if fragment not in heading_slugs(resolved):
+                errors.append(f"{name}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(arg).resolve() for arg in argv]
+    else:
+        files = [root / "README.md", root / "EXPERIMENTS.md"]
+        files += sorted((root / "docs").glob("*.md"))
+    errors: List[str] = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            errors.append(f"missing file: {path}")
+            continue
+        checked += 1
+        errors.extend(check_file(path, root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
