@@ -1,0 +1,103 @@
+"""E18 — The live runtime: a real 8-replica TCP cluster on localhost.
+
+Acceptance run for the :mod:`repro.net` layer: an 8-replica pairwise
+clique (every pair of replicas a real TCP channel — 56 directed streams),
+open-loop client load fired at maximum pressure, and three gates:
+
+* the run **completes**: every submitted operation is answered and the
+  cluster drains (all channels' durable progress books agree);
+* the run is **causally consistent**: the same
+  :class:`~repro.core.consistency.ConsistencyChecker` that validates
+  simulated executions validates the live trace;
+* the run **converges**: on the single-writer workload every register's
+  final value agrees across its storing replicas.
+
+Alongside the gates it records the headline numbers: delivered ops/sec
+(remote applies per wall-clock second) and the client-observed operation
+latency percentiles (p50/p99).  Absolute floors are deliberately not
+gated — shared CI runners are too noisy — but the numbers are printed so
+local/nightly runs can track them.
+
+Set ``REPRO_BENCH_TINY=1`` for the CI smoke instance (4 replicas, a short
+schedule): the gate code always executes.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import run_once
+
+from repro.core.share_graph import ShareGraph
+from repro.net import LiveCluster
+from repro.net.client import OpenLoopClient
+from repro.sim.topologies import pairwise_clique_placement
+from repro.sim.workloads import single_writer_workload
+
+TINY = bool(os.environ.get("REPRO_BENCH_TINY"))
+REPLICAS = 4 if TINY else 8
+#: Open-loop arrivals ≈ rate × duration; time_scale=0 fires them as fast
+#: as the sockets accept, so the schedule sets the mix, not the pacing.
+RATE = 4.0
+DURATION = 30.0 if TINY else 150.0
+
+
+def _live_run():
+    graph = ShareGraph.from_placement(pairwise_clique_placement(REPLICAS))
+    workload = single_writer_workload(
+        graph, rate=RATE, duration=DURATION, write_fraction=0.6, seed=18
+    )
+    # Diskless: the bench measures the transport, not snapshot pickling;
+    # the kill/restart path owns durability (tests/test_net_live.py).
+    with LiveCluster(graph) as cluster:
+        outcome = OpenLoopClient(cluster).run(workload, time_scale=0.0)
+        cluster.drain(timeout=120.0)
+        result = cluster.collect(
+            operation_latencies=outcome.latencies,
+            rejected_operations=outcome.rejected,
+        )
+        # Re-stamp the wall duration: run_open_loop timing is not used here
+        # because the client fired at time_scale=0.
+        result.wall_duration = max(
+            (t for t in result.metrics.apply_times), default=0.0
+        ) - min((t for t, _ in result.metrics.operation_times), default=0.0)
+    return workload, outcome, result
+
+
+def test_e18_live_cluster_acceptance(benchmark):
+    """Acceptance: a consistent 8-replica localhost run, numbers recorded."""
+    workload, outcome, result = run_once(benchmark, _live_run)
+
+    report = result.check_consistency()
+    latency = result.operation_latency_summary()
+    ops_per_sec = result.delivered_ops_per_sec
+
+    print()
+    print(f"E18: live {REPLICAS}-replica pairwise clique on localhost")
+    print(f"  arrivals          {len(workload)} "
+          f"({workload.write_count} writes / {workload.read_count} reads)")
+    print(f"  completed/rejected {outcome.completed}/{outcome.rejected}")
+    print(f"  remote applies    {result.metrics.applies}")
+    print(f"  wall duration     {result.wall_duration:.3f}s")
+    print(f"  delivered ops/sec {ops_per_sec:,.0f}")
+    print(f"  op latency p50    {latency.p50 * 1000:.2f} ms")
+    print(f"  op latency p99    {latency.p99 * 1000:.2f} ms")
+    print(f"  consistency       "
+          f"{'OK' if report.is_causally_consistent else 'VIOLATED'}")
+
+    # Gate 1: the run completed — every operation answered, none rejected.
+    assert outcome.ok and outcome.rejected == 0
+    # Gate 2: the live execution is causally consistent.
+    assert report.is_causally_consistent, (
+        f"safety: {report.safety_violations[:3]}, "
+        f"liveness: {report.liveness_violations[:3]}"
+    )
+    # Gate 3: convergence — single writer ⇒ a unique final state.
+    for register, values in result.final_state().items():
+        assert len(set(values.values())) == 1, (
+            f"register {register} diverged: {values}"
+        )
+    # The headline numbers were actually recorded.
+    assert result.metrics.applies > 0
+    assert ops_per_sec > 0
+    assert latency.count == outcome.completed and latency.p99 > 0

@@ -1,0 +1,49 @@
+"""The live asyncio runtime: the wire layer on real TCP streams.
+
+Everything below :mod:`repro.wire` was, until this package, exercised only
+inside the discrete-event simulator.  :mod:`repro.net` runs the *same*
+protocol instances (:class:`~repro.core.protocol.CausalReplica`) as live
+OS processes talking length-prefixed :class:`~repro.wire.batch.MessageBatch`
+frames over localhost TCP:
+
+* :mod:`repro.net.framing` — length-prefixed stream framing with an
+  incremental decoder (bytes arrive in arbitrary chunks; frames come out
+  whole);
+* :mod:`repro.net.frames` — the small control vocabulary around the data
+  frames: channel hellos, acks, the resync exchange, client operations and
+  the stats/report harness protocol;
+* :mod:`repro.net.node` — one live replica: an asyncio TCP server, one
+  outbound streaming connection per share-graph channel with a FIFO send
+  queue, batching windows and per-channel delta encoding, an ack + resend
+  reliability layer mirroring
+  :class:`~repro.sim.engine.ReliabilityConfig`, and durable snapshots +
+  sent-log so a SIGKILLed process recovers exactly like a simulated crash;
+* :mod:`repro.net.runtime` — the multi-process launcher
+  (:class:`~repro.net.runtime.LiveCluster`): spawns one process per
+  replica, drives workloads, detects quiescence, kills/restarts members,
+  and collects the event traces the consistency checker consumes;
+* :mod:`repro.net.client` — open-loop client load against a live cluster.
+
+The simulator is the test oracle for all of it: the differential harness
+(``tests/differential``) replays the same seeded workload through
+:class:`~repro.sim.cluster.Cluster` and :class:`~repro.net.runtime.LiveCluster`
+and asserts identical consistency verdicts, final register states and
+per-channel delivery streams.
+"""
+
+from .client import OpenLoopClient
+from .framing import StreamDecoder, encode_frame
+from .node import BatchPolicy, LiveNodeHost, NodeConfig, ReplicaNode
+from .runtime import LiveCluster, LiveRunResult
+
+__all__ = [
+    "BatchPolicy",
+    "LiveCluster",
+    "LiveNodeHost",
+    "LiveRunResult",
+    "NodeConfig",
+    "OpenLoopClient",
+    "ReplicaNode",
+    "StreamDecoder",
+    "encode_frame",
+]

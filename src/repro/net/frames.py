@@ -1,0 +1,280 @@
+"""The live runtime's control vocabulary around the data frames.
+
+Every frame on a live connection is a ``(kind, payload)`` pair under the
+length-prefixed framing of :mod:`repro.net.framing`.  Two connection roles
+share the vocabulary:
+
+**Channel connections** (one per directed share-graph edge, opened by the
+sending replica):
+
+* ``HELLO`` — the sender identifies itself and announces its own listening
+  port, so a restarted peer's new address propagates with its traffic;
+* ``SYNC`` — sent by the *accepting* side immediately after the hello: the
+  update ids it holds durably.  The sender answers by re-sending every
+  sent-log entry outside that set — the live mirror of the simulator's
+  anti-entropy :meth:`~repro.sim.engine.Transport.resync`.  On a first
+  connection the sent-log is empty and the exchange is a no-op;
+* ``BATCH`` — an encoded :class:`~repro.wire.batch.MessageBatch` (the data
+  path; byte-identical to what the simulator's wire accounting measures);
+* ``ACK`` — update ids applied durably by the receiver; the sender retires
+  them from its outstanding set (the ack half of the reliability layer).
+
+**Control connections** (harness/client → node):
+
+* ``CONTROL_HELLO``, ``ADDR`` (a peer moved), ``OP`` / ``OP_REPLY`` (client
+  operations), ``STATS_REQ`` / ``STATS`` (quiescence counters),
+  ``REPORT_REQ`` / ``REPORT`` (end-of-run traces), ``SHUTDOWN``.
+
+Hot-path frames (batches, acks, syncs, ops) are encoded with the
+:mod:`repro.wire` primitives — compact, versioned, and shared with the
+simulator's byte accounting.  The end-of-run ``REPORT`` payload is a pickle:
+it carries rich Python objects (event traces, metric samples) exactly once,
+parent-to-child on one machine — the same trust boundary as
+:mod:`multiprocessing` itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from ..core.protocol import UpdateId
+from ..core.registers import ReplicaId
+from ..wire.codecs import decode_value, encode_value
+from ..wire.primitives import (
+    WireFormatError,
+    decode_atom,
+    decode_uvarint,
+    encode_atom,
+    encode_uvarint,
+)
+
+# Channel-connection frame kinds.
+HELLO = 1
+SYNC = 2
+BATCH = 3
+ACK = 4
+
+# Control-connection frame kinds.
+CONTROL_HELLO = 16
+ADDR = 17
+OP = 18
+OP_REPLY = 19
+STATS_REQ = 20
+STATS = 21
+REPORT_REQ = 22
+REPORT = 23
+SHUTDOWN = 24
+
+#: Operation status codes in ``OP_REPLY``.
+OP_OK = 0
+OP_REJECTED = 1
+
+
+# ----------------------------------------------------------------------
+# Update-id lists (SYNC / ACK payloads)
+# ----------------------------------------------------------------------
+
+def encode_uid_list(uids: Iterable[UpdateId]) -> bytes:
+    """Encode a list of update ids: count, then (issuer atom, seq uvarint)."""
+    uids = list(uids)
+    out = bytearray(encode_uvarint(len(uids)))
+    for issuer, seq in uids:
+        out += encode_atom(issuer)
+        out += encode_uvarint(seq)
+    return bytes(out)
+
+
+def decode_uid_list(data: bytes, offset: int = 0) -> Tuple[List[UpdateId], int]:
+    """Decode an update-id list; returns ``(uids, new_offset)``."""
+    count, offset = decode_uvarint(data, offset)
+    uids: List[UpdateId] = []
+    for _ in range(count):
+        issuer, offset = decode_atom(data, offset)
+        seq, offset = decode_uvarint(data, offset)
+        uids.append((issuer, seq))
+    return uids, offset
+
+
+# ----------------------------------------------------------------------
+# HELLO — channel identification
+# ----------------------------------------------------------------------
+
+def encode_hello(sender: ReplicaId, listen_port: int) -> bytes:
+    """The connecting replica's identity and its own server port."""
+    return encode_atom(sender) + encode_uvarint(listen_port)
+
+
+def decode_hello(data: bytes) -> Tuple[ReplicaId, int]:
+    sender, offset = decode_atom(data)
+    port, offset = decode_uvarint(data, offset)
+    _expect_end(data, offset, "HELLO")
+    return sender, port
+
+
+# ----------------------------------------------------------------------
+# ADDR — a peer's (possibly new) address, pushed by the launcher
+# ----------------------------------------------------------------------
+
+def encode_addr(replica_id: ReplicaId, host: str, port: int) -> bytes:
+    return encode_atom(replica_id) + encode_atom(host) + encode_uvarint(port)
+
+
+def decode_addr(data: bytes) -> Tuple[ReplicaId, str, int]:
+    replica_id, offset = decode_atom(data)
+    host, offset = decode_atom(data, offset)
+    port, offset = decode_uvarint(data, offset)
+    _expect_end(data, offset, "ADDR")
+    return replica_id, host, port
+
+
+# ----------------------------------------------------------------------
+# OP / OP_REPLY — client operations
+# ----------------------------------------------------------------------
+
+_OP_KINDS = ("write", "read")
+
+
+def encode_op(op_id: int, kind: str, register: object, value: object) -> bytes:
+    """One client operation: id, kind, register, value (writes only)."""
+    try:
+        kind_code = _OP_KINDS.index(kind)
+    except ValueError:
+        raise WireFormatError(f"unknown operation kind {kind!r}") from None
+    return (
+        encode_uvarint(op_id)
+        + bytes((kind_code,))
+        + encode_atom(register)
+        + encode_value(value)
+    )
+
+
+def decode_op(data: bytes) -> Tuple[int, str, object, object]:
+    op_id, offset = decode_uvarint(data)
+    if offset >= len(data):
+        raise WireFormatError("truncated OP frame")
+    kind_code = data[offset]
+    offset += 1
+    if kind_code >= len(_OP_KINDS):
+        raise WireFormatError(f"unknown operation kind code {kind_code}")
+    register, offset = decode_atom(data, offset)
+    value, offset = decode_value(data, offset)
+    _expect_end(data, offset, "OP")
+    return op_id, _OP_KINDS[kind_code], register, value
+
+
+def encode_op_reply(op_id: int, status: int, value: object = None) -> bytes:
+    return encode_uvarint(op_id) + bytes((status,)) + encode_value(value)
+
+
+def decode_op_reply(data: bytes) -> Tuple[int, int, object]:
+    op_id, offset = decode_uvarint(data)
+    if offset >= len(data):
+        raise WireFormatError("truncated OP_REPLY frame")
+    status = data[offset]
+    value, offset = decode_value(data, offset + 1)
+    _expect_end(data, offset, "OP_REPLY")
+    return op_id, status, value
+
+
+# ----------------------------------------------------------------------
+# STATS — the quiescence counters
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NodeStats:
+    """One node's progress counters, polled by the launcher.
+
+    The launcher declares the cluster drained when, across two consecutive
+    polls, every node reports empty queues (``send_queue``, ``unacked``,
+    ``pending`` all zero), every enqueued message has been delivered
+    somewhere (``sum(enqueued) == sum(delivered)``), and the counters did
+    not move between the polls.
+    """
+
+    ops_done: int = 0
+    issued: int = 0
+    #: Messages handed to channel send queues (one per destination copy).
+    enqueued: int = 0
+    #: Messages flushed onto the wire, retransmissions included.
+    sent: int = 0
+    #: Messages read off the wire, duplicates included.
+    received: int = 0
+    #: First receipts (duplicates suppressed) — the delivery count the
+    #: drain condition compares against ``enqueued``.
+    delivered: int = 0
+    applied: int = 0
+    pending: int = 0
+    send_queue: int = 0
+    unacked: int = 0
+    duplicates: int = 0
+    retransmissions: int = 0
+    resyncs: int = 0
+
+    _FIELDS = (
+        "ops_done", "issued", "enqueued", "sent", "received", "delivered",
+        "applied", "pending", "send_queue", "unacked", "duplicates",
+        "retransmissions", "resyncs",
+    )
+
+    def encode(self) -> bytes:
+        out = bytearray()
+        for name in self._FIELDS:
+            out += encode_uvarint(getattr(self, name))
+        return bytes(out)
+
+    @classmethod
+    def decode_from(cls, data: bytes, offset: int = 0) -> Tuple["NodeStats", int]:
+        values = {}
+        for name in cls._FIELDS:
+            values[name], offset = decode_uvarint(data, offset)
+        return cls(**values), offset
+
+
+#: Per-peer durable progress books riding the STATS frame: ``outbox`` is
+#: how many distinct updates this node has ever logged for each peer,
+#: ``inbox`` how many distinct updates it has ever received from each.
+#: Both are derived from crash-surviving state, so the launcher's drain
+#: detection (``outbox[i][j] == inbox[j][i]`` for every channel) stays
+#: sound across kill/restart cycles — in-memory counters die with a
+#: SIGKILL, these books do not.
+PeerCounts = dict
+
+
+def _encode_peer_counts(book: dict) -> bytes:
+    # Deterministic order even for mixed int/str replica ids (atoms allow
+    # both): ints first, then strings, each sorted.
+    out = bytearray(encode_uvarint(len(book)))
+    for peer in sorted(book, key=lambda p: (isinstance(p, str), p)):
+        out += encode_atom(peer)
+        out += encode_uvarint(book[peer])
+    return bytes(out)
+
+
+def _decode_peer_counts(data: bytes, offset: int) -> Tuple[dict, int]:
+    count, offset = decode_uvarint(data, offset)
+    book = {}
+    for _ in range(count):
+        peer, offset = decode_atom(data, offset)
+        book[peer], offset = decode_uvarint(data, offset)
+    return book, offset
+
+
+def encode_stats_payload(stats: NodeStats, outbox: dict, inbox: dict) -> bytes:
+    """The full ``STATS`` payload: scalar counters + the progress books."""
+    return stats.encode() + _encode_peer_counts(outbox) + _encode_peer_counts(inbox)
+
+
+def decode_stats_payload(data: bytes) -> Tuple[NodeStats, dict, dict]:
+    stats, offset = NodeStats.decode_from(data)
+    outbox, offset = _decode_peer_counts(data, offset)
+    inbox, offset = _decode_peer_counts(data, offset)
+    _expect_end(data, offset, "STATS")
+    return stats, outbox, inbox
+
+
+def _expect_end(data: bytes, offset: int, kind: str) -> None:
+    if offset != len(data):
+        raise WireFormatError(
+            f"{kind} frame has {len(data) - offset} trailing bytes"
+        )

@@ -1,0 +1,127 @@
+"""Length-prefixed stream framing: byte-exact frames over a TCP byte stream.
+
+TCP delivers a byte *stream*: one ``send`` may arrive split across many
+reads, and many sends may coalesce into one read.  The framing layer
+restores message boundaries with the cheapest self-describing envelope that
+composes with the :mod:`repro.wire` primitives::
+
+    [uvarint length][1 byte kind][payload: length-1 bytes]
+
+``length`` counts the kind byte plus the payload, so an empty frame (a
+bare control signal) costs two bytes.  The kind byte dispatches into the
+control vocabulary of :mod:`repro.net.frames`; data frames carry an encoded
+:class:`~repro.wire.batch.MessageBatch` as their payload, unchanged from
+the simulator's wire accounting — the bytes the simulator books are the
+bytes the live runtime ships.
+
+:class:`StreamDecoder` is the incremental receiving half: feed it whatever
+chunks the socket produces and it yields exactly the frames that were
+encoded, however the chunk boundaries fall.  The hypothesis property tests
+(``tests/test_net_framing.py``) fuzz arbitrary fragmentation/coalescing
+against ``decode ∘ encode = id``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..wire.primitives import WireFormatError, encode_uvarint
+
+#: Refuse frames larger than this (64 MiB): a corrupt or misaligned stream
+#: otherwise manifests as an absurd length prefix and an unbounded buffer.
+MAX_FRAME_SIZE = 64 * 1024 * 1024
+
+#: A decoded frame: ``(kind byte, payload bytes)``.
+Frame = Tuple[int, bytes]
+
+
+def encode_frame(kind: int, payload: bytes = b"") -> bytes:
+    """Encode one frame: uvarint length prefix, kind byte, payload."""
+    if not 0 <= kind <= 255:
+        raise WireFormatError(f"frame kind must fit one byte, got {kind}")
+    body_size = 1 + len(payload)
+    if body_size > MAX_FRAME_SIZE:
+        raise WireFormatError(
+            f"frame of {body_size} bytes exceeds MAX_FRAME_SIZE ({MAX_FRAME_SIZE})"
+        )
+    return encode_uvarint(body_size) + bytes((kind,)) + payload
+
+
+class StreamDecoder:
+    """Incremental frame decoder over an arbitrary chunking of the stream.
+
+    Feed raw chunks with :meth:`feed`; complete frames come back in stream
+    order.  Partial frames (a length prefix split across chunks, a body
+    still in flight) are buffered until their bytes arrive.  The decoder
+    never inspects payloads — framing and content are separate layers.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        #: Body size of the frame currently being assembled, or ``None``
+        #: while the length prefix itself is still incomplete.
+        self._need: int | None = None
+
+    def feed(self, chunk: bytes) -> List[Frame]:
+        """Absorb one chunk; return every frame it completed."""
+        self._buffer += chunk
+        return list(self._drain())
+
+    def _drain(self) -> Iterator[Frame]:
+        while True:
+            if self._need is None:
+                parsed = self._try_parse_length()
+                if parsed is None:
+                    return
+                self._need = parsed
+            if len(self._buffer) < self._need:
+                return
+            body = self._buffer[: self._need]
+            del self._buffer[: self._need]
+            self._need = None
+            yield body[0], bytes(body[1:])
+
+    def _try_parse_length(self) -> int | None:
+        """Parse the uvarint length prefix, or ``None`` if incomplete.
+
+        On success the prefix bytes are consumed from the buffer.  The
+        prefix of a valid frame is at most 4 bytes (``MAX_FRAME_SIZE`` <
+        2^28); a longer unterminated run of continuation bytes can never
+        become a valid length, so it is rejected immediately.
+        """
+        value = 0
+        shift = 0
+        for index, byte in enumerate(self._buffer):
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                if not 0 < value <= MAX_FRAME_SIZE:
+                    raise WireFormatError(
+                        f"frame length {value} outside (0, {MAX_FRAME_SIZE}]"
+                    )
+                del self._buffer[: index + 1]
+                return value
+            shift += 7
+            if shift > 28:
+                raise WireFormatError("unterminated frame length prefix")
+        return None
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held for a frame still in flight (for tests/diagnostics)."""
+        return len(self._buffer)
+
+    def at_boundary(self) -> bool:
+        """``True`` when no partial frame is buffered (a clean stream end)."""
+        return not self._buffer and self._need is None
+
+
+def decode_all(data: bytes) -> List[Frame]:
+    """Decode a complete byte string into frames (must end on a boundary)."""
+    decoder = StreamDecoder()
+    frames = decoder.feed(data)
+    if not decoder.at_boundary():
+        raise WireFormatError(
+            f"trailing partial frame: {decoder.buffered} bytes after the "
+            "last complete frame"
+        )
+    return frames

@@ -1,0 +1,725 @@
+"""One live replica: an asyncio process speaking the wire format over TCP.
+
+A :class:`ReplicaNode` hosts exactly one
+:class:`~repro.core.protocol.CausalReplica` — the paper's algorithm by
+default — and gives it the transport the simulator only models:
+
+* **one streaming connection per share-graph channel**: for every directed
+  edge ``e_ij`` the sending replica ``i`` opens a TCP connection to ``j``
+  and ships :class:`~repro.wire.batch.MessageBatch` frames on it (batching
+  window flushed by count or wall-clock deadline, per-channel timestamp
+  delta encoding), under the length-prefixed framing of
+  :mod:`repro.net.framing`.  The connection *is* the stream the delta
+  codecs assume: a fresh connection starts a fresh chain, exactly like the
+  simulator's channel epochs;
+* **per-channel FIFO send queues with backpressure**: a bounded
+  :class:`asyncio.Queue` feeds each channel; writers block (``await``)
+  when the channel is saturated, and the socket's own flow control
+  (``writer.drain()``) propagates TCP backpressure into the queue;
+* **ack + resend reliability** mirroring
+  :class:`~repro.sim.engine.ReliabilityConfig`: the receiver acknowledges
+  update ids after applying *and persisting* them; unacknowledged messages
+  are re-offered to the channel after ``resend_timeout`` seconds (up to
+  ``max_retries`` times) and whenever the connection is re-established.
+  The replica's duplicate suppression keeps delivery exactly-once, as in
+  the simulator;
+* **durable snapshots + sent-log**: with a ``snapshot_path`` configured the
+  node persists its replica snapshot (the PR 2 durable state) *and* its
+  per-destination sent-log after every state change, so a SIGKILLed
+  process restarts from disk and recovers exactly like a simulated crash:
+  on every (re)established channel the accepting side sends the update ids
+  it holds (``SYNC``) and the connecting side re-sends the sent-log
+  entries outside that set — the live mirror of
+  :meth:`~repro.sim.engine.Transport.resync`.
+
+The node's :class:`LiveNodeHost` subclasses the same
+:class:`~repro.core.host.ReplicaHost` surface as the simulator's
+:class:`~repro.sim.engine.SimulationHost`, so metrics, event traces and the
+consistency check are shared — the simulator stays the executable spec.
+
+Nodes are normally spawned by :class:`~repro.net.runtime.LiveCluster`; the
+module-level :func:`node_main` is the process entry point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..core.errors import ConfigurationError, ReproError
+from ..core.host import ReplicaHost
+from ..core.protocol import CausalReplica, UpdateId, UpdateMessage
+from ..core.registers import Register, ReplicaId
+from ..core.replica import EdgeIndexedReplica
+from ..core.share_graph import ShareGraph
+from ..sim.engine import ReliabilityConfig
+from ..wire.batch import MessageBatch, decode_batch, encode_batch
+from ..wire.channel import ChannelDeltaDecoder, ChannelDeltaEncoder
+from ..wire.primitives import WireFormatError
+from . import frames
+from .framing import StreamDecoder, encode_frame
+
+Channel = Tuple[ReplicaId, ReplicaId]
+Address = Tuple[str, int]
+
+
+def edge_indexed_factory(graph: ShareGraph, replica_id: ReplicaId) -> CausalReplica:
+    """The default live factory: the paper's edge-indexed algorithm."""
+    return EdgeIndexedReplica(graph, replica_id)
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """The live analogue of :class:`~repro.sim.engine.BatchingConfig`.
+
+    Same knobs, wall-clock units: a channel's window flushes at
+    ``max_messages`` or after ``max_delay`` *seconds*, whichever first.
+    """
+
+    max_messages: int = 16
+    max_delay: float = 0.002
+    delta_encoding: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_messages < 1:
+            raise ConfigurationError("batching max_messages must be at least 1")
+        if self.max_delay < 0:
+            raise ConfigurationError("batching max_delay must be non-negative")
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Everything one node process needs to boot (picklable for spawn)."""
+
+    replica_id: ReplicaId
+    share_graph: ShareGraph
+    listen_host: str = "127.0.0.1"
+    listen_port: int = 0
+    #: Initial peer address map; updated at runtime by ``ADDR`` frames and
+    #: channel hellos (a restarted peer announces its new port).
+    peers: Mapping[ReplicaId, Address] = field(default_factory=dict)
+    replica_factory: Callable[[ShareGraph, ReplicaId], CausalReplica] = (
+        edge_indexed_factory
+    )
+    batching: BatchPolicy = field(default_factory=BatchPolicy)
+    #: Ack + resend parameters, in seconds (the live reading of the same
+    #: contract the simulator's transport enforces in simulated units).
+    reliability: ReliabilityConfig = field(
+        default_factory=lambda: ReliabilityConfig(resend_timeout=1.0, max_retries=8)
+    )
+    #: Bound of each per-channel send queue (the backpressure limit).
+    send_queue_limit: int = 4096
+    #: Durable state file; ``None`` runs diskless (no crash recovery).
+    snapshot_path: Optional[str] = None
+    #: Wall-clock epoch all host times are measured from (the launcher's
+    #: start time, shared by every node so latencies compose).
+    clock_origin: float = 0.0
+    reconnect_backoff: float = 0.05
+    reconnect_backoff_max: float = 1.0
+
+
+@dataclass
+class NodeDurableState:
+    """What survives a SIGKILL: the replica snapshot plus the sent-log."""
+
+    replica: Any  # ReplicaSnapshot
+    sent_log: Dict[ReplicaId, Dict[UpdateId, UpdateMessage]]
+    #: Total updates ever logged per destination.  The sent-log itself is
+    #: pruned as acks arrive (an acked update is durable at its receiver,
+    #: so neither resync nor retransmission can ever need it again); this
+    #: counter keeps the launcher's drain books monotone through pruning
+    #: and crashes.
+    outbox_total: Dict[ReplicaId, int]
+    #: Per-incoming-channel first-receipt uid streams (kept durable so the
+    #: differential harness sees whole-run streams through a crash).
+    streams: Dict[Channel, List[UpdateId]]
+    apply_times: Dict[UpdateId, float]
+
+
+class LiveNodeHost(ReplicaHost):
+    """The :class:`~repro.core.host.ReplicaHost` of one live process.
+
+    One replica per host, wall-clock time (seconds since the cluster's
+    ``clock_origin``).  The launcher stitches the per-node hosts back into
+    a cluster-wide view at report collection.
+    """
+
+    def __init__(self, share_graph: ShareGraph, replica: CausalReplica,
+                 clock_origin: float = 0.0) -> None:
+        super().__init__(share_graph)
+        self.replica = replica
+        self._replicas = {replica.replica_id: replica}
+        self._clock_origin = clock_origin or time.time()
+
+    @property
+    def now(self) -> float:
+        """Seconds since the cluster's shared clock origin (wall clock)."""
+        return time.time() - self._clock_origin
+
+    def _replica_map(self) -> Mapping[ReplicaId, CausalReplica]:
+        return self._replicas
+
+    # ------------------------------------------------------------------
+    # Client operations (the live counterpart of Cluster.write/read)
+    # ------------------------------------------------------------------
+    def perform_write(self, register: Register, value: Any):
+        """Apply a write locally; returns ``(update, outgoing messages)``."""
+        messages = self.replica.write(register, value, sim_time=self.now)
+        self._record_operation("write")
+        update = self.replica.applied[-1]
+        self._note_issue(update)
+        return update, messages
+
+    def perform_read(self, register: Register) -> Any:
+        """Serve a read from the local copy."""
+        self._record_operation("read")
+        return self.replica.read(register, sim_time=self.now)
+
+    def submit_operation(self, operation: Any) -> Any:
+        """Execute one workload operation (messages are NOT transported).
+
+        Exists for surface parity with the simulator hosts; the node's
+        async op handler uses :meth:`perform_write` / :meth:`perform_read`
+        directly so it can route the returned messages onto the channels.
+        """
+        if operation.kind == "write":
+            return self.perform_write(operation.register, operation.value)[0]
+        if operation.kind == "read":
+            return self.perform_read(operation.register)
+        raise ConfigurationError(f"unknown operation kind {operation.kind!r}")
+
+    def deliver(self, messages: List[UpdateMessage]):
+        """Buffer a received batch and run one apply pass (as the sim does)."""
+        for message in messages:
+            self.replica.receive(message)
+        return self._apply_ready(self.replica)
+
+
+class _ChannelSender:
+    """The sending half of one directed share-graph channel.
+
+    Owns the channel's FIFO queue, batching window, delta encoder,
+    outstanding (unacked) set and the reconnect loop.  One asyncio task per
+    channel (:meth:`run`).
+    """
+
+    def __init__(self, node: "ReplicaNode", destination: ReplicaId) -> None:
+        self.node = node
+        self.destination = destination
+        self.queue: "asyncio.Queue[UpdateMessage]" = asyncio.Queue(
+            maxsize=node.config.send_queue_limit
+        )
+        #: uid -> (message, last send wall time, attempts).
+        self.outstanding: Dict[UpdateId, Tuple[UpdateMessage, float, int]] = {}
+        #: Uids somewhere between enqueue and ack (queue, open window, or
+        #: outstanding).  The SYNC resync skips these: a message already on
+        #: its way must not be re-offered just because the peer's known-set
+        #: predates it — otherwise every first connection double-sends the
+        #: traffic that queued up while the channel was still dialling.
+        self.inflight: set = set()
+        policy = node.config.batching
+        self.encoder = ChannelDeltaEncoder() if policy.delta_encoding else None
+        self.seq = 0
+        self.connected = False
+
+    async def enqueue(self, message: UpdateMessage) -> None:
+        """Join the channel's FIFO stream (blocks when saturated)."""
+        self.node.counters["enqueued"] += 1
+        self.inflight.add(message.update.uid)
+        await self.queue.put(message)
+
+    def offer(self, message: UpdateMessage) -> bool:
+        """Non-blocking enqueue for retransmissions; ``False`` when full."""
+        try:
+            self.queue.put_nowait(message)
+        except asyncio.QueueFull:
+            return False
+        self.inflight.add(message.update.uid)
+        return True
+
+    # ------------------------------------------------------------------
+    # The channel task
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        backoff = self.node.config.reconnect_backoff
+        while not self.node.stopping.is_set():
+            address = self.node.addresses.get(self.destination)
+            if address is None:
+                await asyncio.sleep(backoff)
+                continue
+            try:
+                reader, writer = await asyncio.open_connection(*address)
+            except OSError:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, self.node.config.reconnect_backoff_max)
+                continue
+            backoff = self.node.config.reconnect_backoff
+            self.connected = True
+            # A fresh connection is a fresh byte stream: the delta chain and
+            # batch sequence restart, exactly like a post-crash sim epoch.
+            if self.encoder is not None:
+                self.encoder.reset()
+            self.seq = 0
+            reply_task = asyncio.create_task(self._read_replies(reader))
+            try:
+                writer.write(encode_frame(
+                    frames.HELLO,
+                    frames.encode_hello(self.node.replica_id, self.node.port),
+                ))
+                await writer.drain()
+                # Unacked survivors of the previous connection go first (the
+                # stream they rode died with that connection).
+                for uid in sorted(self.outstanding):
+                    message, _, attempts = self.outstanding[uid]
+                    self.offer(message)
+                await self._send_loop(writer)
+            except (OSError, ConnectionError, asyncio.IncompleteReadError):
+                pass
+            finally:
+                self.connected = False
+                reply_task.cancel()
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (OSError, ConnectionError):
+                    pass
+
+    async def _send_loop(self, writer: asyncio.StreamWriter) -> None:
+        policy = self.node.config.batching
+        window: List[UpdateMessage] = []
+        deadline: Optional[float] = None
+        while True:
+            if self.node.stopping.is_set() and not window and self.queue.empty():
+                return
+            timeout = None
+            if window:
+                timeout = max(0.0, deadline - time.monotonic())
+            try:
+                message = await asyncio.wait_for(self.queue.get(), timeout)
+            except asyncio.TimeoutError:
+                await self._flush(writer, window)
+                window = []
+                continue
+            if not window:
+                deadline = time.monotonic() + policy.max_delay
+            window.append(message)
+            if len(window) >= policy.max_messages or (
+                self.queue.empty() and self.node.stopping.is_set()
+            ):
+                await self._flush(writer, window)
+                window = []
+
+    async def _flush(self, writer: asyncio.StreamWriter,
+                     window: List[UpdateMessage]) -> None:
+        if not window:
+            return
+        batch = MessageBatch(
+            sender=self.node.replica_id,
+            destination=self.destination,
+            seq=self.seq,
+            messages=tuple(window),
+        )
+        self.seq += 1
+        data, _ = encode_batch(
+            batch, encoder=self.encoder, codec=self.node.replica.wire_codec()
+        )
+        now = time.time()
+        for message in window:
+            uid = message.update.uid
+            attempts = self.outstanding.get(uid, (None, 0.0, 0))[2]
+            self.outstanding[uid] = (message, now, attempts + 1)
+        self.node.counters["sent"] += len(window)
+        writer.write(encode_frame(frames.BATCH, data))
+        await writer.drain()
+
+    async def _read_replies(self, reader: asyncio.StreamReader) -> None:
+        """Consume ACK/SYNC frames flowing back on the channel connection."""
+        decoder = StreamDecoder()
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    return
+                for kind, payload in decoder.feed(chunk):
+                    if kind == frames.ACK:
+                        uids, _ = frames.decode_uid_list(payload)
+                        log = self.node.sent_log.get(self.destination)
+                        for uid in uids:
+                            self.outstanding.pop(uid, None)
+                            self.inflight.discard(uid)
+                            # Acked ⇒ durable at the receiver: prune the
+                            # sent-log copy (resync filters by the
+                            # receiver's known set anyway, and the drain
+                            # books ride outbox_total).
+                            if log is not None:
+                                log.pop(uid, None)
+                    elif kind == frames.SYNC:
+                        known, _ = frames.decode_uid_list(payload)
+                        await self.node.resync(self.destination, set(known), self)
+        except (OSError, ConnectionError, WireFormatError,
+                asyncio.CancelledError):
+            return
+
+    def retransmit_due(self) -> None:
+        """Re-offer every outstanding message older than the resend timeout."""
+        config = self.node.config.reliability
+        now = time.time()
+        for uid in list(self.outstanding):
+            message, sent_at, attempts = self.outstanding[uid]
+            if now - sent_at < config.resend_timeout:
+                continue
+            if attempts > config.max_retries:
+                # Resend timers give up; the SYNC exchange on the next
+                # reconnect is the recovery of last resort.
+                continue
+            if self.offer(message):
+                self.node.counters["retransmissions"] += 1
+                self.outstanding[uid] = (message, now, attempts)
+
+
+class ReplicaNode:
+    """One live replica process: server, channels, durability, harness API."""
+
+    def __init__(self, config: NodeConfig) -> None:
+        self.config = config
+        self.replica_id = config.replica_id
+        graph = config.share_graph
+        self.replica = config.replica_factory(graph, config.replica_id)
+        self.host = LiveNodeHost(graph, self.replica,
+                                 clock_origin=config.clock_origin)
+        #: Durable per-destination outbox, mirrored from the simulator's
+        #: transport sent-log (PR 2); the SYNC exchange re-sends from it.
+        #: Pruned on ack — an acked update is durable at its receiver.
+        self.sent_log: Dict[ReplicaId, Dict[UpdateId, UpdateMessage]] = {}
+        #: Total updates ever logged per destination (survives pruning and
+        #: crashes; the launcher's drain books compare this against the
+        #: receiver's first-receipt count).
+        self.outbox_total: Dict[ReplicaId, int] = {}
+        #: First-receipt uid stream per incoming channel (differential data).
+        self.streams: Dict[Channel, List[UpdateId]] = {}
+        #: Wall-relative apply time per uid (cross-node latency joins).
+        self.apply_times: Dict[UpdateId, float] = {}
+        self.counters: Dict[str, int] = {
+            "ops_done": 0, "issued": 0, "enqueued": 0, "sent": 0,
+            "received": 0, "delivered": 0, "duplicates": 0,
+            "retransmissions": 0, "resyncs": 0,
+        }
+        self.recovered = False
+        if config.snapshot_path and os.path.exists(config.snapshot_path):
+            self._load_durable_state(config.snapshot_path)
+        #: Uids this node has seen (applied + pending), for first-receipt
+        #: stream recording; survives restarts via the replica snapshot.
+        self.seen_uids = set(self.replica.known_update_ids())
+        self.addresses: Dict[ReplicaId, Address] = dict(config.peers)
+        self.addresses.pop(self.replica_id, None)
+        self.channels: Dict[ReplicaId, _ChannelSender] = {}
+        self.stopping = asyncio.Event()
+        self.port: int = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._tasks: List[asyncio.Task] = []
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def _load_durable_state(self, path: str) -> None:
+        with open(path, "rb") as handle:
+            state: NodeDurableState = pickle.load(handle)
+        self.replica.restore(state.replica)
+        self.sent_log = state.sent_log
+        self.outbox_total = state.outbox_total
+        self.streams = state.streams
+        self.apply_times = state.apply_times
+        self.recovered = True
+
+    def persist(self) -> None:
+        """Write the durable state atomically (tmp + rename).
+
+        Called after every state change — the live reading of the fault
+        model's synchronous write-ahead persistence — and always *before*
+        the change's effects become visible on the wire (acks for applies,
+        replies and sends for client writes).
+
+        Cost: one full snapshot per persist, O(replica state), exactly
+        like the simulator's deepcopy snapshot model; the sent-log is
+        pruned on ack so it holds only unacked traffic, but the applied
+        history still grows with the run.  Fine at test/bench scale;
+        an incremental (append-only) log is the production follow-up.
+        """
+        path = self.config.snapshot_path
+        if not path:
+            return
+        state = NodeDurableState(
+            replica=self.replica.snapshot(),
+            sent_log=self.sent_log,
+            outbox_total=self.outbox_total,
+            streams=self.streams,
+            apply_times=self.apply_times,
+        )
+        tmp = f"{path}.tmp"
+        with open(tmp, "wb") as handle:
+            pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # The process main loop
+    # ------------------------------------------------------------------
+    async def serve(self, on_ready: Optional[Callable[[int], None]] = None) -> None:
+        """Run the node until a SHUTDOWN frame (or cancellation)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.listen_host,
+            port=self.config.listen_port,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if on_ready is not None:
+            on_ready(self.port)
+        for neighbour in self.config.share_graph.neighbors(self.replica_id):
+            sender = _ChannelSender(self, neighbour)
+            self.channels[neighbour] = sender
+            self._tasks.append(asyncio.create_task(sender.run()))
+        self._tasks.append(asyncio.create_task(self._retransmit_loop()))
+        try:
+            await self.stopping.wait()
+        finally:
+            for task in self._tasks:
+                task.cancel()
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+            self._server.close()
+            await self._server.wait_closed()
+            self.persist()
+
+    async def _retransmit_loop(self) -> None:
+        interval = max(self.config.reliability.resend_timeout / 2, 0.05)
+        while not self.stopping.is_set():
+            await asyncio.sleep(interval)
+            for sender in self.channels.values():
+                sender.retransmit_due()
+
+    # ------------------------------------------------------------------
+    # Resync (the live anti-entropy exchange)
+    # ------------------------------------------------------------------
+    async def resync(self, destination: ReplicaId, known: set,
+                     sender: _ChannelSender) -> None:
+        """Re-send every sent-log entry ``destination`` does not hold.
+
+        Triggered by the peer's ``SYNC`` frame on every (re)established
+        channel connection; mirrors
+        :meth:`~repro.sim.engine.Transport.resync` exactly — same inputs
+        (the receiver's durable uid set), same source (the sender's durable
+        outbox), same delivery path (the channel's normal FIFO queue).
+        """
+        log = self.sent_log.get(destination, {})
+        missing = [
+            message
+            for uid, message in log.items()
+            if uid not in known and uid not in sender.inflight
+        ]
+        if missing:
+            self.counters["resyncs"] += 1
+        for message in missing:
+            await sender.enqueue(message)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        decoder = StreamDecoder()
+        state: Dict[str, Any] = {"peer": None, "decoder": None, "control": False}
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    return
+                for kind, payload in decoder.feed(chunk):
+                    await self._handle_frame(kind, payload, writer, state)
+                    if self.stopping.is_set():
+                        return
+        except WireFormatError:
+            # A corrupt or misaligned stream: drop the connection (the
+            # peer's reconnect + resync path recovers), keep the node up.
+            return
+        except (OSError, ConnectionError):
+            return
+        except asyncio.CancelledError:
+            # Loop teardown while blocked in read(): finish quietly — the
+            # connection is closed in the finally block either way.
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    async def _handle_frame(self, kind: int, payload: bytes,
+                            writer: asyncio.StreamWriter,
+                            state: Dict[str, Any]) -> None:
+        if kind == frames.HELLO:
+            peer, port = frames.decode_hello(payload)
+            state["peer"] = peer
+            state["decoder"] = (
+                ChannelDeltaDecoder() if self.config.batching.delta_encoding
+                else None
+            )
+            # The peer listens on the host it dialled from, at the port it
+            # announced — so a restarted peer's new address propagates with
+            # its first frame.
+            peername = writer.get_extra_info("peername")
+            peer_host = peername[0] if peername else self.config.listen_host
+            self.addresses[peer] = (peer_host, port)
+            # Offer the anti-entropy exchange: tell the connecting sender
+            # what this node holds durably; it re-sends the rest.
+            writer.write(encode_frame(
+                frames.SYNC,
+                frames.encode_uid_list(sorted(self.replica.known_update_ids())),
+            ))
+            await writer.drain()
+        elif kind == frames.BATCH:
+            await self._handle_batch(payload, writer, state)
+        elif kind == frames.CONTROL_HELLO:
+            state["control"] = True
+        elif kind == frames.ADDR:
+            replica_id, host, port = frames.decode_addr(payload)
+            if replica_id != self.replica_id:
+                self.addresses[replica_id] = (host, port)
+        elif kind == frames.OP:
+            await self._handle_op(payload, writer)
+        elif kind == frames.STATS_REQ:
+            writer.write(encode_frame(frames.STATS, self._stats_payload()))
+            await writer.drain()
+        elif kind == frames.REPORT_REQ:
+            writer.write(encode_frame(frames.REPORT, pickle.dumps(
+                self.report(), protocol=pickle.HIGHEST_PROTOCOL
+            )))
+            await writer.drain()
+        elif kind == frames.SHUTDOWN:
+            self.stopping.set()
+        # Unknown kinds are ignored: wire-compatible newer launchers may
+        # probe; dropping beats crashing a live replica.
+
+    async def _handle_batch(self, payload: bytes, writer: asyncio.StreamWriter,
+                            state: Dict[str, Any]) -> None:
+        batch, _ = decode_batch(payload, decoder=state["decoder"])
+        channel = batch.channel
+        uids: List[UpdateId] = []
+        fresh = 0
+        for message in batch.messages:
+            uid = message.update.uid
+            uids.append(uid)
+            self.counters["received"] += 1
+            if uid in self.seen_uids:
+                self.counters["duplicates"] += 1
+            else:
+                self.seen_uids.add(uid)
+                self.streams.setdefault(channel, []).append(uid)
+                self.counters["delivered"] += 1
+                fresh += 1
+        if fresh:
+            applied = self.host.deliver(list(batch.messages))
+            now = self.host.now
+            for update in applied:
+                self.apply_times[update.uid] = now
+            self.persist()
+        # Ack after persisting: an ack promises the update survives a crash.
+        # Duplicates are re-acked so a retransmitting sender settles.
+        writer.write(encode_frame(frames.ACK, frames.encode_uid_list(uids)))
+        await writer.drain()
+
+    async def _handle_op(self, payload: bytes,
+                         writer: asyncio.StreamWriter) -> None:
+        op_id, kind, register, value = frames.decode_op(payload)
+        status = frames.OP_OK
+        reply_value: Any = None
+        try:
+            # Validation raises *before* any state mutates (the replica
+            # checks register membership first), so a rejection is always
+            # a clean no-op.  Infrastructure failures after the mutation
+            # (persist I/O, codec bugs) deliberately propagate instead of
+            # masquerading as rejections — the connection drops, the
+            # client sees an unanswered op, and the durable trace still
+            # tells the truth about what was applied.
+            if kind == "write":
+                update, messages = self.host.perform_write(register, value)
+            else:
+                reply_value = self.host.perform_read(register)
+                self.persist()  # the READ trace event is durable state too
+                messages = []
+        except ReproError:
+            status = frames.OP_REJECTED
+            messages = []
+        if status == frames.OP_OK and kind == "write":
+            self.counters["issued"] += 1
+            self.apply_times[update.uid] = self.host.now
+            for message in messages:
+                log = self.sent_log.setdefault(message.destination, {})
+                log[message.update.uid] = message
+                self.outbox_total[message.destination] = (
+                    self.outbox_total.get(message.destination, 0) + 1
+                )
+            self.persist()
+            for message in messages:
+                await self.channels[message.destination].enqueue(message)
+        self.counters["ops_done"] += 1
+        writer.write(encode_frame(
+            frames.OP_REPLY, frames.encode_op_reply(op_id, status, reply_value)
+        ))
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Harness surface
+    # ------------------------------------------------------------------
+    def _stats_payload(self) -> bytes:
+        counters = self.counters
+        stats = frames.NodeStats(
+            ops_done=counters["ops_done"],
+            issued=counters["issued"],
+            enqueued=counters["enqueued"],
+            sent=counters["sent"],
+            received=counters["received"],
+            delivered=counters["delivered"],
+            applied=len(self.replica.applied),
+            pending=self.replica.pending_count(),
+            send_queue=sum(c.queue.qsize() for c in self.channels.values()),
+            unacked=sum(len(c.outstanding) for c in self.channels.values()),
+            duplicates=counters["duplicates"],
+            retransmissions=counters["retransmissions"],
+            resyncs=counters["resyncs"],
+        )
+        # The progress books are derived from durable state (outbox
+        # counters / first-receipt streams), so drain detection survives
+        # SIGKILLs and sent-log pruning alike.
+        inbox = {
+            sender: len(uids) for (sender, _), uids in self.streams.items()
+        }
+        return frames.encode_stats_payload(stats, dict(self.outbox_total), inbox)
+
+    def report(self) -> Dict[str, Any]:
+        """The end-of-run report the launcher folds into the cluster view."""
+        return {
+            "replica_id": self.replica_id,
+            "events": tuple(self.replica.events),
+            "store": dict(self.replica.store),
+            "streams": {channel: list(uids) for channel, uids in self.streams.items()},
+            "metrics": self.host.metrics,
+            "issue_times": dict(self.host._issue_times),
+            "apply_times": dict(self.apply_times),
+            "duplicates_ignored": self.replica.duplicates_ignored,
+            "metadata_size": self.replica.metadata_size(),
+            "counters": dict(self.counters),
+            "recovered": self.recovered,
+        }
+
+
+def node_main(config: NodeConfig, ready_queue: Any) -> None:
+    """Process entry point: run one node, reporting its port when bound."""
+    node = ReplicaNode(config)
+
+    def on_ready(port: int) -> None:
+        ready_queue.put((config.replica_id, port))
+
+    asyncio.run(node.serve(on_ready))

@@ -1,0 +1,629 @@
+"""The multi-process launcher: a live cluster of replica nodes on localhost.
+
+:class:`LiveCluster` spawns one OS process per replica
+(:func:`repro.net.node.node_main` under the ``spawn`` start method, so each
+node owns a clean interpreter and asyncio loop), wires the address map,
+drives client operations over per-node control connections, and collects
+the end-of-run reports the consistency checker consumes.
+
+The launcher is deliberately synchronous — plain sockets plus one reader
+thread per control link — so tests and benchmarks drive it like any other
+fixture.  The interesting concurrency all lives in the nodes.
+
+Lifecycle::
+
+    with LiveCluster(graph, durable_dir=tmp) as cluster:   # start() implied
+        result = cluster.run_open_loop(workload)           # client + drain
+        report = result.check_consistency()
+
+Fault injection is first-class: :meth:`LiveCluster.kill` SIGKILLs a node
+mid-run and :meth:`LiveCluster.restart` boots a fresh process from the
+node's durable snapshot; the channel reconnect + ``SYNC`` resync protocol
+(:mod:`repro.net.node`) brings it back in sync, exactly like the
+simulator's crash/restart path.
+
+**Quiescence detection.**  The launcher polls every node's ``STATS`` frame
+and declares the cluster drained when (a) every per-channel durable
+progress book matches — for each directed share-graph edge ``e_ij``, node
+``i`` has logged exactly as many updates for ``j`` as ``j`` has ever
+received from ``i`` — and (b) every node reports empty send queues, no
+unacked messages and an empty pending buffer, and (c) the whole snapshot
+is stable across consecutive polls.  The books are derived from
+crash-durable state, so the condition stays sound across kill/restart
+cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import pickle
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.consistency import ConsistencyChecker, ConsistencyReport
+from ..core.errors import SimulationError
+from ..core.host import LatencySummary, RunMetrics
+from ..core.protocol import ReplicaEvent, UpdateId
+from ..core.registers import Register, ReplicaId
+from ..core.share_graph import ShareGraph
+from ..sim.engine import ReliabilityConfig
+from ..wire.primitives import WireFormatError
+from . import frames
+from .framing import StreamDecoder, encode_frame
+from .node import (
+    Address,
+    BatchPolicy,
+    Channel,
+    NodeConfig,
+    edge_indexed_factory,
+    node_main,
+)
+
+
+class LiveRuntimeError(SimulationError):
+    """A live-cluster orchestration failure (boot, drain, or collection)."""
+
+
+# ======================================================================
+# Control links (launcher → node)
+# ======================================================================
+
+class ControlLink:
+    """One synchronous control connection to a node.
+
+    Writes happen on the caller's thread (serialised by a lock); a daemon
+    reader thread decodes incoming frames and dispatches operation replies,
+    stats and reports to their waiters.
+    """
+
+    def __init__(self, address: Address, timeout: float = 5.0) -> None:
+        self.address = address
+        self.sock = socket.create_connection(address, timeout=timeout)
+        self.sock.settimeout(None)
+        self.alive = True
+        self._send_lock = threading.Lock()
+        self._stats: "queue.Queue[bytes]" = queue.Queue()
+        self._reports: "queue.Queue[bytes]" = queue.Queue()
+        #: op_id -> (submit wall time, reply slot); filled by the reader.
+        self._pending_ops: Dict[int, List[Any]] = {}
+        self._ops_lock = threading.Lock()
+        self.op_replies: Dict[int, Tuple[float, int, Any]] = {}
+        self.send(frames.CONTROL_HELLO)
+        self._reader = threading.Thread(target=self._read_loop, daemon=True)
+        self._reader.start()
+
+    def send(self, kind: int, payload: bytes = b"") -> None:
+        data = encode_frame(kind, payload)
+        with self._send_lock:
+            self.sock.sendall(data)
+
+    def submit_op(self, op_id: int, kind: str, register: Any, value: Any) -> None:
+        """Fire one operation (open-loop: the reply arrives asynchronously)."""
+        with self._ops_lock:
+            self._pending_ops[op_id] = [time.perf_counter()]
+        self.send(frames.OP, frames.encode_op(op_id, kind, register, value))
+
+    def outstanding_ops(self) -> int:
+        with self._ops_lock:
+            return len(self._pending_ops)
+
+    def request_stats(
+        self, timeout: float = 5.0
+    ) -> Tuple[frames.NodeStats, dict, dict]:
+        self.send(frames.STATS_REQ)
+        try:
+            payload = self._stats.get(timeout=timeout)
+        except queue.Empty:
+            raise LiveRuntimeError(
+                f"node at {self.address} did not answer STATS within {timeout}s"
+            ) from None
+        return frames.decode_stats_payload(payload)
+
+    def request_report(self, timeout: float = 10.0) -> Dict[str, Any]:
+        self.send(frames.REPORT_REQ)
+        try:
+            payload = self._reports.get(timeout=timeout)
+        except queue.Empty:
+            raise LiveRuntimeError(
+                f"node at {self.address} did not answer REPORT within {timeout}s"
+            ) from None
+        return pickle.loads(payload)
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def _read_loop(self) -> None:
+        decoder = StreamDecoder()
+        try:
+            while True:
+                chunk = self.sock.recv(65536)
+                if not chunk:
+                    break
+                for kind, payload in decoder.feed(chunk):
+                    self._dispatch(kind, payload)
+        except (OSError, WireFormatError):
+            pass
+        finally:
+            self.alive = False
+
+    def _dispatch(self, kind: int, payload: bytes) -> None:
+        if kind == frames.OP_REPLY:
+            op_id, status, value = frames.decode_op_reply(payload)
+            with self._ops_lock:
+                entry = self._pending_ops.pop(op_id, None)
+            if entry is not None:
+                self.op_replies[op_id] = (
+                    time.perf_counter() - entry[0], status, value
+                )
+        elif kind == frames.STATS:
+            self._stats.put(payload)
+        elif kind == frames.REPORT:
+            self._reports.put(payload)
+
+
+# ======================================================================
+# The run result
+# ======================================================================
+
+@dataclass
+class LiveRunResult:
+    """Everything a finished (drained) live run reports.
+
+    The cluster-wide view stitched from the per-node reports: the same
+    event traces, metrics and verdicts the simulator produces, fed from
+    wall-clock processes — which is exactly what the differential harness
+    compares.
+    """
+
+    share_graph: ShareGraph
+    reports: Dict[ReplicaId, Dict[str, Any]]
+    #: Merged cluster metrics; times are seconds relative to the cluster's
+    #: clock origin.
+    metrics: RunMetrics
+    #: Wall-clock seconds the workload + drain took (the live makespan).
+    wall_duration: float = 0.0
+
+    def events_by_replica(self) -> Dict[ReplicaId, Sequence[ReplicaEvent]]:
+        """Each node's local issue/apply/read trace."""
+        return {rid: report["events"] for rid, report in self.reports.items()}
+
+    def check_consistency(self, check_liveness: bool = True) -> ConsistencyReport:
+        """Validate the live execution against the paper's Definition 2.
+
+        Same checker, same inputs as
+        :meth:`repro.core.host.ReplicaHost.check_consistency` — the oracle
+        does not care whether the trace came from simulated or real time.
+        """
+        checker = ConsistencyChecker(self.share_graph)
+        return checker.check(
+            self.events_by_replica(), check_liveness=check_liveness
+        )
+
+    def channel_streams(self) -> Dict[Channel, Tuple[UpdateId, ...]]:
+        """First-receipt update-id stream per directed channel."""
+        out: Dict[Channel, Tuple[UpdateId, ...]] = {}
+        for report in self.reports.values():
+            for channel, uids in report["streams"].items():
+                out[channel] = tuple(uids)
+        return out
+
+    def final_state(self) -> Dict[Register, Dict[ReplicaId, Any]]:
+        """Final value of every register at every replica storing it."""
+        out: Dict[Register, Dict[ReplicaId, Any]] = {}
+        for rid, report in self.reports.items():
+            for register, value in report["store"].items():
+                out.setdefault(register, {})[rid] = value
+        return out
+
+    def values(self, register: Register) -> Dict[ReplicaId, Any]:
+        """The final value of ``register`` at every replica storing it."""
+        return dict(self.final_state().get(register, {}))
+
+    @property
+    def delivered_ops_per_sec(self) -> float:
+        """Remote applies per wall-clock second over the whole run."""
+        if self.wall_duration <= 0:
+            return 0.0
+        return self.metrics.applies / self.wall_duration
+
+    def operation_latency_summary(self) -> LatencySummary:
+        return self.metrics.operation_latency_summary()
+
+    def apply_latency_summary(self) -> LatencySummary:
+        return self.metrics.apply_latency_summary()
+
+
+def merge_reports(
+    share_graph: ShareGraph,
+    reports: Dict[ReplicaId, Dict[str, Any]],
+    operation_latencies: Optional[List[float]] = None,
+    rejected_operations: int = 0,
+    wall_duration: float = 0.0,
+    crashes: int = 0,
+    restarts: int = 0,
+    downtime: Optional[Dict[ReplicaId, List[Tuple[float, float]]]] = None,
+) -> LiveRunResult:
+    """Fold per-node reports into one cluster-wide :class:`LiveRunResult`.
+
+    Remote-apply latencies are joined across nodes: each node reports when
+    it applied each update (wall-relative), the issuer reports when it was
+    issued; the difference is the live analogue of the simulator's
+    issue→apply latency samples.
+    """
+    metrics = RunMetrics()
+    issue_times: Dict[UpdateId, float] = {}
+    for report in reports.values():
+        issue_times.update(report["issue_times"])
+    for rid, report in reports.items():
+        node_metrics: RunMetrics = report["metrics"]
+        metrics.writes += node_metrics.writes
+        metrics.reads += node_metrics.reads
+        metrics.applies += node_metrics.applies
+        metrics.apply_times.extend(node_metrics.apply_times)
+        metrics.operation_times.extend(node_metrics.operation_times)
+        for rid_pending, depth in node_metrics.max_pending.items():
+            previous = metrics.max_pending.get(rid_pending, 0)
+            metrics.max_pending[rid_pending] = max(previous, depth)
+        for uid, applied_at in report["apply_times"].items():
+            if uid[0] == rid:
+                continue  # the issuer's own apply is not a remote apply
+            issued_at = issue_times.get(uid)
+            if issued_at is not None:
+                metrics.apply_latencies.append(applied_at - issued_at)
+    metrics.apply_times.sort()
+    metrics.operation_times.sort()
+    metrics.operation_latencies = list(operation_latencies or [])
+    metrics.rejected_operations = rejected_operations
+    # Fault accounting comes from the launcher — it injected the kills, so
+    # it owns the timeline (a SIGKILLed process cannot count its own death,
+    # and a restarted node's in-memory counters start from zero).
+    metrics.crashes = crashes
+    metrics.restarts = restarts
+    metrics.downtime = {
+        rid: list(intervals) for rid, intervals in (downtime or {}).items()
+    }
+    return LiveRunResult(
+        share_graph=share_graph,
+        reports=reports,
+        metrics=metrics,
+        wall_duration=wall_duration,
+    )
+
+
+# ======================================================================
+# The launcher
+# ======================================================================
+
+@dataclass
+class _Member:
+    """One cluster member's process-side bookkeeping."""
+
+    config: NodeConfig
+    process: Any = None
+    link: Optional[ControlLink] = None
+
+
+class LiveCluster:
+    """A live deployment of one share graph: one OS process per replica.
+
+    Parameters
+    ----------
+    share_graph:
+        The register placement / share graph to deploy.
+    replica_factory:
+        Protocol family per replica (default: the paper's edge-indexed
+        algorithm).  Must be a picklable module-level callable (the spawn
+        start method ships it to the child).
+    batching, reliability:
+        Wire-layer knobs forwarded to every node (seconds, not simulated
+        units).
+    durable_dir:
+        Directory for per-node snapshot files; required for
+        :meth:`kill`/:meth:`restart` recovery.  ``None`` runs diskless.
+    """
+
+    def __init__(
+        self,
+        share_graph: ShareGraph,
+        replica_factory: Callable = edge_indexed_factory,
+        batching: Optional[BatchPolicy] = None,
+        reliability: Optional[ReliabilityConfig] = None,
+        durable_dir: Optional[str] = None,
+        listen_host: str = "127.0.0.1",
+    ) -> None:
+        self.share_graph = share_graph
+        self.listen_host = listen_host
+        self.clock_origin = time.time()
+        self._ctx = multiprocessing.get_context("spawn")
+        self._ready: Any = self._ctx.Queue()
+        self._members: Dict[ReplicaId, _Member] = {}
+        self.addresses: Dict[ReplicaId, Address] = {}
+        self._op_counter = 0
+        self._started = False
+        #: Launcher-side fault accounting (the launcher injects the faults,
+        #: so it owns the timeline — node processes cannot count their own
+        #: SIGKILLs).  Times are seconds relative to clock_origin.
+        self._crashes = 0
+        self._restarts = 0
+        self._down_since: Dict[ReplicaId, float] = {}
+        self._downtime: Dict[ReplicaId, List[Tuple[float, float]]] = {}
+        batching = batching or BatchPolicy()
+        reliability = reliability or ReliabilityConfig(
+            resend_timeout=1.0, max_retries=8
+        )
+        if durable_dir is not None:
+            os.makedirs(durable_dir, exist_ok=True)
+        for rid in share_graph.replica_ids:
+            snapshot_path = None
+            if durable_dir is not None:
+                snapshot_path = os.path.join(durable_dir, f"node-{rid}.state")
+            self._members[rid] = _Member(config=NodeConfig(
+                replica_id=rid,
+                share_graph=share_graph,
+                listen_host=listen_host,
+                replica_factory=replica_factory,
+                batching=batching,
+                reliability=reliability,
+                snapshot_path=snapshot_path,
+                clock_origin=self.clock_origin,
+            ))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "LiveCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def start(self, timeout: float = 30.0) -> None:
+        """Boot every node process and wire the address map."""
+        if self._started:
+            return
+        self._started = True
+        for member in self._members.values():
+            self._spawn(member)
+        deadline = time.monotonic() + timeout
+        while len(self.addresses) < len(self._members):
+            self._collect_ready(deadline)
+        for rid in sorted(self._members):
+            self._connect_control(rid)
+        self._broadcast_addresses()
+
+    def _spawn(self, member: _Member) -> None:
+        member.process = self._ctx.Process(
+            target=node_main,
+            args=(member.config, self._ready),
+            daemon=True,
+            name=f"repro-node-{member.config.replica_id}",
+        )
+        member.process.start()
+
+    def _collect_ready(self, deadline: float) -> None:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            missing = sorted(set(self._members) - set(self.addresses))
+            raise LiveRuntimeError(f"nodes {missing} never reported ready")
+        try:
+            rid, port = self._ready.get(timeout=min(remaining, 0.5))
+        except queue.Empty:
+            return
+        self.addresses[rid] = (self.listen_host, port)
+
+    def _connect_control(self, rid: ReplicaId) -> None:
+        member = self._members[rid]
+        member.link = ControlLink(self.addresses[rid])
+
+    def _broadcast_addresses(self) -> None:
+        for rid, address in sorted(self.addresses.items()):
+            payload = frames.encode_addr(rid, *address)
+            for other, member in self._members.items():
+                if other != rid and member.link is not None and member.link.alive:
+                    member.link.send(frames.ADDR, payload)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Shut every node down (graceful SHUTDOWN, then terminate)."""
+        for member in self._members.values():
+            link = member.link
+            if link is not None and link.alive:
+                try:
+                    link.send(frames.SHUTDOWN)
+                except OSError:
+                    pass
+        for member in self._members.values():
+            process = member.process
+            if process is not None and process.is_alive():
+                process.join(timeout=timeout)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=timeout)
+            if member.link is not None:
+                member.link.close()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def kill(self, replica_id: ReplicaId) -> None:
+        """SIGKILL a node mid-run: no warning, no flush, no goodbye.
+
+        The process dies with its in-memory queues; what survives is the
+        durable snapshot + sent-log it last persisted.  Peers' channel
+        connections break and enter their reconnect loops.
+        """
+        member = self._members[replica_id]
+        if member.process is None or not member.process.is_alive():
+            raise LiveRuntimeError(f"replica {replica_id!r} is not running")
+        member.process.kill()
+        member.process.join()
+        if member.link is not None:
+            member.link.close()
+            member.link = None
+        self.addresses.pop(replica_id, None)
+        self._crashes += 1
+        self._down_since[replica_id] = time.time() - self.clock_origin
+
+    def restart(self, replica_id: ReplicaId, timeout: float = 30.0) -> None:
+        """Boot a fresh process for ``replica_id`` from its durable state.
+
+        The new node loads its snapshot + sent-log, binds a fresh port,
+        reconnects its outbound channels (learning peers from the address
+        map in its config) and answers every peer's ``SYNC`` with the
+        updates they missed — the live crash-recovery path.
+        """
+        member = self._members[replica_id]
+        if member.process is not None and member.process.is_alive():
+            raise LiveRuntimeError(f"replica {replica_id!r} is still running")
+        if member.config.snapshot_path is None:
+            raise LiveRuntimeError(
+                "restart requires durable snapshots (a diskless node would "
+                "reissue already-used update ids); construct the cluster "
+                "with durable_dir"
+            )
+        member.config = dataclasses.replace(
+            member.config, peers=dict(self.addresses), listen_port=0
+        )
+        self._spawn(member)
+        deadline = time.monotonic() + timeout
+        while replica_id not in self.addresses:
+            self._collect_ready(deadline)
+        self._connect_control(replica_id)
+        self._broadcast_addresses()
+        self._restarts += 1
+        down_at = self._down_since.pop(replica_id, None)
+        if down_at is not None:
+            self._downtime.setdefault(replica_id, []).append(
+                (down_at, time.time() - self.clock_origin)
+            )
+
+    def alive(self, replica_id: ReplicaId) -> bool:
+        """``True`` while the node's process runs and its link is open."""
+        member = self._members[replica_id]
+        return (
+            member.process is not None
+            and member.process.is_alive()
+            and member.link is not None
+            and member.link.alive
+        )
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+    def link(self, replica_id: ReplicaId) -> Optional[ControlLink]:
+        """The node's control link, or ``None`` while it is down."""
+        member = self._members.get(replica_id)
+        if member is None or member.link is None or not member.link.alive:
+            return None
+        return member.link
+
+    def next_op_id(self) -> int:
+        self._op_counter += 1
+        return self._op_counter
+
+    def run_open_loop(self, workload: Any, time_scale: float = 0.001,
+                      drain_timeout: float = 60.0) -> LiveRunResult:
+        """Drive an open-loop workload, drain, and collect the result.
+
+        Convenience wrapper around :class:`~repro.net.client.OpenLoopClient`
+        + :meth:`drain` + :meth:`collect`.
+        """
+        from .client import OpenLoopClient
+
+        started = time.perf_counter()
+        client = OpenLoopClient(self)
+        outcome = client.run(workload, time_scale=time_scale)
+        self.drain(timeout=drain_timeout)
+        wall = time.perf_counter() - started
+        return self.collect(
+            operation_latencies=outcome.latencies,
+            rejected_operations=outcome.rejected,
+            wall_duration=wall,
+        )
+
+    # ------------------------------------------------------------------
+    # Quiescence and collection
+    # ------------------------------------------------------------------
+    def poll_stats(self) -> Dict[ReplicaId, Tuple[frames.NodeStats, dict, dict]]:
+        """One STATS round-trip per live node."""
+        out = {}
+        for rid in sorted(self._members):
+            link = self.link(rid)
+            if link is not None:
+                out[rid] = link.request_stats()
+        return out
+
+    def _quiescent(
+        self, snapshot: Dict[ReplicaId, Tuple[frames.NodeStats, dict, dict]]
+    ) -> bool:
+        if set(snapshot) != set(self._members):
+            return False
+        for stats, _, _ in snapshot.values():
+            if stats.pending or stats.send_queue or stats.unacked:
+                return False
+        for i, j in self.share_graph.edges:
+            sent = snapshot[i][1].get(j, 0)
+            got = snapshot[j][2].get(i, 0)
+            if sent != got:
+                return False
+        return True
+
+    def drain(self, timeout: float = 60.0, poll_interval: float = 0.05,
+              stable_polls: int = 2) -> None:
+        """Block until the cluster has fully propagated and applied.
+
+        Raises :class:`LiveRuntimeError` with the last stats snapshot when
+        the deadline passes — the live analogue of the simulator's
+        ``run_until_quiescent`` step budget.
+        """
+        deadline = time.monotonic() + timeout
+        stable = 0
+        previous = None
+        while time.monotonic() < deadline:
+            snapshot = self.poll_stats()
+            if self._quiescent(snapshot):
+                stable = stable + 1 if snapshot == previous else 1
+                if stable >= stable_polls:
+                    return
+            else:
+                stable = 0
+            previous = snapshot
+            time.sleep(poll_interval)
+        raise LiveRuntimeError(
+            f"cluster did not quiesce within {timeout}s; last stats: "
+            f"{ {rid: entry[0] for rid, entry in self.poll_stats().items()} }"
+        )
+
+    def collect(self, operation_latencies: Optional[List[float]] = None,
+                rejected_operations: int = 0,
+                wall_duration: float = 0.0) -> LiveRunResult:
+        """Fetch every node's report and merge the cluster-wide result."""
+        reports = {}
+        for rid in sorted(self._members):
+            link = self.link(rid)
+            if link is None:
+                raise LiveRuntimeError(
+                    f"cannot collect from down replica {rid!r}; restart it first"
+                )
+            reports[rid] = link.request_report()
+        return merge_reports(
+            self.share_graph,
+            reports,
+            operation_latencies=operation_latencies,
+            rejected_operations=rejected_operations,
+            wall_duration=wall_duration,
+            crashes=self._crashes,
+            restarts=self._restarts,
+            downtime=self._downtime,
+        )

@@ -18,6 +18,14 @@ deployment of Figure 1b (:class:`~repro.clientserver.cluster.ClientServerCluster
   per-replica queue depths) shared by the metrics module, the evaluation
   harness and the benchmarks.
 
+The host-agnostic half of the old ``SimulationHost`` — replica bookkeeping,
+metric recording, event-trace collection and consistency checking — lives in
+:class:`repro.core.host.ReplicaHost`, which the live asyncio runtime
+(:mod:`repro.net`) shares; this module re-exports those names
+(:class:`RunMetrics`, :class:`LatencySummary`, :func:`throughput_timeline`,
+:class:`QueueDepthSample`, :class:`QueueDepthStats`, :class:`FaultRecord`)
+so existing imports keep working.
+
 Hosts plug in by implementing :meth:`SimulationHost._replica_map` (who owns
 which replica id) and :meth:`SimulationHost.submit_operation` (how a client
 operation addressed to a replica is executed), plus optional hooks for
@@ -38,23 +46,53 @@ from typing import (
     FrozenSet,
     Iterable,
     List,
-    Mapping,
     Optional,
-    Sequence,
     Set,
     Tuple,
     Type,
 )
 
-from ..core.consistency import ConsistencyChecker, ConsistencyReport
-from ..core.errors import ConfigurationError, SimulationError, UnknownReplicaError
-from ..core.protocol import CausalReplica, ReplicaEvent, Update, UpdateId, UpdateMessage
-from ..core.registers import Register, ReplicaId
+from ..core.errors import ConfigurationError, SimulationError
+from ..core.host import (
+    FaultRecord,
+    LatencySummary,
+    QueueDepthSample,
+    QueueDepthStats,
+    ReplicaHost,
+    RunMetrics,
+    throughput_timeline,
+)
+from ..core.protocol import UpdateId, UpdateMessage
+from ..core.registers import ReplicaId
 from ..core.share_graph import ShareGraph
 from ..wire.batch import MessageBatch, encode_batch
 from ..wire.channel import ChannelDeltaEncoder
 from ..wire.frames import WireSizes, message_wire_sizes
 from .delays import Channel, DelayModel, UniformDelay
+
+__all__ = [
+    "ArrivalEvent",
+    "BatchDeliveryEvent",
+    "BatchingConfig",
+    "ChannelWireStats",
+    "DeliveryEvent",
+    "EventKernel",
+    "FaultEvent",
+    "FaultRecord",
+    "Firing",
+    "LatencySummary",
+    "NetworkStats",
+    "QueueDepthSample",
+    "QueueDepthStats",
+    "ReconfigEvent",
+    "ReliabilityConfig",
+    "ReplicaHost",
+    "RunMetrics",
+    "SimulationHost",
+    "TimerEvent",
+    "Transport",
+    "throughput_timeline",
+]
 
 
 # ======================================================================
@@ -1082,214 +1120,18 @@ class Transport:
 
 
 # ======================================================================
-# Unified run metrics
-# ======================================================================
-
-@dataclass(frozen=True)
-class LatencySummary:
-    """Percentile summary of a latency sample set."""
-
-    count: int
-    mean: float
-    p50: float
-    p90: float
-    p99: float
-    max: float
-
-    @classmethod
-    def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
-        """Summarise samples with nearest-rank percentiles (empty → zeros)."""
-        if not samples:
-            return cls(count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, max=0.0)
-        ordered = sorted(samples)
-        n = len(ordered)
-
-        def rank(q: float) -> float:
-            return ordered[min(n - 1, max(0, int(q * n + 0.5) - 1))]
-
-        return cls(
-            count=n,
-            mean=sum(ordered) / n,
-            p50=rank(0.50),
-            p90=rank(0.90),
-            p99=rank(0.99),
-            max=ordered[-1],
-        )
-
-
-def throughput_timeline(
-    times: Sequence[float], bucket_width: float
-) -> List[Tuple[float, int]]:
-    """Bucket event times into ``(bucket start, count)`` pairs.
-
-    Buckets run from 0 to the latest event; empty intermediate buckets are
-    included so the timeline plots directly.
-    """
-    if bucket_width <= 0:
-        raise SimulationError("bucket_width must be positive")
-    if not times:
-        return []
-    buckets: Dict[int, int] = {}
-    for t in times:
-        buckets[int(t // bucket_width)] = buckets.get(int(t // bucket_width), 0) + 1
-    last = max(buckets)
-    return [(index * bucket_width, buckets.get(index, 0)) for index in range(last + 1)]
-
-
-@dataclass(frozen=True)
-class QueueDepthSample:
-    """One sampled pending-buffer depth at one replica."""
-
-    time: float
-    replica_id: ReplicaId
-    depth: int
-
-
-@dataclass(frozen=True)
-class QueueDepthStats:
-    """Mean/peak pending-buffer occupancy of one replica."""
-
-    samples: int
-    mean: float
-    peak: int
-
-
-@dataclass(frozen=True)
-class FaultRecord:
-    """One fault-subsystem event on the availability timeline."""
-
-    time: float
-    kind: str  # "crash" | "restart" | "partition" | "heal" | "slowdown" | …
-    detail: str = ""
-
-
-@dataclass
-class RunMetrics:
-    """Everything a host records while driving a run.
-
-    This supersedes the old per-architecture metric bags: one structure is
-    filled by both the peer-to-peer and the client–server host, consumed by
-    :mod:`repro.sim.metrics`, the evaluation harness and the benchmarks.
-    """
-
-    writes: int = 0
-    reads: int = 0
-    applies: int = 0
-    #: Simulated time from issue to remote apply, one sample per apply.
-    apply_latencies: List[float] = field(default_factory=list)
-    #: Maximum pending-buffer occupancy observed per replica.
-    max_pending: Dict[ReplicaId, int] = field(default_factory=dict)
-    #: Simulated time of every remote apply (throughput over time).
-    apply_times: List[float] = field(default_factory=list)
-    #: ``(time, kind)`` of every submitted client operation.
-    operation_times: List[Tuple[float, str]] = field(default_factory=list)
-    #: Client-observed blocking time per operation (nonzero only when an
-    #: operation had to wait, e.g. behind the client–server predicate J1/J2).
-    operation_latencies: List[float] = field(default_factory=list)
-    #: Periodic pending-buffer depth samples (open-loop runs).
-    queue_samples: List[QueueDepthSample] = field(default_factory=list)
-    # -- fault subsystem -------------------------------------------------
-    #: Replica crashes / restarts injected during the run.
-    crashes: int = 0
-    restarts: int = 0
-    #: Client operations rejected because their target replica was down.
-    rejected_operations: int = 0
-    #: Every fault event, in firing order (the availability timeline).
-    fault_timeline: List[FaultRecord] = field(default_factory=list)
-    #: Completed downtime intervals per replica: ``[(down_at, up_at), …]``.
-    downtime: Dict[ReplicaId, List[Tuple[float, float]]] = field(default_factory=dict)
-    #: Simulated time from each restart until the replica had re-applied
-    #: every update it missed while down (one sample per recovery).
-    recovery_latencies: List[float] = field(default_factory=list)
-    # -- reconfiguration subsystem ---------------------------------------
-    #: Configuration changes committed during the run.
-    reconfigs: int = 0
-    #: Every reconfiguration step (window open / commit / transfer done),
-    #: in firing order.
-    reconfig_timeline: List[FaultRecord] = field(default_factory=list)
-    #: Completed migration windows ``(opened_at, committed_at)``; client
-    #: operations at the replicas a change affects are rejected inside its
-    #: window, which is where any reconfiguration availability dip lives.
-    migration_windows: List[Tuple[float, float]] = field(default_factory=list)
-    #: Pending messages the commit flush had to apply by coordinator order
-    #: (normally zero: the flush plus the apply fixpoint drain everything).
-    reconfig_forced_applies: int = 0
-
-    @property
-    def mean_apply_latency(self) -> float:
-        """Mean remote-apply latency in simulated time units."""
-        if not self.apply_latencies:
-            return 0.0
-        return sum(self.apply_latencies) / len(self.apply_latencies)
-
-    def apply_latency_summary(self) -> LatencySummary:
-        """Percentiles of the remote-apply latency distribution."""
-        return LatencySummary.from_samples(self.apply_latencies)
-
-    def operation_latency_summary(self) -> LatencySummary:
-        """Percentiles of the client-observed operation latency."""
-        return LatencySummary.from_samples(self.operation_latencies)
-
-    def apply_throughput(self, bucket_width: float) -> List[Tuple[float, int]]:
-        """Remote applies per time bucket (propagation throughput)."""
-        return throughput_timeline(self.apply_times, bucket_width)
-
-    def operation_throughput(self, bucket_width: float) -> List[Tuple[float, int]]:
-        """Submitted operations per time bucket (offered load)."""
-        return throughput_timeline([t for t, _ in self.operation_times], bucket_width)
-
-    def recovery_latency_summary(self) -> LatencySummary:
-        """Percentiles of the crash-recovery (restart → caught-up) latency."""
-        return LatencySummary.from_samples(self.recovery_latencies)
-
-    def availability(
-        self, horizon: float, replica_ids: Iterable[ReplicaId]
-    ) -> Dict[ReplicaId, float]:
-        """Fraction of ``[0, horizon]`` each replica was up.
-
-        Computed from the completed intervals in :attr:`downtime`; a replica
-        still down has its open interval closed by
-        :meth:`~repro.sim.faults.FaultInjector.finalize_downtime`.  A
-        non-positive horizon (an empty run that never advanced the clock)
-        is well-defined: no time was observed, so every replica reports
-        full availability instead of raising.
-        """
-        if horizon <= 0:
-            return {rid: 1.0 for rid in replica_ids}
-        out: Dict[ReplicaId, float] = {}
-        for rid in replica_ids:
-            down = sum(
-                min(up_at, horizon) - min(down_at, horizon)
-                for down_at, up_at in self.downtime.get(rid, [])
-            )
-            out[rid] = max(0.0, 1.0 - down / horizon)
-        return out
-
-    def queue_depth_summary(self) -> Dict[ReplicaId, QueueDepthStats]:
-        """Mean/peak sampled queue depth per replica."""
-        grouped: Dict[ReplicaId, List[int]] = {}
-        for sample in self.queue_samples:
-            grouped.setdefault(sample.replica_id, []).append(sample.depth)
-        return {
-            rid: QueueDepthStats(
-                samples=len(depths),
-                mean=sum(depths) / len(depths),
-                peak=max(depths),
-            )
-            for rid, depths in grouped.items()
-        }
-
-
-# ======================================================================
 # The shared host
 # ======================================================================
 
-class SimulationHost:
+class SimulationHost(ReplicaHost):
     """Base class for every simulated deployment driven by the kernel.
 
-    Subclasses provide the replica bookkeeping; the host provides the event
-    loop, quiescence detection with a cross-replica apply fixpoint, metric
-    recording and consistency checking.
+    The host-agnostic surface — replica bookkeeping, metric recording,
+    event traces and consistency checking — comes from
+    :class:`~repro.core.host.ReplicaHost` (shared with the live runtime);
+    this class adds the simulated half: the event loop over the
+    :class:`EventKernel`, quiescence detection with a cross-replica apply
+    fixpoint, and the kernel-time scheduling helpers.
 
     Parameters
     ----------
@@ -1301,12 +1143,10 @@ class SimulationHost:
     """
 
     def __init__(self, share_graph: ShareGraph, network: "Any") -> None:
-        self.share_graph = share_graph
+        super().__init__(share_graph)
         self.network = network
         self.kernel: EventKernel = network.kernel
         self.transport: Transport = network.transport
-        self.metrics = RunMetrics()
-        self._issue_times: Dict[UpdateId, float] = {}
         #: Time of the last delivery/arrival processed (timers excluded), so
         #: a trailing metrics sampler does not inflate reported makespans.
         self.last_activity_time: float = 0.0
@@ -1318,146 +1158,11 @@ class SimulationHost:
         # otherwise.
         self._arrival_backlog: "deque[Tuple[float, Any]]" = deque()
         self._servicing_arrivals = False
-        #: The attached fault injector, if any (set by
-        #: :class:`~repro.sim.faults.FaultInjector`); ``None`` on the
-        #: fault-free fast path, which every hook below checks first.
-        self.fault_injector: Optional["Any"] = None
-        #: The attached reconfiguration coordinator, if any (set by
-        #: :class:`~repro.sim.reconfig.ReconfigManager`); ``None`` on the
-        #: static-membership fast path.
-        self.reconfig_manager: Optional["Any"] = None
-        #: The current configuration epoch (bumped at every commit).
-        self.epoch: int = 0
-        #: ``(start time, share graph)`` per epoch, in order; drives the
-        #: epoch-aware consistency check and the E17 analyses.
-        self.epoch_history: List[Tuple[float, ShareGraph]] = [(0.0, share_graph)]
-        #: Event traces of replicas that have left the configuration —
-        #: their history stays part of the checked execution.
-        self._retired_events: Dict[ReplicaId, Tuple[ReplicaEvent, ...]] = {}
 
     @property
     def now(self) -> float:
         """Current simulated time."""
         return self.kernel.now
-
-    # ------------------------------------------------------------------
-    # Hooks for concrete architectures
-    # ------------------------------------------------------------------
-    def _replica_map(self) -> Mapping[ReplicaId, CausalReplica]:
-        """Replica id → protocol instance (servers, in the client–server case)."""
-        raise NotImplementedError
-
-    def submit_operation(self, operation: "Any") -> Any:
-        """Execute one client operation (a :class:`~repro.sim.workloads.Operation`).
-
-        Both architectures implement this, which is what lets one workload —
-        closed-loop replay or open-loop arrivals — drive either deployment.
-        """
-        raise NotImplementedError
-
-    def _after_delivery(self, replica: CausalReplica) -> None:
-        """Architecture-specific work after a delivery (e.g. serving clients)."""
-
-    def _quiescent_hook(self, replica: CausalReplica) -> bool:
-        """Extra per-replica pass at quiescence; returns ``True`` on progress."""
-        return False
-
-    def _extra_happened_before(self) -> Optional[Sequence[Tuple[UpdateId, UpdateId]]]:
-        """Additional ``↪`` edges for the checker (client sessions)."""
-        return None
-
-    # ------------------------------------------------------------------
-    # Membership hooks (dynamic reconfiguration)
-    # ------------------------------------------------------------------
-    def _add_member(self, replica_id: ReplicaId, new_graph: ShareGraph,
-                    epoch: int) -> CausalReplica:
-        """Create the protocol instance for a joining replica (at commit)."""
-        raise NotImplementedError(
-            f"{type(self).__name__} does not support dynamic membership"
-        )
-
-    def _remove_member(self, replica_id: ReplicaId) -> None:
-        """Retire a leaving replica, keeping its trace for the checker."""
-        raise NotImplementedError(
-            f"{type(self).__name__} does not support dynamic membership"
-        )
-
-    def _migrate_members(self, new_graph: ShareGraph, epoch: int) -> None:
-        """Migrate every surviving replica to the new configuration."""
-        raise NotImplementedError(
-            f"{type(self).__name__} does not support dynamic membership"
-        )
-
-    def _retire_trace(self, replica_id: ReplicaId) -> None:
-        """Capture a leaver's event trace before it is dropped."""
-        replica = self._replica(replica_id)
-        self._retired_events[replica_id] = tuple(replica.events)
-
-    def is_member(self, replica_id: ReplicaId) -> bool:
-        """``True`` while ``replica_id`` is part of the current configuration."""
-        return replica_id in self._replica_map()
-
-    def operation_rejected(self, replica_id: ReplicaId) -> bool:
-        """Whether a client operation addressed to ``replica_id`` is rejected.
-
-        Operations are rejected at non-members (left, or not yet joined),
-        at crashed replicas, and at replicas inside a migration window or
-        still receiving a state-transfer stream — the availability cost of
-        faults and reconfiguration.  Under static membership (no
-        reconfiguration manager) an unknown replica id stays a caller
-        error: the subsequent lookup raises ``UnknownReplicaError``.
-        """
-        if replica_id not in self._replica_map():
-            return self.reconfig_manager is not None
-        if self.replica_down(replica_id):
-            return True
-        manager = self.reconfig_manager
-        return manager is not None and manager.rejecting(replica_id)
-
-    # ------------------------------------------------------------------
-    # Bookkeeping helpers for subclasses
-    # ------------------------------------------------------------------
-    def _replica(self, replica_id: ReplicaId) -> CausalReplica:
-        try:
-            return self._replica_map()[replica_id]
-        except KeyError:
-            raise UnknownReplicaError(replica_id) from None
-
-    def _record_operation(self, kind: str, at: Optional[float] = None) -> None:
-        """Count one client operation; ``at`` overrides the recorded time.
-
-        Callers that serve an operation after stepping the simulation (the
-        client–server blocking path) pass the submission time so the
-        offered-load timeline stays comparable across architectures.
-        """
-        if kind == "write":
-            self.metrics.writes += 1
-        elif kind == "read":
-            self.metrics.reads += 1
-        self.metrics.operation_times.append(
-            (self.now if at is None else at, kind)
-        )
-
-    def _note_issue(self, update: Update) -> None:
-        self._issue_times[update.uid] = self.now
-
-    def _apply_ready(self, replica: CausalReplica, force: bool = False) -> List[Update]:
-        """Run a replica's apply loop and record the unified metrics."""
-        applied = replica.apply_ready(sim_time=self.now, force=force)
-        for update in applied:
-            self.metrics.applies += 1
-            self.metrics.apply_times.append(self.now)
-            issued_at = self._issue_times.get(update.uid)
-            if issued_at is not None:
-                self.metrics.apply_latencies.append(self.now - issued_at)
-        if applied and self.fault_injector is not None:
-            self.fault_injector.note_applies(replica.replica_id, applied, self.now)
-        if applied and self.reconfig_manager is not None:
-            self.reconfig_manager.note_applies(replica.replica_id, applied, self.now)
-        pending = replica.pending_count()
-        previous = self.metrics.max_pending.get(replica.replica_id, 0)
-        self.metrics.max_pending[replica.replica_id] = max(previous, pending)
-        return applied
 
     # ------------------------------------------------------------------
     # Event scheduling
@@ -1504,22 +1209,9 @@ class SimulationHost:
         off the kernel alone."""
         return self.kernel.has_events() or bool(self._arrival_backlog)
 
-    def sample_queue_depths(self) -> None:
-        """Record one pending-buffer depth sample per replica."""
-        for rid, replica in self._replica_map().items():
-            self.metrics.queue_samples.append(
-                QueueDepthSample(time=self.now, replica_id=rid,
-                                 depth=replica.pending_count())
-            )
-
     # ------------------------------------------------------------------
     # The drive loop
     # ------------------------------------------------------------------
-    def replica_down(self, replica_id: ReplicaId) -> bool:
-        """``True`` while the fault injector holds ``replica_id`` crashed."""
-        injector = self.fault_injector
-        return injector is not None and injector.is_down(replica_id)
-
     def step(self) -> bool:
         """Fire the next scheduled event (delivery, fault, timer or arrival).
 
@@ -1661,51 +1353,8 @@ class SimulationHost:
         return any_progress
 
     # ------------------------------------------------------------------
-    # Shared introspection, checking and metrics
+    # Simulator-specific introspection
     # ------------------------------------------------------------------
-    def events_by_replica(self) -> Dict[ReplicaId, Sequence[ReplicaEvent]]:
-        """Each replica's local issue/apply/read trace.
-
-        Replicas that left the configuration contribute the trace they had
-        accumulated up to their removal: a leave does not erase history
-        from the checked execution.
-        """
-        out = {rid: tuple(r.events) for rid, r in self._replica_map().items()}
-        for rid, events in self._retired_events.items():
-            out.setdefault(rid, events)
-        return out
-
-    def check_consistency(self, check_liveness: bool = True) -> ConsistencyReport:
-        """Validate the execution so far against the paper's Definition 2/26.
-
-        Under dynamic membership the checker receives the whole epoch
-        history, so safety is judged against the configuration active when
-        each event happened and liveness against the final configuration.
-        """
-        history = self.epoch_history if len(self.epoch_history) > 1 else None
-        checker = ConsistencyChecker(self.share_graph, epoch_history=history)
-        return checker.check(
-            self.events_by_replica(),
-            check_liveness=check_liveness,
-            extra_happened_before=self._extra_happened_before(),
-        )
-
-    def pending_updates(self) -> int:
-        """Updates buffered but not yet applied, summed over replicas."""
-        return sum(r.pending_count() for r in self._replica_map().values())
-
-    def metadata_sizes(self) -> Dict[ReplicaId, int]:
-        """Current per-replica metadata size in counters."""
-        return {rid: r.metadata_size() for rid, r in sorted(self._replica_map().items())}
-
     def total_metadata_counters_sent(self) -> int:
         """Total counters shipped inside update messages so far."""
         return self.transport.stats.metadata_counters_sent
-
-    def values(self, register: Register) -> Dict[ReplicaId, Any]:
-        """The current value of ``register`` at every replica storing it."""
-        replicas = self._replica_map()
-        return {
-            rid: replicas[rid].store[register]
-            for rid in self.share_graph.replicas_storing(register)
-        }

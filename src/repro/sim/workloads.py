@@ -419,6 +419,61 @@ def poisson_workload_dynamic(
     return OpenLoopWorkload("poisson-dynamic", tuple(arrivals))
 
 
+def single_writer_workload(
+    graph: ShareGraph,
+    rate: float,
+    duration: float,
+    write_fraction: float = 0.7,
+    seed: int = 0,
+) -> OpenLoopWorkload:
+    """Poisson arrivals in which every register has exactly one writer.
+
+    Each register's *designated writer* is the smallest replica id storing
+    it; writes to a register are issued only by its writer, reads happen
+    anywhere the register is stored.  All writes to one register are then
+    totally ordered by the writer's session (``↪``), so any causally
+    consistent execution applies them in that order at every storing
+    replica — the final value of every register is a function of the
+    schedule alone, independent of message timing.
+
+    That timing-independence is what the sim-vs-live differential harness
+    (``tests/differential``) needs: the simulator and the live runtime
+    deliver with completely different clocks, yet on a single-writer
+    workload both must converge to the identical final state.
+    """
+    if rate <= 0:
+        raise ConfigurationError("rate must be positive")
+    if duration <= 0:
+        raise ConfigurationError("duration must be positive")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigurationError("write_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    replica_ids = list(graph.replica_ids)
+    owned: Dict[ReplicaId, List[Register]] = {
+        rid: sorted(
+            register
+            for register in graph.registers_at(rid)
+            if min(graph.replicas_storing(register)) == rid
+        )
+        for rid in replica_ids
+    }
+    arrivals: List[TimedOperation] = []
+    t = rng.expovariate(rate)
+    index = 0
+    while t <= duration:
+        replica_id = rng.choice(replica_ids)
+        if rng.random() < write_fraction and owned[replica_id]:
+            register = rng.choice(owned[replica_id])
+            operation = Operation("write", replica_id, register, value=f"s{index}")
+        else:
+            register = rng.choice(_writable_registers(graph, replica_id))
+            operation = Operation("read", replica_id, register)
+        arrivals.append(TimedOperation(time=t, operation=operation))
+        t += rng.expovariate(rate)
+        index += 1
+    return OpenLoopWorkload("single-writer", tuple(arrivals))
+
+
 def bursty_workload(
     graph: ShareGraph,
     burst_rate: float,

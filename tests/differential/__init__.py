@@ -1,0 +1,1 @@
+"""Sim-vs-live differential tests: the simulator as executable spec."""

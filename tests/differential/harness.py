@@ -1,0 +1,215 @@
+"""The sim-vs-live differential harness.
+
+One seeded workload, two executions:
+
+* the **simulator** (:class:`~repro.sim.cluster.Cluster` over the event
+  kernel, per-channel batching on so channels are FIFO streams — the same
+  contract TCP gives the live runtime);
+* the **live runtime** (:class:`~repro.net.runtime.LiveCluster`: one OS
+  process per replica, real TCP, wall-clock time).
+
+Both executions are reduced to the same :class:`RunOutcome` and compared
+field by field:
+
+* the **consistency verdict** — the
+  :class:`~repro.core.consistency.ConsistencyChecker` judges both traces
+  against Definition 2, and must say the same thing about each;
+* the **final register state** — on a
+  :func:`~repro.sim.workloads.single_writer_workload` the final value of
+  every register at every storing replica is a function of the schedule
+  alone (all writes to a register are ``↪``-ordered by its single
+  writer), so simulated and wall-clock timing must converge to the
+  identical state;
+* the **per-channel delivery streams** — the first-receipt update-id
+  sequence on every directed share-graph channel.  Per-sender issue order
+  is fixed by the schedule and both transports are per-channel FIFO, so
+  the streams must match update for update, in order.
+
+Anything the live runtime gets wrong — a dropped message, a reordered
+stream, a broken delta chain, a resync bug — surfaces as a diff against
+the simulator, which two PRs' worth of tests already pin to the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.protocol import UpdateId, UpdateMessage
+from repro.core.registers import Register, RegisterPlacement, ReplicaId
+from repro.core.share_graph import ShareGraph
+from repro.net.runtime import LiveCluster
+from repro.sim.cluster import Cluster
+from repro.sim.engine import BatchingConfig
+from repro.sim.workloads import (
+    OpenLoopWorkload,
+    run_open_loop,
+    single_writer_workload,
+)
+
+Channel = Tuple[ReplicaId, ReplicaId]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """The comparable essence of one execution (simulated or live)."""
+
+    consistent: bool
+    safety_violations: int
+    liveness_violations: int
+    #: register -> replica -> final value, over every storing replica.
+    final_state: Tuple[Tuple[Register, Tuple[Tuple[ReplicaId, Any], ...]], ...]
+    #: channel -> first-receipt uid stream.
+    streams: Tuple[Tuple[Channel, Tuple[UpdateId, ...]], ...]
+
+
+def _freeze_state(state: Dict[Register, Dict[ReplicaId, Any]]) -> Tuple:
+    return tuple(
+        (register, tuple(sorted(state[register].items())))
+        for register in sorted(state)
+    )
+
+
+def _freeze_streams(streams: Dict[Channel, Tuple[UpdateId, ...]]) -> Tuple:
+    return tuple(sorted((c, tuple(u)) for c, u in streams.items() if u))
+
+
+class RecordingCluster(Cluster):
+    """A simulated cluster that records per-channel delivery streams.
+
+    Mirrors what a live node records at its sockets: the first receipt of
+    every update, per directed channel, in delivery order.  Pure test
+    instrumentation — the production simulator is untouched.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.streams: Dict[Channel, list] = {}
+        self._seen: set = set()
+
+    def _note_receipt(self, channel: Channel, uid: UpdateId) -> None:
+        # Dedup per *destination*, matching the live node's seen_uids: a
+        # multicast update (replication factor ≥ 3) is a first receipt at
+        # every destination, but a retransmitted copy at one destination
+        # is not.
+        key = (channel[1], uid)
+        if key not in self._seen:
+            self._seen.add(key)
+            self.streams.setdefault(channel, []).append(uid)
+
+    def _deliver(self, message: UpdateMessage) -> None:
+        self._note_receipt(
+            (message.sender, message.destination), message.update.uid
+        )
+        super()._deliver(message)
+
+    def _deliver_batch(self, batch: Any) -> None:
+        for message in batch.messages:
+            self._note_receipt(batch.channel, message.update.uid)
+        super()._deliver_batch(batch)
+
+
+def differential_workload(
+    placement: RegisterPlacement,
+    rate: float = 4.0,
+    duration: float = 40.0,
+    write_fraction: float = 0.6,
+    seed: int = 0,
+) -> OpenLoopWorkload:
+    """The seeded single-writer workload both executions replay."""
+    graph = ShareGraph.from_placement(placement)
+    return single_writer_workload(
+        graph, rate=rate, duration=duration,
+        write_fraction=write_fraction, seed=seed,
+    )
+
+
+def run_sim(
+    placement: RegisterPlacement,
+    workload: OpenLoopWorkload,
+    seed: int = 0,
+) -> RunOutcome:
+    """Replay the workload through the simulator (the oracle side)."""
+    graph = ShareGraph.from_placement(placement)
+    cluster = RecordingCluster(
+        graph, seed=seed,
+        # Batching makes simulated channels FIFO byte streams — the
+        # delivery contract the live runtime's TCP connections provide.
+        batching=BatchingConfig(max_messages=16, max_delay=2.0),
+    )
+    result = run_open_loop(cluster, workload)
+    return RunOutcome(
+        consistent=result.consistent,
+        safety_violations=result.safety_violations,
+        liveness_violations=result.liveness_violations,
+        final_state=_freeze_state(
+            {r: cluster.values(r) for r in placement.registers}
+        ),
+        streams=_freeze_streams(
+            {c: tuple(u) for c, u in cluster.streams.items()}
+        ),
+    )
+
+
+def run_live(
+    placement: RegisterPlacement,
+    workload: OpenLoopWorkload,
+    durable_dir: Optional[str] = None,
+    time_scale: float = 0.0005,
+) -> RunOutcome:
+    """Replay the workload through the live runtime (the system under test)."""
+    graph = ShareGraph.from_placement(placement)
+    with LiveCluster(graph, durable_dir=durable_dir) as cluster:
+        result = cluster.run_open_loop(workload, time_scale=time_scale)
+    report = result.check_consistency()
+    return RunOutcome(
+        consistent=report.is_causally_consistent,
+        safety_violations=len(report.safety_violations),
+        liveness_violations=len(report.liveness_violations),
+        final_state=_freeze_state(result.final_state()),
+        streams=_freeze_streams(result.channel_streams()),
+    )
+
+
+def assert_equivalent(sim: RunOutcome, live: RunOutcome) -> None:
+    """The differential assertion, field by field for readable failures."""
+    assert sim.consistent and live.consistent, (
+        f"verdicts: sim consistent={sim.consistent} "
+        f"({sim.safety_violations} safety / {sim.liveness_violations} "
+        f"liveness), live consistent={live.consistent} "
+        f"({live.safety_violations} safety / {live.liveness_violations} "
+        "liveness)"
+    )
+    assert (sim.safety_violations, sim.liveness_violations) == (
+        live.safety_violations, live.liveness_violations
+    )
+    assert sim.final_state == live.final_state, (
+        "final register states diverged between sim and live"
+    )
+    sim_streams = dict(sim.streams)
+    live_streams = dict(live.streams)
+    assert set(sim_streams) == set(live_streams), (
+        f"channel sets diverged: sim-only {set(sim_streams) - set(live_streams)}, "
+        f"live-only {set(live_streams) - set(sim_streams)}"
+    )
+    for channel in sim_streams:
+        assert sim_streams[channel] == live_streams[channel], (
+            f"delivery stream diverged on channel {channel}: "
+            f"sim {sim_streams[channel][:5]}… vs live {live_streams[channel][:5]}…"
+        )
+
+
+def run_differential(
+    placement: RegisterPlacement,
+    seed: int = 0,
+    rate: float = 4.0,
+    duration: float = 40.0,
+    durable_dir: Optional[str] = None,
+) -> Tuple[RunOutcome, RunOutcome]:
+    """Run both sides on the same seeded workload and assert equivalence."""
+    workload = differential_workload(placement, rate=rate, duration=duration,
+                                     seed=seed)
+    sim = run_sim(placement, workload, seed=seed)
+    live = run_live(placement, workload, durable_dir=durable_dir)
+    assert_equivalent(sim, live)
+    return sim, live

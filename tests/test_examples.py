@@ -30,6 +30,13 @@ EXPECTED_OUTPUT = {
         "exactly-once holds",
         "All three chaos scenarios passed the consistency checker.",
     ],
+    "live_cluster.py": [
+        "phase 1:",
+        "killed replica 2",
+        "restarted replica 2 from its durable snapshot",
+        "causally consistent: True",
+        "none — resync converged",
+    ],
     "wire_overhead.py": [
         "Anatomy of one update message",
         "round trip: decode(encode(message)) == message",

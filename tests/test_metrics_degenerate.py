@@ -9,6 +9,9 @@ well-defined values instead of raising.  These tests pin that contract for
 
 from __future__ import annotations
 
+import pytest
+
+from repro.core.errors import SimulationError
 from repro.core.share_graph import ShareGraph
 from repro.sim.cluster import Cluster
 from repro.sim.engine import (
@@ -85,6 +88,63 @@ class TestNetworkStatsDegenerate:
         assert stats.bytes_sent == 0
         assert stats.timestamp_delta_savings == 0.0
         assert stats.per_channel == {}
+
+
+class TestWallClockTimelines:
+    """Robustness of the bucketing helpers to live-run (wall-clock) times.
+
+    Live runs feed float timestamps whose epoch is arbitrary: huge when a
+    caller forgets to normalise (raw ``time.time()``), slightly *negative*
+    or pre-origin when samples land before the declared run start.  The
+    timeline must stay small, anchored and total — never an out-of-memory
+    bucket explosion, never silently dropped samples.
+    """
+
+    def test_auto_origin_anchors_at_earliest_event(self):
+        epoch = 1.7e9  # raw time.time()-style timestamps
+        times = [epoch + 0.4, epoch + 1.2, epoch + 5.1]
+        timeline = throughput_timeline(times, 1.0, origin=None)
+        assert len(timeline) == 6
+        assert timeline[0][0] == 1.7e9
+        assert sum(count for _, count in timeline) == 3
+
+    def test_auto_origin_rounds_down_to_bucket_boundary(self):
+        timeline = throughput_timeline([7.3, 9.9], 2.5, origin=None)
+        assert timeline[0][0] == 5.0  # floor(7.3 / 2.5) * 2.5
+        assert sum(count for _, count in timeline) == 2
+
+    def test_explicit_origin_clamps_earlier_events_into_first_bucket(self):
+        # A sample taken just before the declared run start (non-monotonic
+        # wall clock, setup samples) is counted, not dropped.
+        timeline = throughput_timeline([-0.3, 0.2, 1.7], 1.0, origin=0.0)
+        assert timeline == [(0.0, 2), (1.0, 1)]
+
+    def test_negative_times_with_auto_origin(self):
+        timeline = throughput_timeline([-3.2, -1.1], 1.0, origin=None)
+        assert timeline[0][0] == -4.0
+        assert sum(count for _, count in timeline) == 2
+
+    def test_wall_clock_against_zero_origin_raises_not_ooms(self):
+        # The classic bug this hardening exists for: bucketing raw epoch
+        # seconds against the simulator's default origin of 0 would
+        # materialise ~1.7 billion buckets.  Diagnostic error instead.
+        with pytest.raises(SimulationError, match="origin"):
+            throughput_timeline([1.7e9], 1.0)
+
+    def test_run_metrics_throughput_accepts_origin(self):
+        metrics = RunMetrics()
+        epoch = 1.7e9
+        metrics.apply_times = [epoch + 0.1, epoch + 0.9, epoch + 3.0]
+        metrics.operation_times = [(epoch + 0.5, "write")]
+        assert len(metrics.apply_throughput(1.0, origin=None)) == 4
+        assert metrics.apply_throughput(1.0, origin=epoch)[0] == (epoch, 2)
+        assert metrics.operation_throughput(1.0, origin=None) == [(epoch, 1)]
+
+    def test_zero_and_negative_bucket_widths_still_raise(self):
+        with pytest.raises(SimulationError):
+            throughput_timeline([1.0], 0.0, origin=None)
+        with pytest.raises(SimulationError):
+            throughput_timeline([1.0], -2.0)
 
 
 class TestEmptyRuns:
