@@ -25,6 +25,8 @@ import os
 import sys
 import time
 
+from conftest import write_bench_json
+
 from repro.baselines.vector_clock_full import full_replication_factory
 from repro.clientserver import ClientServerCluster
 from repro.core.protocol import Update, UpdateMessage
@@ -98,6 +100,17 @@ def test_e16_batching_throughput_clique(benchmark):
         f"batching off {result['off_ops']:,.0f} ops/s, "
         f"on {result['on_ops']:,.0f} ops/s ({result['batches']} batches) "
         f"-> {speedup:.2f}x; bytes {result['off_bytes']:,} -> {result['on_bytes']:,}"
+    )
+    write_bench_json(
+        "wire_batching",
+        metric="batched_ops_speedup",
+        value=speedup,
+        threshold=SPEEDUP_FLOOR,
+        on_ops_per_sec=result["on_ops"],
+        off_ops_per_sec=result["off_ops"],
+        on_bytes=result["on_bytes"],
+        off_bytes=result["off_bytes"],
+        clique=CLIQUE_SIZE,
     )
     assert speedup >= SPEEDUP_FLOOR, (
         f"batching must deliver >={SPEEDUP_FLOOR}x ops/sec on the clique "

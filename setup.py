@@ -1,0 +1,63 @@
+"""Build script: optionally mypyc-compile the hot-path kernel modules.
+
+The default build (``pip install .``) is pure Python — no compiler, no build
+dependencies beyond setuptools.  Setting ``REPRO_COMPILE=1`` compiles the
+kernel modules of :mod:`repro._speedups` with mypyc::
+
+    pip install 'repro[compiled]'          # pulls in mypy (which ships mypyc)
+    REPRO_COMPILE=1 pip install -e .       # or: python setup.py build_ext --inplace
+
+The kernels are authored as ``_tsops_py.py`` / ``_varint_py.py`` and the
+runtime selector in ``repro/_speedups/__init__.py`` prefers the compiled
+``_tsops_c`` / ``_varint_c`` modules when they exist.  The build therefore
+**copies** each ``*_py`` source to its ``*_c`` name and compiles the copy:
+the pure-Python fallback is never shadowed, both cores stay importable in
+one environment, and ``REPRO_PURE_PYTHON=1`` always wins at runtime.
+
+If mypyc is requested but unavailable (or fails), the build degrades to the
+pure-Python package with a warning — a missing compiler must never make the
+library uninstallable.
+"""
+
+import os
+import shutil
+import sys
+
+from setuptools import find_packages, setup
+
+KERNELS = ["_tsops", "_varint"]
+SPEEDUPS_DIR = os.path.join("src", "repro", "_speedups")
+
+
+def _compiled_modules():
+    if os.environ.get("REPRO_COMPILE", "") in ("", "0"):
+        return {}
+    try:
+        from mypyc.build import mypycify
+    except ImportError:
+        sys.stderr.write(
+            "REPRO_COMPILE=1 but mypyc is not installed; building the "
+            "pure-Python package (install the 'compiled' extra first).\n"
+        )
+        return {}
+    sources = []
+    for kernel in KERNELS:
+        src = os.path.join(SPEEDUPS_DIR, f"{kernel}_py.py")
+        dst = os.path.join(SPEEDUPS_DIR, f"{kernel}_c.py")
+        shutil.copyfile(src, dst)
+        sources.append(dst)
+    try:
+        return {"ext_modules": mypycify(sources, opt_level="3")}
+    except Exception as exc:  # pragma: no cover - compiler environment issues
+        sys.stderr.write(f"mypyc compilation failed ({exc}); building pure.\n")
+        return {}
+
+
+# The explicit package map keeps ``build_ext --inplace`` honest about the
+# src layout: the compiled extensions must land in ``src/repro/_speedups``
+# (where the runtime selector looks), not a phantom ``./repro`` tree.
+setup(
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    **_compiled_modules(),
+)

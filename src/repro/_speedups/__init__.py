@@ -1,0 +1,66 @@
+"""The hot-path kernel modules, with an optional compiled core.
+
+The innermost loops of the library — timestamp merge/compare
+(:mod:`repro.core.timestamps` and the replica hot paths) and the varint /
+atom wire primitives (:mod:`repro.wire.primitives`) — live here as small,
+fully typed, dependency-light modules written in the restricted style
+`mypyc <https://mypyc.readthedocs.io>`_ compiles well: plain functions over
+built-in containers, no dataclass magic, no closures.
+
+Two implementations of each kernel module can exist side by side:
+
+* ``_tsops_py`` / ``_varint_py`` — the pure-Python sources, always present.
+  They are the reference semantics and what runs everywhere by default.
+* ``_tsops_c`` / ``_varint_c`` — mypyc-compiled clones, produced by
+  ``REPRO_COMPILE=1 python setup.py build_ext --inplace`` (see the
+  ``repro[compiled]`` extra).  The build copies each ``*_py`` source to its
+  ``*_c`` name and compiles that copy, so the pure fallback is never
+  shadowed and both cores stay importable in one environment.
+
+This module is the **runtime selector**: it prefers the compiled core when
+present, falls back to pure Python otherwise, and honours
+``REPRO_PURE_PYTHON=1`` to force the fallback (how CI exercises both cores
+on the compiled build).  Everything downstream imports ``tsops`` / ``varint``
+from here and never names a concrete implementation.
+"""
+
+from __future__ import annotations
+
+import os
+
+_FORCE_PURE = os.environ.get("REPRO_PURE_PYTHON", "") not in ("", "0")
+
+if _FORCE_PURE:
+    from . import _tsops_py as tsops
+    from . import _varint_py as varint
+else:
+    try:
+        from . import _tsops_c as tsops  # type: ignore[no-redef]
+    except ImportError:
+        from . import _tsops_py as tsops
+    try:
+        from . import _varint_c as varint  # type: ignore[no-redef]
+    except ImportError:
+        from . import _varint_py as varint
+
+
+def _is_compiled(module: object) -> bool:
+    # A mypyc-built module is an extension module; its __file__ ends in the
+    # platform's shared-library suffix.  (A stray uncompiled ``*_c.py`` copy
+    # — e.g. from an sdist built without mypyc — is pure Python and must
+    # report as such.)
+    filename = getattr(module, "__file__", "") or ""
+    return filename.endswith((".so", ".pyd"))
+
+
+def compiled_active() -> bool:
+    """``True`` when the mypyc-compiled kernels are the ones in use."""
+    return _is_compiled(tsops) and _is_compiled(varint)
+
+
+def active_core() -> str:
+    """``"compiled"`` or ``"pure"`` — which kernel implementation is live."""
+    return "compiled" if compiled_active() else "pure"
+
+
+__all__ = ["tsops", "varint", "compiled_active", "active_core"]

@@ -17,11 +17,12 @@ graph's structure).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Optional, Sequence, Tuple
+from typing import Hashable, Iterable, Optional, Sequence, Tuple
 
+from .._speedups import tsops
 from ..core.protocol import CausalReplica, UpdateMessage
 from ..core.registers import Register, ReplicaId
-from ..core.share_graph import Edge, ShareGraph
+from ..core.share_graph import ShareGraph
 from ..core.timestamps import EdgeTimestamp
 from ..wire.codecs import MATRIX_CODEC
 
@@ -80,14 +81,11 @@ class FullTrackReplica(CausalReplica):
 
         Records the incoming entries the merge raised, for the pending index.
         """
-        old = self.matrix
-        self.matrix = old.merged_with(message.metadata)
-        remote: EdgeTimestamp = message.metadata
-        self._changed_incoming = [
-            (pair, self.matrix.get(pair))
-            for pair in self._incoming_pairs
-            if remote.get(pair) > old.get(pair)
-        ]
+        merged, changed = tsops.merge_intersection(
+            self.matrix.counters, message.metadata.counters, self.replica_id
+        )
+        self.matrix = EdgeTimestamp._from_validated(merged)
+        self._changed_incoming = changed
 
     # ------------------------------------------------------------------
     # Pending-index hooks
@@ -98,17 +96,13 @@ class FullTrackReplica(CausalReplica):
         Same key scheme as the paper's replica: ``("seq", (k, i), n)`` for
         the FIFO equality, ``("ge", (j, i))`` for the monotone conjuncts.
         """
-        remote: EdgeTimestamp = message.metadata
-        sender = message.sender
-        i = self.replica_id
-        if self.matrix.get((sender, i)) != remote.get((sender, i)) - 1:
-            return ("seq", (sender, i), remote.get((sender, i)))
-        for pair in self._incoming_pairs:
-            if pair[0] == sender:
-                continue
-            if self.matrix.get(pair) < remote.get(pair):
-                return ("ge", pair)
-        return None
+        return tsops.edge_blocking_key(
+            self.matrix.counters,
+            message.metadata.counters,
+            message.sender,
+            self.replica_id,
+            self._incoming_pairs,
+        )
 
     def applied_keys(self, message: UpdateMessage) -> Iterable[Hashable]:
         """Wake keys for the incoming matrix entries the merge just raised."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Optional, Sequence, Tuple
 
+from .._speedups import tsops
 from ..core.protocol import CausalReplica, UpdateMessage
 from ..core.registers import Register, ReplicaId
 from ..core.share_graph import ShareGraph
@@ -38,6 +39,12 @@ class FullReplicationReplica(CausalReplica):
         self.vector = VectorTimestamp.zero(share_graph.replica_ids)
         #: ``(replica id, new value)`` entries raised by the latest merge.
         self._changed_entries: list = []
+        #: Merge outcome staged by the fused check in :meth:`blocking_key`:
+        #: ``(update, base vector, merged counters, changed)``.  Valid only
+        #: for the exact same update object while the base vector is still
+        #: current — :meth:`absorb_metadata` checks both (by identity)
+        #: before consuming it.
+        self._staged: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Protocol hooks
@@ -65,13 +72,23 @@ class FullReplicationReplica(CausalReplica):
 
         Records the entries the merge raised, for the pending index.
         """
-        old = self.vector
-        self.vector = old.merged_with(message.metadata)
-        self._changed_entries = [
-            (rid, self.vector.get(rid))
-            for rid, value in message.metadata.items()
-            if value > old.get(rid)
-        ]
+        staged = self._staged
+        if (
+            staged is not None
+            and staged[0] is message.update
+            and staged[1] is self.vector
+        ):
+            # The fused check in :meth:`blocking_key` already produced the
+            # merge for exactly this message against exactly this vector.
+            self._staged = None
+            self.vector = VectorTimestamp._from_validated(staged[2])
+            self._changed_entries = staged[3]
+            return
+        merged, changed = tsops.merge_union(
+            self.vector.counters, message.metadata.counters
+        )
+        self.vector = VectorTimestamp._from_validated(merged)
+        self._changed_entries = changed
 
     # ------------------------------------------------------------------
     # Pending-index hooks
@@ -84,17 +101,37 @@ class FullReplicationReplica(CausalReplica):
         ``("ge", j)`` wakes whenever entry ``j`` grows.
         """
         remote: VectorTimestamp = message.metadata
+        local = self.vector.counters
+        remote_counters = remote.counters
         sender = message.sender
-        if remote.get(sender) != self.vector.get(sender) + 1:
-            return ("seq", sender, remote.get(sender))
-        for rid, value in remote.items():
-            if rid != sender and value > self.vector.get(rid):
-                return ("ge", rid)
-        return None
+        n = remote_counters.get(sender, 0)
+        if local.get(sender, 0) != n - 1:
+            # The FIFO conjunct fails; don't touch the other entries (or the
+            # cached total) at all — a long out-of-order run from one sender
+            # rechecks here once per apply.
+            return ("seq", sender, n)
+        total = remote.__dict__.get("_total")
+        if total is None:
+            total = remote.total()
+        key, merged, changed = tsops.vector_try_apply(
+            local, remote_counters, sender, total
+        )
+        if key is None:
+            self._staged = (message.update, self.vector, merged, changed)
+        return key
 
     def applied_keys(self, message: UpdateMessage) -> Iterable[Hashable]:
-        """Wake keys for the vector entries the merge just raised."""
-        return self.wake_keys(self._changed_entries)
+        """Wake keys for the vector entries the merge just raised.
+
+        Inlined :meth:`~repro.core.protocol.CausalReplica.wake_keys` (same
+        key scheme): the common merge raises exactly one entry, and this
+        runs once per apply.
+        """
+        keys: list = []
+        for key, value in self._changed_entries:
+            keys.append(("seq", key, value + 1))
+            keys.append(("ge", key))
+        return keys
 
     def metadata_size(self) -> int:
         """``R`` counters."""

@@ -58,6 +58,15 @@ class ProtocolError(ReproError):
     """
 
 
+class WireFormatError(ProtocolError):
+    """A byte sequence could not be decoded as the expected wire frame.
+
+    Defined here (rather than in :mod:`repro.wire.primitives`, which
+    re-exports it) so the compilable codec kernels in
+    :mod:`repro._speedups` can raise it without importing the wire layer.
+    """
+
+
 class ConsistencyViolationError(ReproError):
     """The execution checker detected a causal-consistency violation.
 

@@ -259,9 +259,12 @@ class ReplicaSnapshot:
     state: Dict[str, Any]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplicaEvent:
     """One entry of a replica's local trace.
+
+    Slotted: one event per issue/apply/read makes these as numerous as
+    updates themselves.
 
     Attributes
     ----------
@@ -286,6 +289,11 @@ class ReplicaEvent:
     register: Optional[Register]
     local_index: int
     sim_time: float = 0.0
+
+
+#: Hoisted ``EventKind.APPLY`` — enum attribute access costs a descriptor
+#: lookup, and the apply path records one event per applied update.
+_APPLY = EventKind.APPLY
 
 
 class CausalReplica(abc.ABC):
@@ -543,22 +551,105 @@ class CausalReplica(abc.ABC):
         """
         if force and self._blocked:
             self.notify_pending(None)
-        if not self._recheck:
+        return self._drain_recheck(sim_time)
+
+    def _drain_recheck(self, sim_time: float) -> List[Update]:
+        """The indexed drain loop shared by :meth:`apply_ready` and
+        :meth:`apply_batch` (one code path, so the two entry points cannot
+        diverge semantically).  Attribute lookups are hoisted out of the
+        loop: this is the hottest loop in the library — every delivered
+        message passes through it at least once."""
+        recheck = self._recheck
+        if not recheck:
             return []
         applied_now: List[Update] = []
-        while self._recheck:
-            message = self._recheck.popleft()
-            key = self._effective_blocking_key(message)
-            if key is None:
-                self._apply(message, sim_time)
-                applied_now.append(message.update)
-                self._applied_pending_uids.add(message.update.uid)
-                self.notify_pending(self._effective_applied_keys(message))
+        blocked = self._blocked
+        effective_key = self._effective_blocking_key
+        protocol_key = self.blocking_key
+        apply_one = self._apply
+        applied_pending = self._applied_pending_uids
+        bootstrap_cls = BootstrapMetadata
+        while recheck:
+            message = recheck.popleft()
+            # Fast path for normal traffic outside a state transfer: go
+            # straight to the protocol predicate.  Bootstrap messages and
+            # gated traffic take the full decision in
+            # :meth:`_effective_blocking_key` (same semantics, hoisted
+            # checks).
+            is_bootstrap = message.metadata.__class__ is bootstrap_cls
+            if is_bootstrap or self._bootstrap_total is not None:
+                key = effective_key(message)
             else:
-                self._blocked.setdefault(key, []).append(message)
+                key = protocol_key(message)
+            if key is None:
+                applied_now.append(message.update)
+                applied_pending.add(apply_one(message, sim_time))
+                if is_bootstrap:
+                    keys = self._effective_applied_keys(message)
+                else:
+                    keys = self.applied_keys(message)
+                if keys is None:
+                    self.notify_pending(None)
+                else:
+                    # Inlined notify_pending(keys): pop the woken buckets
+                    # (plus the ANY_KEY fallback) straight into the queue.
+                    for wake in keys:
+                        bucket = blocked.pop(wake, None)
+                        if bucket:
+                            recheck.extend(bucket)
+                    bucket = blocked.pop(ANY_KEY, None)
+                    if bucket:
+                        recheck.extend(bucket)
+            else:
+                bucket = blocked.get(key)
+                if bucket is None:
+                    blocked[key] = [message]
+                else:
+                    bucket.append(message)
         if applied_now:
             self._compact_pending()
         return applied_now
+
+    def receive_many(self, messages: Iterable[UpdateMessage]) -> int:
+        """Step 3, vectorized: buffer a batch of received messages.
+
+        Same dedup semantics as :meth:`receive`, one loop, no per-message
+        call overhead.  Returns the number of messages actually buffered
+        (duplicates excluded).
+        """
+        applied_uids = self._applied_uids
+        pending_uids = self._pending_uids
+        pending = self.pending
+        recheck = self._recheck
+        count = 0
+        for message in messages:
+            uid = message.update.uid
+            if uid in applied_uids or uid in pending_uids:
+                self.duplicates_ignored += 1
+                continue
+            pending_uids.add(uid)
+            pending.append(message)
+            recheck.append(message)
+            count += 1
+        return count
+
+    def apply_batch(self, batch: Any, sim_time: float = 0.0) -> List[Update]:
+        """Steps 3+4 for a whole delivered batch: buffer it, then drain once.
+
+        ``batch`` is a :class:`~repro.wire.batch.MessageBatch` or any
+        iterable of :class:`UpdateMessage` (duck-typed on ``.messages`` so
+        this module does not import the wire layer).  The messages are
+        buffered in one :meth:`receive_many` pass and the recheck queue is
+        drained by a single sweep of the shared indexed loop — the same
+        code path :meth:`apply_ready` runs, so ``apply_batch(batch)`` is
+        *by construction* equivalent to ``receive()`` of each message
+        followed by one ``apply_ready()``, while replacing the per-message
+        receive/event churn with two tight loops over the batch.
+
+        Returns the updates applied during this call, in application order.
+        """
+        self.receive_many(getattr(batch, "messages", batch))
+        return self._drain_recheck(sim_time)
 
     # ------------------------------------------------------------------
     # State transfer (bootstrap streams) and the gate over normal traffic
@@ -650,7 +741,8 @@ class CausalReplica(abc.ABC):
         self._blocked.clear()
         return applied_now
 
-    def _apply(self, message: UpdateMessage, sim_time: float) -> None:
+    def _apply(self, message: UpdateMessage, sim_time: float) -> UpdateId:
+        """Apply a buffered message; returns the applied update's uid."""
         update = message.update
         if message.payload and update.register in self.registers:
             self.store[update.register] = update.value
@@ -665,10 +757,20 @@ class CausalReplica(abc.ABC):
                 self._bootstrap_total = None
         else:
             self.absorb_metadata(message)
+        uid = (update.issuer, update.seq)
         self.applied.append(update)
-        self._applied_uids.add(update.uid)
-        self._pending_uids.discard(update.uid)
-        self._record(EventKind.APPLY, update, update.register, sim_time)
+        self._applied_uids.add(uid)
+        self._pending_uids.discard(uid)
+        # Inlined self._record(...): one positional construction, no
+        # per-apply method call or enum attribute lookup.
+        events = self.events
+        events.append(
+            ReplicaEvent(
+                self.replica_id, _APPLY, update, update.register,
+                len(events), sim_time,
+            )
+        )
+        return uid
 
     # ------------------------------------------------------------------
     # Epoch migration (dynamic membership support)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from .._speedups import tsops
 from ..wire.codecs import EDGE_CODEC
 from .protocol import CausalReplica, UpdateMessage
 from .registers import Register, ReplicaId
@@ -111,14 +112,10 @@ class EdgeIndexedReplica(CausalReplica):
         messages (:meth:`applied_keys`).
         """
         remote: EdgeTimestamp = message.metadata
-        old = self.timestamp
-        self.timestamp = old.merged_with(remote)
-        changed: List[Tuple[Tuple[ReplicaId, ReplicaId], int]] = []
-        for e in self._incoming_edges:
-            if e in remote:
-                new_value = self.timestamp.get(e)
-                if new_value != old.get(e):
-                    changed.append((e, new_value))
+        merged, changed = tsops.merge_intersection(
+            self.timestamp.counters, remote.counters, self.replica_id
+        )
+        self.timestamp = EdgeTimestamp._from_validated(merged)
         self._changed_incoming = changed
 
     # ------------------------------------------------------------------
@@ -140,20 +137,13 @@ class EdgeIndexedReplica(CausalReplica):
         * ``("ge", e_ji)`` — a monotone conjunct ``τ_i[e_ji] ≥ T[e_ji]``
           failed; the message wakes whenever that entry grows.
         """
-        i = self.replica_id
-        remote: EdgeTimestamp = message.metadata
-        local = self.timestamp.counters
-        remote_counters = remote.counters
-        ki = (message.sender, i)
-        if local.get(ki, 0) != remote_counters.get(ki, 0) - 1:
-            return ("seq", ki, remote_counters.get(ki, 0))
-        for e in self._incoming_edges:
-            if e[0] == message.sender:
-                continue
-            value = remote_counters.get(e)
-            if value is not None and local.get(e, 0) < value:
-                return ("ge", e)
-        return None
+        return tsops.edge_blocking_key(
+            self.timestamp.counters,
+            message.metadata.counters,
+            message.sender,
+            self.replica_id,
+            self._incoming_edges,
+        )
 
     def applied_keys(self, message: UpdateMessage) -> Iterable[Hashable]:
         """Wake keys for the incoming entries the merge just raised."""

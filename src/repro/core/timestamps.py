@@ -48,6 +48,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
 
+from .._speedups import tsops
 from .errors import ProtocolError
 from .registers import Register, ReplicaId
 from .share_graph import Edge, ShareGraph
@@ -192,7 +193,14 @@ class EdgeTimestamp:
         return dict(self.counters) == dict(other.counters)
 
     def __hash__(self) -> int:
-        return hash(frozenset(self.counters.items()))
+        # Cached on the instance: timestamps are immutable and hashed
+        # repeatedly (dedup sets, snapshot comparisons) but the frozenset
+        # build is linear in the index set.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(frozenset(self.counters.items()))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     # ------------------------------------------------------------------
     # Size accounting
@@ -316,6 +324,15 @@ class VectorTimestamp:
         """The all-zero vector over the given replicas."""
         return cls({r: 0 for r in replica_ids})
 
+    @classmethod
+    def _from_validated(cls, counters: Dict[ReplicaId, int]) -> "VectorTimestamp":
+        """Fast internal constructor for counters derived from a validated
+        instance (one merge runs per apply, so functional updates skip the
+        per-entry coercion of ``__post_init__``)."""
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "counters", counters)
+        return instance
+
     def __getitem__(self, replica_id: ReplicaId) -> int:
         return self.counters.get(replica_id, 0)
 
@@ -330,18 +347,30 @@ class VectorTimestamp:
         """Iterate over ``(replica, count)`` pairs."""
         return self.counters.items()
 
+    def total(self) -> int:
+        """Sum of all entries (cached; the instance is immutable).
+
+        Feeds the fused delivery check's no-scan accept
+        (:func:`repro._speedups._tsops_py.vector_try_apply`): with the FIFO
+        conjunct pinning the sender entry, the total determines whether any
+        other entry can be nonzero.
+        """
+        cached = self.__dict__.get("_total")
+        if cached is None:
+            cached = sum(self.counters.values())
+            object.__setattr__(self, "_total", cached)
+        return cached
+
     def incremented(self, replica_id: ReplicaId) -> "VectorTimestamp":
         """Return a copy with ``replica_id``'s entry incremented."""
         counters = dict(self.counters)
-        counters[replica_id] = counters.get(replica_id, 0) + 1
-        return VectorTimestamp(counters)
+        counters[int(replica_id)] = counters.get(replica_id, 0) + 1
+        return VectorTimestamp._from_validated(counters)
 
     def merged_with(self, other: "VectorTimestamp") -> "VectorTimestamp":
         """Element-wise maximum (over the union of index sets)."""
-        counters = dict(self.counters)
-        for r, v in other.items():
-            counters[r] = max(counters.get(r, 0), v)
-        return VectorTimestamp(counters)
+        merged, _ = tsops.merge_union(self.counters, other.counters)
+        return VectorTimestamp._from_validated(merged)
 
     def dominates(self, other: "VectorTimestamp") -> bool:
         """``True`` iff every entry is ≥ the corresponding entry of ``other``."""
@@ -357,7 +386,11 @@ class VectorTimestamp:
         return dict(self.counters) == dict(other.counters)
 
     def __hash__(self) -> int:
-        return hash(frozenset(self.counters.items()))
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(frozenset(self.counters.items()))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(f"{r}={v}" for r, v in sorted(self.counters.items()))

@@ -16,27 +16,43 @@ bytes the live runtime ships.
 
 :class:`StreamDecoder` is the incremental receiving half: feed it whatever
 chunks the socket produces and it yields exactly the frames that were
-encoded, however the chunk boundaries fall.  The hypothesis property tests
-(``tests/test_net_framing.py``) fuzz arbitrary fragmentation/coalescing
-against ``decode ∘ encode = id``.
+encoded, however the chunk boundaries fall.  It is **zero-copy** on the
+common path: received chunks are kept as-is in a deque, and a frame whose
+body lies inside a single chunk is handed out as a ``memoryview`` slice of
+that chunk — no per-frame reassembly buffer.  Only a body that genuinely
+spans chunks is stitched together (one copy, unavoidable).  Payloads are
+therefore *buffer objects*, not necessarily ``bytes``; every decoder in
+:mod:`repro.wire` / :mod:`repro.net.frames` accepts them directly.  The
+hypothesis property tests (``tests/test_net_framing.py``) fuzz arbitrary
+fragmentation/coalescing against ``decode ∘ encode = id``.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from collections import deque
+from typing import Deque, Iterator, List, Tuple, Union
 
-from ..wire.primitives import WireFormatError, encode_uvarint
+from ..wire.primitives import WireFormatError, encode_uvarint_into
 
 #: Refuse frames larger than this (64 MiB): a corrupt or misaligned stream
 #: otherwise manifests as an absurd length prefix and an unbounded buffer.
 MAX_FRAME_SIZE = 64 * 1024 * 1024
 
-#: A decoded frame: ``(kind byte, payload bytes)``.
-Frame = Tuple[int, bytes]
+#: A decoded frame: ``(kind byte, payload)``.  The payload is a read-only
+#: buffer — ``bytes`` or a zero-copy ``memoryview`` of a received chunk —
+#: that compares equal to the original bytes and decodes in place.
+Frame = Tuple[int, Union[bytes, memoryview]]
 
 
 def encode_frame(kind: int, payload: bytes = b"") -> bytes:
     """Encode one frame: uvarint length prefix, kind byte, payload."""
+    out = bytearray()
+    encode_frame_into(out, kind, payload)
+    return bytes(out)
+
+
+def encode_frame_into(out: bytearray, kind: int, payload: bytes = b"") -> None:
+    """Append one encoded frame to ``out`` (shared-buffer encode path)."""
     if not 0 <= kind <= 255:
         raise WireFormatError(f"frame kind must fit one byte, got {kind}")
     body_size = 1 + len(payload)
@@ -44,7 +60,9 @@ def encode_frame(kind: int, payload: bytes = b"") -> bytes:
         raise WireFormatError(
             f"frame of {body_size} bytes exceeds MAX_FRAME_SIZE ({MAX_FRAME_SIZE})"
         )
-    return encode_uvarint(body_size) + bytes((kind,)) + payload
+    encode_uvarint_into(out, body_size)
+    out.append(kind)
+    out += payload
 
 
 class StreamDecoder:
@@ -52,19 +70,33 @@ class StreamDecoder:
 
     Feed raw chunks with :meth:`feed`; complete frames come back in stream
     order.  Partial frames (a length prefix split across chunks, a body
-    still in flight) are buffered until their bytes arrive.  The decoder
-    never inspects payloads — framing and content are separate layers.
+    still in flight) stay buffered — as the original chunk objects, never
+    copied into a contiguous staging buffer — until their bytes arrive.
+    The decoder never inspects payloads: framing and content are separate
+    layers.
     """
 
     def __init__(self) -> None:
-        self._buffer = bytearray()
+        #: Received chunks not yet fully consumed, in arrival order.
+        self._chunks: Deque[bytes] = deque()
+        #: Read position inside ``_chunks[0]``.
+        self._offset = 0
+        #: Total unread bytes across all chunks.
+        self._buffered = 0
         #: Body size of the frame currently being assembled, or ``None``
         #: while the length prefix itself is still incomplete.
         self._need: int | None = None
 
     def feed(self, chunk: bytes) -> List[Frame]:
         """Absorb one chunk; return every frame it completed."""
-        self._buffer += chunk
+        if chunk:
+            if not isinstance(chunk, bytes):
+                # Mutable buffers (bytearray, writable memoryview) are
+                # snapshotted: the zero-copy payload views below must not
+                # alias memory the caller may overwrite or resize.
+                chunk = bytes(chunk)
+            self._chunks.append(chunk)
+            self._buffered += len(chunk)
         return list(self._drain())
 
     def _drain(self) -> Iterator[Frame]:
@@ -74,45 +106,104 @@ class StreamDecoder:
                 if parsed is None:
                     return
                 self._need = parsed
-            if len(self._buffer) < self._need:
+            if self._buffered < self._need:
                 return
-            body = self._buffer[: self._need]
-            del self._buffer[: self._need]
+            need = self._need
             self._need = None
-            yield body[0], bytes(body[1:])
+            yield self._take_frame(need)
+
+    def _take_frame(self, need: int) -> Frame:
+        """Consume ``need`` body bytes; zero-copy when one chunk holds them."""
+        chunks = self._chunks
+        offset = self._offset
+        first = chunks[0]
+        end = offset + need
+        if end <= len(first):
+            kind = first[offset]
+            payload = memoryview(first)[offset + 1 : end]
+            if end == len(first):
+                chunks.popleft()
+                self._offset = 0
+            else:
+                self._offset = end
+            self._buffered -= need
+            return kind, payload
+        # The body spans chunks: stitch exactly once.
+        pieces = []
+        remaining = need
+        while remaining:
+            first = chunks[0]
+            available = len(first) - offset
+            if available <= remaining:
+                pieces.append(first[offset:] if offset else first)
+                chunks.popleft()
+                offset = 0
+                remaining -= available
+            else:
+                pieces.append(first[offset : offset + remaining])
+                offset += remaining
+                remaining = 0
+        self._offset = offset
+        self._buffered -= need
+        body = b"".join(pieces)
+        return body[0], memoryview(body)[1:]
 
     def _try_parse_length(self) -> int | None:
         """Parse the uvarint length prefix, or ``None`` if incomplete.
 
-        On success the prefix bytes are consumed from the buffer.  The
-        prefix of a valid frame is at most 4 bytes (``MAX_FRAME_SIZE`` <
-        2^28); a longer unterminated run of continuation bytes can never
-        become a valid length, so it is rejected immediately.
+        On success the prefix bytes are consumed.  The prefix of a valid
+        frame is at most 4 bytes (``MAX_FRAME_SIZE`` < 2^28); a longer
+        unterminated run of continuation bytes can never become a valid
+        length, so it is rejected immediately.
         """
         value = 0
         shift = 0
-        for index, byte in enumerate(self._buffer):
-            value |= (byte & 0x7F) << shift
-            if not byte & 0x80:
-                if not 0 < value <= MAX_FRAME_SIZE:
-                    raise WireFormatError(
-                        f"frame length {value} outside (0, {MAX_FRAME_SIZE}]"
-                    )
-                del self._buffer[: index + 1]
-                return value
-            shift += 7
-            if shift > 28:
-                raise WireFormatError("unterminated frame length prefix")
+        consumed = 0
+        position = self._offset
+        for chunk in self._chunks:
+            size = len(chunk)
+            while position < size:
+                byte = chunk[position]
+                position += 1
+                consumed += 1
+                value |= (byte & 0x7F) << shift
+                if not byte & 0x80:
+                    if not 0 < value <= MAX_FRAME_SIZE:
+                        raise WireFormatError(
+                            f"frame length {value} outside (0, {MAX_FRAME_SIZE}]"
+                        )
+                    self._discard(consumed)
+                    return value
+                shift += 7
+                if shift > 28:
+                    raise WireFormatError("unterminated frame length prefix")
+            position = 0
         return None
+
+    def _discard(self, count: int) -> None:
+        """Drop ``count`` unread bytes from the front of the chunk deque."""
+        chunks = self._chunks
+        offset = self._offset
+        self._buffered -= count
+        while count:
+            available = len(chunks[0]) - offset
+            if available <= count:
+                chunks.popleft()
+                count -= available
+                offset = 0
+            else:
+                offset += count
+                count = 0
+        self._offset = offset
 
     @property
     def buffered(self) -> int:
         """Bytes held for a frame still in flight (for tests/diagnostics)."""
-        return len(self._buffer)
+        return self._buffered
 
     def at_boundary(self) -> bool:
         """``True`` when no partial frame is buffered (a clean stream end)."""
-        return not self._buffer and self._need is None
+        return not self._buffered and self._need is None
 
 
 def decode_all(data: bytes) -> List[Frame]:

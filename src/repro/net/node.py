@@ -194,9 +194,7 @@ class LiveNodeHost(ReplicaHost):
 
     def deliver(self, messages: List[UpdateMessage]):
         """Buffer a received batch and run one apply pass (as the sim does)."""
-        for message in messages:
-            self.replica.receive(message)
-        return self._apply_ready(self.replica)
+        return self._apply_batch(self.replica, messages)
 
 
 class _ChannelSender:
@@ -715,8 +713,26 @@ class ReplicaNode:
         }
 
 
+def _install_uvloop() -> bool:
+    """Install uvloop's event-loop policy when opted in and available.
+
+    ``REPRO_UVLOOP=1`` requests uvloop (the ``repro[uvloop]`` extra); the
+    default — and any environment where uvloop is not importable — stays on
+    the stdlib event loop, so the opt-in can never break a deployment.
+    """
+    if os.environ.get("REPRO_UVLOOP", "") in ("", "0"):
+        return False
+    try:
+        import uvloop
+    except ImportError:
+        return False
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    return True
+
+
 def node_main(config: NodeConfig, ready_queue: Any) -> None:
     """Process entry point: run one node, reporting its port when bound."""
+    _install_uvloop()
     node = ReplicaNode(config)
 
     def on_ready(port: int) -> None:

@@ -1282,17 +1282,17 @@ class SimulationHost(ReplicaHost):
     def _deliver_batch(self, batch: "MessageBatch") -> None:
         """Hand a whole batch to its destination, then run one apply pass.
 
-        Buffering every contained message before the single
-        :meth:`_apply_ready` drain is the throughput half of batching: one
-        kernel event and one apply pass amortize over the batch.
+        The vectorized delivery path: one kernel event per batch, one
+        :meth:`~repro.core.host.ReplicaHost._apply_batch` call buffering
+        every contained message and draining the pending index in a single
+        sweep — equivalent to per-message ``receive`` + ``apply_ready`` by
+        construction (they share the drain loop).
         """
         accepted = [m for m in batch.messages if self._accepts_epoch(m)]
         if not accepted:
             return
         replica = self._replica(batch.destination)
-        for message in accepted:
-            replica.receive(message)
-        self._apply_ready(replica)
+        self._apply_batch(replica, accepted)
         self._after_delivery(replica)
 
     def _handle_arrival(self, operation: "Any") -> None:

@@ -30,14 +30,14 @@ from .frames import (
     WIRE_VERSION,
     WireSizes,
     decode_message_frame,
-    encode_message_frame,
+    encode_message_frame_into,
 )
 from .primitives import (
     WireFormatError,
     decode_atom,
     decode_uvarint,
-    encode_atom,
-    encode_uvarint,
+    encode_atom_into,
+    encode_uvarint_into,
 )
 
 
@@ -71,26 +71,25 @@ def encode_batch(
     against the channel's running state (which the call advances); without
     one, every frame is full.
     """
-    envelope = bytearray((WIRE_VERSION,))
-    envelope += encode_atom(batch.sender)
-    envelope += encode_atom(batch.destination)
-    envelope += encode_uvarint(batch.seq)
-    envelope += encode_uvarint(len(batch.messages))
-    sizes = WireSizes(header_bytes=len(envelope))
-    body = bytearray()
+    out = bytearray((WIRE_VERSION,))
+    encode_atom_into(out, batch.sender)
+    encode_atom_into(out, batch.destination)
+    encode_uvarint_into(out, batch.seq)
+    encode_uvarint_into(out, len(batch.messages))
+    sizes = WireSizes(header_bytes=len(out))
+    channel = batch.channel
     for message in batch.messages:
-        if (message.sender, message.destination) != batch.channel:
+        if (message.sender, message.destination) != channel:
             raise WireFormatError(
                 f"message on channel {(message.sender, message.destination)} "
-                f"cannot ride a {batch.channel} batch"
+                f"cannot ride a {channel} batch"
             )
         if encoder is not None:
-            frame, frame_sizes = encoder.encode_message(message, codec=codec)
+            frame_sizes = encoder.encode_message_into(out, message, codec=codec)
         else:
-            frame, frame_sizes = encode_message_frame(message, codec=codec)
-        body += frame
+            frame_sizes = encode_message_frame_into(out, message, codec=codec)
         sizes = sizes + frame_sizes
-    return bytes(envelope) + bytes(body), sizes
+    return bytes(out), sizes
 
 
 def decode_batch(

@@ -24,7 +24,7 @@ from typing import Any, Dict, Optional, Tuple
 from ..core.protocol import UpdateMessage
 from ..core.registers import ReplicaId
 from .codecs import TimestampCodec
-from .frames import WireSizes, decode_message_frame, encode_message_frame
+from .frames import WireSizes, decode_message_frame, encode_message_frame_into
 
 Channel = Tuple[ReplicaId, ReplicaId]
 
@@ -34,16 +34,33 @@ class ChannelDeltaEncoder:
 
     def __init__(self) -> None:
         self._last: Dict[Channel, Any] = {}
+        #: Reusable output buffer for the standalone :meth:`encode_message`
+        #: form — cleared, not reallocated, per call, so repeated encodes
+        #: keep one grown-to-size backing allocation.
+        self._scratch = bytearray()
+
+    def encode_message_into(
+        self,
+        out: bytearray,
+        message: UpdateMessage,
+        codec: Optional[TimestampCodec] = None,
+    ) -> WireSizes:
+        """Append one message frame to ``out``, delta-encoding against
+        channel state (which the call advances)."""
+        channel = (message.sender, message.destination)
+        prev = self._last.get(channel)
+        sizes = encode_message_frame_into(out, message, codec=codec, prev=prev)
+        self._last[channel] = message.metadata
+        return sizes
 
     def encode_message(
         self, message: UpdateMessage, codec: Optional[TimestampCodec] = None
     ) -> Tuple[bytes, WireSizes]:
         """Encode one message frame, delta-encoding against channel state."""
-        channel = (message.sender, message.destination)
-        prev = self._last.get(channel)
-        frame, sizes = encode_message_frame(message, codec=codec, prev=prev)
-        self._last[channel] = message.metadata
-        return frame, sizes
+        scratch = self._scratch
+        del scratch[:]
+        sizes = self.encode_message_into(scratch, message, codec=codec)
+        return bytes(scratch), sizes
 
     def reset(self, channel: Optional[Channel] = None) -> None:
         """Forget channel state (one channel, or all): next frame goes full."""

@@ -49,10 +49,10 @@ from .primitives import (
     decode_bytes,
     decode_svarint,
     decode_uvarint,
-    encode_atom,
-    encode_bytes,
-    encode_svarint,
-    encode_uvarint,
+    encode_atom_into,
+    encode_bytes_into,
+    encode_svarint_into,
+    encode_uvarint_into,
     uvarint_size,
 )
 
@@ -125,42 +125,56 @@ class TimestampCodec:
         """Rebuild a timestamp from decoded counters."""
         raise NotImplementedError
 
-    def encode_full(self, ts: Any) -> bytes:
-        """The self-describing full body (no channel state required)."""
+    def encode_full_into(self, out: bytearray, ts: Any) -> None:
+        """Append the self-describing full body to ``out`` (no channel state)."""
         raise NotImplementedError
+
+    def encode_full(self, ts: Any) -> bytes:
+        """The self-describing full body, as standalone bytes."""
+        out = bytearray()
+        self.encode_full_into(out, ts)
+        return bytes(out)
 
     def decode_full(self, data: bytes, offset: int) -> Tuple[Any, int]:
         """Inverse of :meth:`encode_full`."""
         raise NotImplementedError
 
     # -- shared delta logic --------------------------------------------
-    def encode_delta(self, ts: Any, prev: Any) -> Optional[bytes]:
-        """Delta body against ``prev``, or ``None`` when no delta applies.
+    def encode_delta_into(self, out: bytearray, ts: Any, prev: Any) -> bool:
+        """Append the delta body against ``prev``; ``False`` if no delta applies.
 
         A delta frame exists iff ``ts`` and ``prev`` share the index set and
         no counter decreased (both always hold for successive timestamps of
         one live replica; restarts and index-set changes fall back to full).
+        When this returns ``False`` nothing was appended to ``out``.
         """
         if type(prev) is not type(ts):
-            return None
+            return False
         index = self.index_of(ts)
         if index != self.index_of(prev):
-            return None
+            return False
         counters = self.counters_of(ts)
         previous = self.counters_of(prev)
         changed: List[Tuple[int, int]] = []
         for position, entry in enumerate(index):
             step = counters[entry] - previous[entry]
             if step < 0:
-                return None
+                return False
             if step:
                 changed.append((position, step))
-        out = bytearray(encode_uvarint(len(changed)))
+        encode_uvarint_into(out, len(changed))
         last = -1
         for position, step in changed:
-            out += encode_uvarint(position - last - 1)
-            out += encode_uvarint(step)
+            encode_uvarint_into(out, position - last - 1)
+            encode_uvarint_into(out, step)
             last = position
+        return True
+
+    def encode_delta(self, ts: Any, prev: Any) -> Optional[bytes]:
+        """Delta body against ``prev``, or ``None`` when no delta applies."""
+        out = bytearray()
+        if not self.encode_delta_into(out, ts, prev):
+            return None
         return bytes(out)
 
     def decode_delta(self, data: bytes, offset: int, prev: Any) -> Tuple[Any, int]:
@@ -192,16 +206,17 @@ class EdgeTimestampCodec(TimestampCodec):
         return ts.counters
 
     def make(self, counters: Dict[Any, int]) -> EdgeTimestamp:
-        return EdgeTimestamp(counters)
+        # Wire-decoded counters are structurally valid by construction of
+        # the encoders, so skip the constructor's re-validation.
+        return EdgeTimestamp._from_validated(counters)
 
-    def encode_full(self, ts: EdgeTimestamp) -> bytes:
+    def encode_full_into(self, out: bytearray, ts: EdgeTimestamp) -> None:
         counters = ts.counters
-        out = bytearray(encode_uvarint(len(counters)))
+        encode_uvarint_into(out, len(counters))
         for edge in self.index_of(ts):
-            out += encode_atom(edge[0])
-            out += encode_atom(edge[1])
-            out += encode_uvarint(counters[edge])
-        return bytes(out)
+            encode_atom_into(out, edge[0])
+            encode_atom_into(out, edge[1])
+            encode_uvarint_into(out, counters[edge])
 
     def _full_body_size(self, ts: EdgeTimestamp) -> int:
         size = uvarint_size(len(ts.counters))
@@ -217,7 +232,7 @@ class EdgeTimestampCodec(TimestampCodec):
             head, offset = decode_atom(data, offset)
             value, offset = decode_uvarint(data, offset)
             counters[(tail, head)] = value
-        return EdgeTimestamp(counters), offset
+        return EdgeTimestamp._from_validated(counters), offset
 
 
 class HoopTimestampCodec(EdgeTimestampCodec):
@@ -244,15 +259,14 @@ class VectorTimestampCodec(TimestampCodec):
         return ts.counters
 
     def make(self, counters: Dict[Any, int]) -> VectorTimestamp:
-        return VectorTimestamp(counters)
+        return VectorTimestamp._from_validated(counters)
 
-    def encode_full(self, ts: VectorTimestamp) -> bytes:
+    def encode_full_into(self, out: bytearray, ts: VectorTimestamp) -> None:
         counters = ts.counters
-        out = bytearray(encode_uvarint(len(counters)))
+        encode_uvarint_into(out, len(counters))
         for rid in self.index_of(ts):
-            out += encode_atom(rid)
-            out += encode_uvarint(counters[rid])
-        return bytes(out)
+            encode_atom_into(out, rid)
+            encode_uvarint_into(out, counters[rid])
 
     def _full_body_size(self, ts: VectorTimestamp) -> int:
         size = uvarint_size(len(ts.counters))
@@ -267,6 +281,8 @@ class VectorTimestampCodec(TimestampCodec):
             rid, offset = decode_atom(data, offset)
             value, offset = decode_uvarint(data, offset)
             counters[rid] = value
+        # The generic constructor, not ``_from_validated``: vector keys are
+        # coerced to ``int`` there, and an atom can legally decode as ``str``.
         return VectorTimestamp(counters), offset
 
 
@@ -309,18 +325,17 @@ class MatrixTimestampCodec(TimestampCodec):
         return ts.counters
 
     def make(self, counters: Dict[Any, int]) -> EdgeTimestamp:
-        return EdgeTimestamp(counters)
+        return EdgeTimestamp._from_validated(counters)
 
-    def encode_full(self, ts: EdgeTimestamp) -> bytes:
+    def encode_full_into(self, out: bytearray, ts: EdgeTimestamp) -> None:
         pairs = self.index_of(ts)
         ids = self._replica_ids(ts)
         counters = ts.counters
-        out = bytearray(encode_uvarint(len(ids)))
+        encode_uvarint_into(out, len(ids))
         for rid in ids:
-            out += encode_atom(rid)
+            encode_atom_into(out, rid)
         for pair in pairs:
-            out += encode_uvarint(counters[pair])
-        return bytes(out)
+            encode_uvarint_into(out, counters[pair])
 
     def _full_body_size(self, ts: EdgeTimestamp) -> int:
         self.index_of(ts)  # validates completeness
@@ -340,7 +355,7 @@ class MatrixTimestampCodec(TimestampCodec):
         for pair in self._all_pairs(ids):
             value, offset = decode_uvarint(data, offset)
             counters[pair] = value
-        return EdgeTimestamp(counters), offset
+        return EdgeTimestamp._from_validated(counters), offset
 
 
 class ReconfigCodec(TimestampCodec):
@@ -370,12 +385,10 @@ class ReconfigCodec(TimestampCodec):
             uvarint_size(ts.epoch) + uvarint_size(ts.index) + uvarint_size(ts.total)
         )
 
-    def encode_full(self, ts: BootstrapMetadata) -> bytes:
-        return (
-            encode_uvarint(ts.epoch)
-            + encode_uvarint(ts.index)
-            + encode_uvarint(ts.total)
-        )
+    def encode_full_into(self, out: bytearray, ts: BootstrapMetadata) -> None:
+        encode_uvarint_into(out, ts.epoch)
+        encode_uvarint_into(out, ts.index)
+        encode_uvarint_into(out, ts.total)
 
     def decode_full(self, data: bytes, offset: int) -> Tuple[BootstrapMetadata, int]:
         epoch, offset = decode_uvarint(data, offset)
@@ -383,8 +396,9 @@ class ReconfigCodec(TimestampCodec):
         total, offset = decode_uvarint(data, offset)
         return BootstrapMetadata(index=index, total=total, epoch=epoch), offset
 
-    def encode_delta(self, ts: BootstrapMetadata, prev: Any) -> Optional[bytes]:
-        return None
+    def encode_delta_into(self, out: bytearray, ts: BootstrapMetadata,
+                          prev: Any) -> bool:
+        return False
 
 
 #: The family singletons, and the wire-tag dispatch table.
@@ -435,13 +449,16 @@ class TimestampFrame(NamedTuple):
     full_size: int
 
 
-def encode_timestamp_frame(
+def encode_timestamp_frame_into(
+    out: bytearray,
     ts: Any,
     codec: Optional[TimestampCodec] = None,
     prev: Optional[Any] = None,
-) -> TimestampFrame:
-    """Encode one timestamp as a tagged frame.
+) -> Tuple[bool, int]:
+    """Append one tagged timestamp frame to ``out``.
 
+    Returns ``(used_delta, full_size)`` — the accounting facts of
+    :class:`TimestampFrame` without materialising a separate byte string.
     With ``prev`` given (the previous timestamp shipped on the channel) a
     delta body is attempted and used whenever it is both valid and strictly
     smaller than the full body — a delta frame therefore never loses to the
@@ -453,20 +470,34 @@ def encode_timestamp_frame(
         # traffic uses (bootstrap frames share channels with that traffic).
         codec = RECONFIG_CODEC
     codec = codec or codec_for(ts)
+    mark = len(out)
     if prev is not None:
-        delta = codec.encode_delta(ts, prev)
-        if delta is not None:
+        out.append(codec.tag)
+        out.append(MODE_DELTA)
+        if codec.encode_delta_into(out, ts, prev):
             # The full frame is only *sized* here (a cached, allocation-free
             # pass) — never built — so the delta fast path stays cheap.
             full_size = codec.full_frame_size(ts)
-            if 2 + len(delta) < full_size:
-                return TimestampFrame(
-                    bytes((codec.tag, MODE_DELTA)) + delta, True, full_size
-                )
-    full = codec.encode_full(ts)
-    return TimestampFrame(
-        bytes((codec.tag, MODE_FULL)) + full, False, 2 + len(full)
+            if len(out) - mark < full_size:
+                return True, full_size
+        del out[mark:]
+    out.append(codec.tag)
+    out.append(MODE_FULL)
+    codec.encode_full_into(out, ts)
+    return False, len(out) - mark
+
+
+def encode_timestamp_frame(
+    ts: Any,
+    codec: Optional[TimestampCodec] = None,
+    prev: Optional[Any] = None,
+) -> TimestampFrame:
+    """Encode one timestamp as a tagged frame (standalone-bytes form)."""
+    out = bytearray()
+    used_delta, full_size = encode_timestamp_frame_into(
+        out, ts, codec=codec, prev=prev
     )
+    return TimestampFrame(bytes(out), used_delta, full_size)
 
 
 def decode_timestamp_frame(
@@ -509,25 +540,38 @@ _VALUE_BYTES = 6
 _VALUE_PICKLE = 7
 
 
+def encode_value_into(out: bytearray, value: Any) -> None:
+    """Append one encoded register value (tag byte + body) to ``out``."""
+    if value is None:
+        out.append(_VALUE_NONE)
+    elif value is False:
+        out.append(_VALUE_FALSE)
+    elif value is True:
+        out.append(_VALUE_TRUE)
+    elif isinstance(value, int):
+        out.append(_VALUE_INT)
+        encode_svarint_into(out, value)
+    elif isinstance(value, float):
+        out.append(_VALUE_FLOAT)
+        out += struct.pack("<d", value)
+    elif isinstance(value, str):
+        out.append(_VALUE_STR)
+        encode_bytes_into(out, value.encode("utf-8"))
+    elif isinstance(value, bytes):
+        out.append(_VALUE_BYTES)
+        encode_bytes_into(out, value)
+    else:
+        out.append(_VALUE_PICKLE)
+        encode_bytes_into(
+            out, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+
 def encode_value(value: Any) -> bytes:
     """Encode one register value (tag byte + body)."""
-    if value is None:
-        return bytes((_VALUE_NONE,))
-    if value is False:
-        return bytes((_VALUE_FALSE,))
-    if value is True:
-        return bytes((_VALUE_TRUE,))
-    if isinstance(value, int):
-        return bytes((_VALUE_INT,)) + encode_svarint(value)
-    if isinstance(value, float):
-        return bytes((_VALUE_FLOAT,)) + struct.pack("<d", value)
-    if isinstance(value, str):
-        return bytes((_VALUE_STR,)) + encode_bytes(value.encode("utf-8"))
-    if isinstance(value, bytes):
-        return bytes((_VALUE_BYTES,)) + encode_bytes(value)
-    return bytes((_VALUE_PICKLE,)) + encode_bytes(
-        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-    )
+    out = bytearray()
+    encode_value_into(out, value)
+    return bytes(out)
 
 
 def decode_value(data: bytes, offset: int = 0) -> Tuple[Any, int]:

@@ -41,15 +41,15 @@ from .codecs import (
     codec_for,
     decode_timestamp_frame,
     decode_value,
-    encode_timestamp_frame,
-    encode_value,
+    encode_timestamp_frame_into,
+    encode_value_into,
 )
 from .primitives import (
     WireFormatError,
     decode_atom,
     decode_uvarint,
-    encode_atom,
-    encode_uvarint,
+    encode_atom_into,
+    encode_uvarint_into,
 )
 
 #: Wire-format version byte leading every standalone envelope.  Version 2
@@ -86,36 +86,54 @@ class WireSizes:
         )
 
 
+def encode_message_frame_into(
+    out: bytearray,
+    message: UpdateMessage,
+    codec: Optional[TimestampCodec] = None,
+    prev: Optional[Any] = None,
+) -> WireSizes:
+    """Append one message frame to ``out`` (envelope-relative: no routing).
+
+    ``prev`` is the previous timestamp shipped on the message's channel; when
+    given, the timestamp frame delta-encodes against it whenever that is
+    smaller (see :func:`~repro.wire.codecs.encode_timestamp_frame_into`).
+    The whole frame — header, payload, timestamp — lands in the one shared
+    buffer; the size breakdown is measured off buffer marks.
+    """
+    update = message.update
+    start = len(out)
+    out.append(1 if message.payload else 0)
+    encode_uvarint_into(out, message.epoch)
+    encode_atom_into(out, update.issuer)
+    encode_uvarint_into(out, update.seq)
+    encode_atom_into(out, update.register)
+    encode_uvarint_into(out, message.metadata_size)
+    header_end = len(out)
+    if message.payload:
+        encode_value_into(out, update.value)
+    payload_end = len(out)
+    used_delta, full_size = encode_timestamp_frame_into(
+        out, message.metadata, codec=codec, prev=prev
+    )
+    return WireSizes(
+        header_bytes=header_end - start,
+        timestamp_bytes=len(out) - payload_end,
+        payload_bytes=payload_end - header_end,
+        timestamp_bytes_full=full_size,
+        delta_frames=1 if used_delta else 0,
+        full_frames=0 if used_delta else 1,
+    )
+
+
 def encode_message_frame(
     message: UpdateMessage,
     codec: Optional[TimestampCodec] = None,
     prev: Optional[Any] = None,
 ) -> Tuple[bytes, WireSizes]:
-    """Encode one message frame (envelope-relative: no sender/destination).
-
-    ``prev`` is the previous timestamp shipped on the message's channel; when
-    given, the timestamp frame delta-encodes against it whenever that is
-    smaller (see :func:`~repro.wire.codecs.encode_timestamp_frame`).
-    """
-    update = message.update
-    header = bytearray()
-    header.append(1 if message.payload else 0)
-    header += encode_uvarint(message.epoch)
-    header += encode_atom(update.issuer)
-    header += encode_uvarint(update.seq)
-    header += encode_atom(update.register)
-    header += encode_uvarint(message.metadata_size)
-    payload = encode_value(update.value) if message.payload else b""
-    frame = encode_timestamp_frame(message.metadata, codec=codec, prev=prev)
-    sizes = WireSizes(
-        header_bytes=len(header),
-        timestamp_bytes=len(frame.data),
-        payload_bytes=len(payload),
-        timestamp_bytes_full=frame.full_size,
-        delta_frames=1 if frame.used_delta else 0,
-        full_frames=0 if frame.used_delta else 1,
-    )
-    return bytes(header) + payload + frame.data, sizes
+    """Encode one message frame as standalone bytes (plus its breakdown)."""
+    out = bytearray()
+    sizes = encode_message_frame_into(out, message, codec=codec, prev=prev)
+    return bytes(out), sizes
 
 
 def decode_message_frame(
@@ -162,12 +180,13 @@ def encode_message(
     prev: Optional[Any] = None,
 ) -> Tuple[bytes, WireSizes]:
     """Encode one message as a complete standalone envelope."""
-    envelope = bytearray((WIRE_VERSION,))
-    envelope += encode_atom(message.sender)
-    envelope += encode_atom(message.destination)
-    frame, sizes = encode_message_frame(message, codec=codec, prev=prev)
-    sizes = WireSizes(header_bytes=len(envelope)) + sizes
-    return bytes(envelope) + frame, sizes
+    out = bytearray((WIRE_VERSION,))
+    encode_atom_into(out, message.sender)
+    encode_atom_into(out, message.destination)
+    envelope_size = len(out)
+    sizes = encode_message_frame_into(out, message, codec=codec, prev=prev)
+    sizes = WireSizes(header_bytes=envelope_size) + sizes
+    return bytes(out), sizes
 
 
 def decode_message(
@@ -197,6 +216,7 @@ __all__ = [
     "decode_message_frame",
     "encode_message",
     "encode_message_frame",
+    "encode_message_frame_into",
     "message_wire_sizes",
     "codec_for",
 ]

@@ -14,148 +14,65 @@ in three primitives:
   for small ids), length + UTF-8 for strings.
 
 Decoders take ``(data, offset)`` and return ``(value, new_offset)`` so
-frames compose without intermediate slicing.
+frames compose without intermediate slicing; they accept any buffer that
+supports integer indexing (``bytes``, ``bytearray``, ``memoryview``), so
+the framing layer's zero-copy ``memoryview`` slices decode without a copy.
+Every encoder also has an ``*_into`` variant appending to a caller-supplied
+``bytearray``, letting a whole frame share one output buffer.
+
+This module is the stable import surface; the implementations live in
+:mod:`repro._speedups` (``_varint_py``, optionally mypyc-compiled as
+``_varint_c``) and are selected at import time.
 """
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Union
 
-from ..core.errors import ProtocolError
-
-
-class WireFormatError(ProtocolError):
-    """Raised when a byte sequence cannot be decoded as the expected frame."""
-
+# WireFormatError predates the kernel split and is re-exported here for
+# every existing ``from repro.wire.primitives import WireFormatError`` site.
+from ..core.errors import WireFormatError
+from .._speedups import varint as _varint
 
 Atom = Union[int, str]
 
+encode_uvarint_into = _varint.encode_uvarint_into
+encode_uvarint = _varint.encode_uvarint
+decode_uvarint = _varint.decode_uvarint
+uvarint_size = _varint.uvarint_size
 
-# ----------------------------------------------------------------------
-# Unsigned varints (LEB128)
-# ----------------------------------------------------------------------
+zigzag = _varint.zigzag
+unzigzag = _varint.unzigzag
+encode_svarint_into = _varint.encode_svarint_into
+encode_svarint = _varint.encode_svarint
+decode_svarint = _varint.decode_svarint
 
-def encode_uvarint(value: int) -> bytes:
-    """Encode a non-negative integer as a LEB128 varint."""
-    if value < 0:
-        raise WireFormatError(f"uvarint cannot encode negative value {value}")
-    out = bytearray()
-    while True:
-        byte = value & 0x7F
-        value >>= 7
-        if value:
-            out.append(byte | 0x80)
-        else:
-            out.append(byte)
-            return bytes(out)
+encode_atom_into = _varint.encode_atom_into
+encode_atom = _varint.encode_atom
+decode_atom = _varint.decode_atom
+atom_size = _varint.atom_size
 
+encode_bytes_into = _varint.encode_bytes_into
+encode_bytes = _varint.encode_bytes
+decode_bytes = _varint.decode_bytes
 
-def decode_uvarint(data: bytes, offset: int = 0) -> Tuple[int, int]:
-    """Decode a LEB128 varint at ``offset``; returns ``(value, new_offset)``.
-
-    No length cap: Python ints are arbitrary precision and the encoder
-    happily emits more than 10 bytes for huge counters/values, so the
-    decoder must accept whatever the encoder produced (``decode ∘ encode =
-    id``).  Termination is bounded by the buffer length regardless.
-    """
-    value = 0
-    shift = 0
-    while True:
-        if offset >= len(data):
-            raise WireFormatError("truncated uvarint")
-        byte = data[offset]
-        offset += 1
-        value |= (byte & 0x7F) << shift
-        if not byte & 0x80:
-            return value, offset
-        shift += 7
-
-
-def uvarint_size(value: int) -> int:
-    """Encoded size in bytes of ``value`` as an unsigned varint."""
-    if value < 0:
-        raise WireFormatError(f"uvarint cannot encode negative value {value}")
-    size = 1
-    while value > 0x7F:
-        value >>= 7
-        size += 1
-    return size
-
-
-# ----------------------------------------------------------------------
-# Signed varints (zigzag)
-# ----------------------------------------------------------------------
-
-def zigzag(value: int) -> int:
-    """Map a signed integer onto the unsigned line: 0, -1, 1, -2, 2, …"""
-    return (value << 1) if value >= 0 else ((-value << 1) - 1)
-
-
-def unzigzag(value: int) -> int:
-    """Inverse of :func:`zigzag`."""
-    return (value >> 1) ^ -(value & 1)
-
-
-def encode_svarint(value: int) -> bytes:
-    """Encode a signed integer as a zigzag varint."""
-    return encode_uvarint(zigzag(value))
-
-
-def decode_svarint(data: bytes, offset: int = 0) -> Tuple[int, int]:
-    """Decode a zigzag varint; returns ``(value, new_offset)``."""
-    raw, offset = decode_uvarint(data, offset)
-    return unzigzag(raw), offset
-
-
-# ----------------------------------------------------------------------
-# Atoms: tagged int-or-string scalars
-# ----------------------------------------------------------------------
-# key = zigzag(n) << 1       for an int n
-# key = (len(utf8) << 1) | 1 for a string, followed by the UTF-8 bytes
-
-def encode_atom(value: Atom) -> bytes:
-    """Encode a replica id or register name (int or str)."""
-    if isinstance(value, bool) or not isinstance(value, (int, str)):
-        raise WireFormatError(f"atom must be int or str, got {type(value).__name__}")
-    if isinstance(value, int):
-        return encode_uvarint(zigzag(value) << 1)
-    raw = value.encode("utf-8")
-    return encode_uvarint((len(raw) << 1) | 1) + raw
-
-
-def decode_atom(data: bytes, offset: int = 0) -> Tuple[Atom, int]:
-    """Decode an atom; returns ``(value, new_offset)``."""
-    key, offset = decode_uvarint(data, offset)
-    if not key & 1:
-        return unzigzag(key >> 1), offset
-    length = key >> 1
-    end = offset + length
-    if end > len(data):
-        raise WireFormatError("truncated string atom")
-    return data[offset:end].decode("utf-8"), end
-
-
-def atom_size(value: Atom) -> int:
-    """Encoded size in bytes of an atom."""
-    if isinstance(value, int) and not isinstance(value, bool):
-        return uvarint_size(zigzag(value) << 1)
-    raw = value.encode("utf-8")
-    return uvarint_size((len(raw) << 1) | 1) + len(raw)
-
-
-# ----------------------------------------------------------------------
-# Length-prefixed byte strings
-# ----------------------------------------------------------------------
-
-def encode_bytes(value: bytes) -> bytes:
-    """Length-prefixed byte string."""
-    return encode_uvarint(len(value)) + value
-
-
-def decode_bytes(data: bytes, offset: int = 0) -> Tuple[bytes, int]:
-    """Decode a length-prefixed byte string; returns ``(value, new_offset)``."""
-    length, offset = decode_uvarint(data, offset)
-    end = offset + length
-    if end > len(data):
-        raise WireFormatError("truncated byte string")
-    return data[offset:end], end
+__all__ = [
+    "Atom",
+    "WireFormatError",
+    "atom_size",
+    "decode_atom",
+    "decode_bytes",
+    "decode_svarint",
+    "decode_uvarint",
+    "encode_atom",
+    "encode_atom_into",
+    "encode_bytes",
+    "encode_bytes_into",
+    "encode_svarint",
+    "encode_svarint_into",
+    "encode_uvarint",
+    "encode_uvarint_into",
+    "uvarint_size",
+    "zigzag",
+    "unzigzag",
+]

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Profile the hot-path engine: where do delivered messages spend time?
+
+Two scenarios, each printed as a cProfile top-N table sorted by cumulative
+time (the view that surfaces the drain loop, the timestamp kernels and the
+wire codecs rather than interpreter noise):
+
+* ``sim`` — the 64-replica full-replication clique backlog with
+  transport-level batching and wire accounting: every message runs the
+  whole stack (encode → frame → decode → ``apply_batch`` → kernel merge).
+  This is the same configuration the E13/E16 benchmark gates measure.
+* ``live`` — a small real-TCP smoke run over :mod:`repro.net` (localhost
+  sockets, asyncio nodes), catching regressions the simulator cannot see:
+  framing, stream decoding, event-loop churn.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/profile_hotpath.py            # both
+    PYTHONPATH=src python tools/profile_hotpath.py sim --clique 64
+    PYTHONPATH=src python tools/profile_hotpath.py live --top 30
+
+The numbers are for humans hunting the next optimisation; the enforced
+floors live in ``benchmarks/`` and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro._speedups import active_core  # noqa: E402
+
+
+def _print_stats(profiler: cProfile.Profile, title: str, top: int) -> None:
+    print()
+    print(f"=== {title} — top {top} by cumulative time [{active_core()} core] ===")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+
+
+def profile_sim(clique: int, ops: int, top: int) -> None:
+    """The clique backlog drain: maximal pending buffers, batched delivery."""
+    from repro.baselines.vector_clock_full import full_replication_factory
+    from repro.core.share_graph import ShareGraph
+    from repro.sim.cluster import Cluster
+    from repro.sim.delays import UniformDelay
+    from repro.sim.engine import BatchingConfig
+    from repro.sim.topologies import clique_placement
+    from repro.sim.workloads import run_workload, uniform_workload
+
+    graph = ShareGraph.from_placement(clique_placement(clique))
+    workload = uniform_workload(graph, ops, write_fraction=1.0, seed=5)
+    cluster = Cluster(
+        graph,
+        replica_factory=full_replication_factory,
+        delay_model=UniformDelay(1, 10),
+        seed=5,
+        batching=BatchingConfig(max_messages=32, max_delay=8.0),
+        wire_accounting=True,
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_workload(cluster, workload, interleave_steps=0, check=False)
+    profiler.disable()
+    applies = cluster.metrics.applies
+    _print_stats(
+        profiler,
+        f"sim: clique-{clique} backlog, {ops} writes, {applies} applies",
+        top,
+    )
+
+
+def profile_live(replicas: int, top: int) -> None:
+    """A real-TCP smoke run: sockets, framing and asyncio in the picture."""
+    from repro.core.share_graph import ShareGraph
+    from repro.net import LiveCluster
+    from repro.net.client import OpenLoopClient
+    from repro.sim.topologies import pairwise_clique_placement
+    from repro.sim.workloads import single_writer_workload
+
+    graph = ShareGraph.from_placement(pairwise_clique_placement(replicas))
+    workload = single_writer_workload(
+        graph, rate=4.0, duration=20.0, write_fraction=0.6, seed=18
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    with LiveCluster(graph) as cluster:
+        outcome = OpenLoopClient(cluster).run(workload, time_scale=0.0)
+        cluster.drain(timeout=60.0)
+        result = cluster.collect(operation_latencies=outcome.latencies)
+    profiler.disable()
+    _print_stats(
+        profiler,
+        f"live: {replicas}-replica TCP smoke, {outcome.completed} ops, "
+        f"{result.metrics.applies} applies",
+        top,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "mode", nargs="?", choices=("sim", "live", "both"), default="both"
+    )
+    parser.add_argument("--clique", type=int, default=64,
+                        help="sim: clique size (default 64)")
+    parser.add_argument("--ops", type=int, default=600,
+                        help="sim: workload writes (default 600)")
+    parser.add_argument("--replicas", type=int, default=4,
+                        help="live: replica count (default 4)")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows to print per table (default 20)")
+    args = parser.parse_args(argv)
+
+    if args.mode in ("sim", "both"):
+        profile_sim(args.clique, args.ops, args.top)
+    if args.mode in ("live", "both"):
+        profile_live(args.replicas, args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
