@@ -1531,3 +1531,116 @@ def render_reconfiguration(rows: Sequence[ReconfigurationRow]) -> str:
             for r in rows
         ],
     )
+
+
+# ======================================================================
+# E19 — observability: traced runs, chain coverage, stage breakdown
+# ======================================================================
+
+@dataclass(frozen=True)
+class ObservabilityRow:
+    """One traced cell of the E19 matrix."""
+
+    architecture: str
+    topology: str
+    events: int
+    applied: int
+    complete: int
+    #: Fraction of applied remote copies whose full issue→apply chain
+    #: reconstructs from the trace alone (acceptance bar: ≥ 0.99).
+    coverage: float
+    end_to_end_p50: float
+    end_to_end_p99: float
+    #: The dominant stage at p99 (where the latency budget actually goes).
+    dominant_stage: str
+    consistent: bool
+
+
+def exp_observability(
+    replicas: int = 8,
+    rate: float = 4.0,
+    duration: float = 30.0,
+    seed: int = 19,
+) -> List[ObservabilityRow]:
+    """Traced runs across topology × architecture (E19).
+
+    Every cell runs with the message-lifecycle tracer on and reduces the
+    recorded events to the headline observability numbers: chain
+    coverage (≥99% of applied remote copies must reconstruct their full
+    issue→send→wire→deliver→apply chain), end-to-end p50/p99 in kernel
+    time, and the stage that dominates the p99 budget.  The workload and
+    batching match the differential harness, so the same traces feed
+    ``tools/trace_report.py`` unchanged.
+
+    ``replicas`` stays modest by default: both architectures here build
+    the exact Definition 5 edge sets, which is exponential on cliques.
+    """
+    from ..obs import assemble_spans, complete_chains, coverage, stage_breakdown
+
+    rows: List[ObservabilityRow] = []
+    placements = {
+        "clique": clique_placement(replicas),
+        "tree": tree_placement(replicas),
+    }
+    for topology_name, placement in placements.items():
+        graph = ShareGraph.from_placement(placement)
+        workload = poisson_workload(
+            graph, rate=rate, duration=duration, write_fraction=0.7, seed=seed
+        )
+        for architecture in ("peer-to-peer", "client-server"):
+            if architecture == "peer-to-peer":
+                host: SimulationHost = Cluster(
+                    graph, seed=seed,
+                    batching=BatchingConfig(max_messages=16, max_delay=2.0),
+                )
+            else:
+                host = ClientServerCluster.with_colocated_clients(
+                    graph, seed=seed,
+                    batching=BatchingConfig(max_messages=16, max_delay=2.0),
+                )
+            recorder = host.enable_tracing()
+            result = run_open_loop(host, workload)
+            spans = assemble_spans(recorder.events)
+            complete, applied = coverage(spans)
+            chains = complete_chains(spans)
+            breakdown = stage_breakdown(chains)
+            hop_labels = [label for label in breakdown if label != "end-to-end"]
+            dominant = max(hop_labels, key=lambda label: breakdown[label].p99)
+            rows.append(ObservabilityRow(
+                architecture=architecture,
+                topology=topology_name,
+                events=len(recorder.events),
+                applied=applied,
+                complete=complete,
+                coverage=complete / applied if applied else 1.0,
+                end_to_end_p50=breakdown["end-to-end"].p50,
+                end_to_end_p99=breakdown["end-to-end"].p99,
+                dominant_stage=dominant,
+                consistent=result.consistent,
+            ))
+    return rows
+
+
+def render_observability(rows: Sequence[ObservabilityRow]) -> str:
+    """Text table of the E19 traced-run matrix."""
+    return render_table(
+        [
+            "arch", "topology", "events", "applied", "complete",
+            "coverage", "e2e p50", "e2e p99", "dominant stage", "consistent",
+        ],
+        [
+            (
+                r.architecture,
+                r.topology,
+                r.events,
+                r.applied,
+                r.complete,
+                f"{r.coverage:.4f}",
+                f"{r.end_to_end_p50:.2f}",
+                f"{r.end_to_end_p99:.2f}",
+                r.dominant_stage,
+                "yes" if r.consistent else "NO",
+            )
+            for r in rows
+        ],
+    )

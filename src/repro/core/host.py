@@ -341,6 +341,10 @@ class ReplicaHost:
         #: Event traces of replicas that have left the configuration —
         #: their history stays part of the checked execution.
         self._retired_events: Dict[ReplicaId, Tuple[ReplicaEvent, ...]] = {}
+        #: The attached :class:`~repro.obs.trace.TraceRecorder`, if any;
+        #: ``None`` on the untraced fast path (one ``is not None`` check
+        #: per hook — the overhead contract the E19 benchmark gates).
+        self.tracer: Optional["Any"] = None
 
     @property
     def now(self) -> float:
@@ -453,6 +457,9 @@ class ReplicaHost:
 
     def _note_issue(self, update: Update) -> None:
         self._issue_times[update.uid] = self.now
+        if self.tracer is not None:
+            self.tracer.record("issue", update.uid, update.uid[0],
+                               update.uid[0], self.now)
 
     def _apply_ready(self, replica: CausalReplica, force: bool = False) -> List[Update]:
         """Run a replica's apply loop and record the unified metrics."""
@@ -463,6 +470,10 @@ class ReplicaHost:
             issued_at = self._issue_times.get(update.uid)
             if issued_at is not None:
                 self.metrics.apply_latencies.append(self.now - issued_at)
+        if self.tracer is not None:
+            for update in applied:
+                self.tracer.record("apply", update.uid, update.uid[0],
+                                   replica.replica_id, self.now)
         if applied and self.fault_injector is not None:
             self.fault_injector.note_applies(replica.replica_id, applied, self.now)
         if applied and self.reconfig_manager is not None:
@@ -492,6 +503,10 @@ class ReplicaHost:
             issued_at = self._issue_times.get(update.uid)
             if issued_at is not None:
                 self.metrics.apply_latencies.append(self.now - issued_at)
+        if self.tracer is not None:
+            for update in applied:
+                self.tracer.record("apply", update.uid, update.uid[0],
+                                   replica.replica_id, self.now)
         if applied and self.fault_injector is not None:
             self.fault_injector.note_applies(replica.replica_id, applied, self.now)
         if applied and self.reconfig_manager is not None:

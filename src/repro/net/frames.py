@@ -23,7 +23,11 @@ sending replica):
 
 * ``CONTROL_HELLO``, ``ADDR`` (a peer moved), ``OP`` / ``OP_REPLY`` (client
   operations), ``STATS_REQ`` / ``STATS`` (quiescence counters),
-  ``REPORT_REQ`` / ``REPORT`` (end-of-run traces), ``SHUTDOWN``.
+  ``REPORT_REQ`` / ``REPORT`` (end-of-run traces), ``SHUTDOWN``;
+* ``TELEMETRY`` — a node-initiated metrics sample: flat ``(name, labels,
+  value)`` triples pushed periodically over whatever control connections
+  are open, so the launcher sees queue depths and wire-byte counters
+  *during* the run, not only in the end-of-run report.
 
 Hot-path frames (batches, acks, syncs, ops) are encoded with the
 :mod:`repro.wire` primitives — compact, versioned, and shared with the
@@ -65,6 +69,7 @@ STATS = 21
 REPORT_REQ = 22
 REPORT = 23
 SHUTDOWN = 24
+TELEMETRY = 25
 
 #: Operation status codes in ``OP_REPLY``.
 OP_OK = 0
@@ -271,6 +276,60 @@ def decode_stats_payload(data: bytes) -> Tuple[NodeStats, dict, dict]:
     inbox, offset = _decode_peer_counts(data, offset)
     _expect_end(data, offset, "STATS")
     return stats, outbox, inbox
+
+
+# ----------------------------------------------------------------------
+# TELEMETRY — periodic metrics samples, node → subscribers
+# ----------------------------------------------------------------------
+
+#: One telemetry sample: ``(metric name, sorted label items, value)`` —
+#: the flat shape :func:`repro.obs.registry.fold_samples` consumes.
+TelemetrySample = Tuple[str, Tuple[Tuple[str, str], ...], float]
+
+
+def encode_telemetry_payload(
+    sampled_at: float, replica_id: ReplicaId,
+    samples: Iterable[TelemetrySample],
+) -> bytes:
+    """One TELEMETRY frame: sample time, reporting node, then the samples.
+
+    Values ride :func:`~repro.wire.codecs.encode_value` so both integer
+    counters and float gauges survive the trip exactly; names and label
+    keys/values are atoms.
+    """
+    samples = list(samples)
+    out = bytearray(encode_value(sampled_at))
+    out += encode_atom(replica_id)
+    out += encode_uvarint(len(samples))
+    for name, labels, value in samples:
+        out += encode_atom(name)
+        out += encode_uvarint(len(labels))
+        for key, label_value in labels:
+            out += encode_atom(key)
+            out += encode_atom(label_value)
+        out += encode_value(value)
+    return bytes(out)
+
+
+def decode_telemetry_payload(
+    data: bytes,
+) -> Tuple[float, ReplicaId, List[TelemetrySample]]:
+    sampled_at, offset = decode_value(data)
+    replica_id, offset = decode_atom(data, offset)
+    count, offset = decode_uvarint(data, offset)
+    samples: List[TelemetrySample] = []
+    for _ in range(count):
+        name, offset = decode_atom(data, offset)
+        nlabels, offset = decode_uvarint(data, offset)
+        labels = []
+        for _ in range(nlabels):
+            key, offset = decode_atom(data, offset)
+            label_value, offset = decode_atom(data, offset)
+            labels.append((key, label_value))
+        value, offset = decode_value(data, offset)
+        samples.append((name, tuple(labels), value))
+    _expect_end(data, offset, "TELEMETRY")
+    return sampled_at, replica_id, samples
 
 
 def _expect_end(data: bytes, offset: int, kind: str) -> None:

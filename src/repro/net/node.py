@@ -56,7 +56,7 @@ from ..core.protocol import CausalReplica, UpdateId, UpdateMessage
 from ..core.registers import Register, ReplicaId
 from ..core.replica import EdgeIndexedReplica
 from ..core.share_graph import ShareGraph
-from ..sim.engine import ReliabilityConfig
+from ..sim.engine import ChannelWireStats, ReliabilityConfig
 from ..wire.batch import MessageBatch, decode_batch, encode_batch
 from ..wire.channel import ChannelDeltaDecoder, ChannelDeltaEncoder
 from ..wire.primitives import WireFormatError
@@ -120,6 +120,13 @@ class NodeConfig:
     clock_origin: float = 0.0
     reconnect_backoff: float = 0.05
     reconnect_backoff_max: float = 1.0
+    #: Record the message-lifecycle trace (issue/send/wire/deliver/apply
+    #: stamps, wall time relative to ``clock_origin``); off by default —
+    #: the untraced hot path pays one ``is not None`` check per hook.
+    tracing: bool = False
+    #: Push a ``TELEMETRY`` frame (queue depths, wire-byte counters) over
+    #: every open control connection each interval; ``0`` disables.
+    telemetry_interval: float = 0.0
 
 
 @dataclass
@@ -228,6 +235,10 @@ class _ChannelSender:
         """Join the channel's FIFO stream (blocks when saturated)."""
         self.node.counters["enqueued"] += 1
         self.inflight.add(message.update.uid)
+        if self.node.tracer is not None:
+            self.node.tracer.record("send", message.update.uid,
+                                    self.node.replica_id, self.destination,
+                                    self.node.host.now)
         await self.queue.put(message)
 
     def offer(self, message: UpdateMessage) -> bool:
@@ -322,8 +333,12 @@ class _ChannelSender:
             messages=tuple(window),
         )
         self.seq += 1
-        data, _ = encode_batch(
+        data, sizes = encode_batch(
             batch, encoder=self.encoder, codec=self.node.replica.wire_codec()
+        )
+        self.node.account_wire(
+            (self.node.replica_id, self.destination), sizes,
+            messages=len(window),
         )
         now = time.time()
         for message in window:
@@ -331,6 +346,12 @@ class _ChannelSender:
             attempts = self.outstanding.get(uid, (None, 0.0, 0))[2]
             self.outstanding[uid] = (message, now, attempts + 1)
         self.node.counters["sent"] += len(window)
+        if self.node.tracer is not None:
+            flushed_at = self.node.host.now
+            for message in window:
+                self.node.tracer.record("wire", message.update.uid,
+                                        self.node.replica_id,
+                                        self.destination, flushed_at)
         writer.write(encode_frame(frames.BATCH, data))
         await writer.drain()
 
@@ -405,7 +426,23 @@ class ReplicaNode:
             "ops_done": 0, "issued": 0, "enqueued": 0, "sent": 0,
             "received": 0, "delivered": 0, "duplicates": 0,
             "retransmissions": 0, "resyncs": 0,
+            "delta_frames": 0, "full_frames": 0,
         }
+        #: Byte-accurate per-channel outgoing wire books, fed by every
+        #: channel flush — the live mirror of the simulator's
+        #: ``NetworkStats.per_channel`` (same ``ChannelWireStats`` shape,
+        #: so the differential harness can assert byte parity).
+        self.wire_stats: Dict[Channel, ChannelWireStats] = {}
+        #: The lifecycle trace recorder (``None`` unless ``tracing`` is on);
+        #: shared with the host so issue/apply stamps land in the same list
+        #: as this node's send/wire/deliver stamps.
+        self.tracer: Optional[Any] = None
+        if config.tracing:
+            from ..obs.trace import TraceRecorder
+            self.tracer = TraceRecorder()
+            self.host.tracer = self.tracer
+        #: Control-connection writers subscribed to TELEMETRY pushes.
+        self._telemetry_writers: List[asyncio.StreamWriter] = []
         self.recovered = False
         if config.snapshot_path and os.path.exists(config.snapshot_path):
             self._load_durable_state(config.snapshot_path)
@@ -419,6 +456,26 @@ class ReplicaNode:
         self.port: int = 0
         self._server: Optional[asyncio.base_events.Server] = None
         self._tasks: List[asyncio.Task] = []
+
+    # ------------------------------------------------------------------
+    # Wire accounting
+    # ------------------------------------------------------------------
+    def account_wire(self, channel: Channel, sizes: Any, messages: int) -> None:
+        """Book one flushed batch into the per-channel wire statistics.
+
+        Every flush is one batch; the books use the same
+        :class:`~repro.sim.engine.ChannelWireStats` fields the simulator's
+        ``NetworkStats.per_channel`` keeps, so a clean live run's byte
+        totals are directly comparable to (and asserted against) the sim's.
+        """
+        book = self.wire_stats.setdefault(channel, ChannelWireStats())
+        book.messages += messages
+        book.batches += 1
+        book.header_bytes += sizes.header_bytes
+        book.timestamp_bytes += sizes.timestamp_bytes
+        book.payload_bytes += sizes.payload_bytes
+        self.counters["delta_frames"] += sizes.delta_frames
+        self.counters["full_frames"] += sizes.full_frames
 
     # ------------------------------------------------------------------
     # Durability
@@ -480,6 +537,8 @@ class ReplicaNode:
             self.channels[neighbour] = sender
             self._tasks.append(asyncio.create_task(sender.run()))
         self._tasks.append(asyncio.create_task(self._retransmit_loop()))
+        if self.config.telemetry_interval > 0:
+            self._tasks.append(asyncio.create_task(self._telemetry_loop()))
         try:
             await self.stopping.wait()
         finally:
@@ -496,6 +555,74 @@ class ReplicaNode:
             await asyncio.sleep(interval)
             for sender in self.channels.values():
                 sender.retransmit_due()
+
+    # ------------------------------------------------------------------
+    # Telemetry (live metrics export)
+    # ------------------------------------------------------------------
+    def telemetry_samples(self) -> List[Tuple[str, tuple, float]]:
+        """One flat metrics sample: queue depths, counters, wire books.
+
+        The shape :func:`repro.obs.registry.fold_samples` consumes —
+        ``(name, sorted label items, value)``; cumulative families carry
+        the ``_total`` suffix, instantaneous ones (queue depths, window
+        occupancy) are gauges.
+        """
+        me = (("replica", str(self.replica_id)),)
+        samples: List[Tuple[str, tuple, float]] = [
+            (f"repro_node_{name}_total", me, float(value))
+            for name, value in sorted(self.counters.items())
+        ]
+        samples.append((
+            "repro_node_send_queue_depth", me,
+            float(sum(c.queue.qsize() for c in self.channels.values())),
+        ))
+        samples.append((
+            "repro_node_unacked", me,
+            float(sum(len(c.outstanding) for c in self.channels.values())),
+        ))
+        samples.append((
+            "repro_node_pending_depth", me, float(self.replica.pending_count()),
+        ))
+        for (src, dst), book in sorted(self.wire_stats.items()):
+            channel_labels = (("dst", str(dst)), ("src", str(src)))
+            samples.append((
+                "repro_node_wire_messages_total", channel_labels,
+                float(book.messages)))
+            samples.append((
+                "repro_node_wire_batches_total", channel_labels,
+                float(book.batches)))
+            samples.append((
+                "repro_node_wire_timestamp_bytes_total", channel_labels,
+                float(book.timestamp_bytes)))
+            samples.append((
+                "repro_node_wire_payload_bytes_total", channel_labels,
+                float(book.payload_bytes)))
+        return samples
+
+    async def _telemetry_loop(self) -> None:
+        """Push a TELEMETRY frame to every subscribed control connection."""
+        interval = self.config.telemetry_interval
+        while not self.stopping.is_set():
+            await asyncio.sleep(interval)
+            await self._push_telemetry()
+
+    async def _push_telemetry(self) -> None:
+        if not self._telemetry_writers:
+            return
+        frame = encode_frame(frames.TELEMETRY, frames.encode_telemetry_payload(
+            self.host.now, self.replica_id, self.telemetry_samples()
+        ))
+        alive: List[asyncio.StreamWriter] = []
+        for writer in self._telemetry_writers:
+            if writer.is_closing():
+                continue
+            try:
+                writer.write(frame)
+                await writer.drain()
+            except (OSError, ConnectionError):
+                continue
+            alive.append(writer)
+        self._telemetry_writers = alive
 
     # ------------------------------------------------------------------
     # Resync (the live anti-entropy exchange)
@@ -581,6 +708,8 @@ class ReplicaNode:
             await self._handle_batch(payload, writer, state)
         elif kind == frames.CONTROL_HELLO:
             state["control"] = True
+            if self.config.telemetry_interval > 0:
+                self._telemetry_writers.append(writer)
         elif kind == frames.ADDR:
             replica_id, host, port = frames.decode_addr(payload)
             if replica_id != self.replica_id:
@@ -591,6 +720,16 @@ class ReplicaNode:
             writer.write(encode_frame(frames.STATS, self._stats_payload()))
             await writer.drain()
         elif kind == frames.REPORT_REQ:
+            # Final telemetry sample ahead of the report, on the same
+            # stream: FIFO ordering lands it before the REPORT reply the
+            # launcher blocks on, so even a run shorter than one sampling
+            # interval exports its end-of-run counters.
+            if self.config.telemetry_interval > 0:
+                writer.write(encode_frame(
+                    frames.TELEMETRY, frames.encode_telemetry_payload(
+                        self.host.now, self.replica_id,
+                        self.telemetry_samples(),
+                    )))
             writer.write(encode_frame(frames.REPORT, pickle.dumps(
                 self.report(), protocol=pickle.HIGHEST_PROTOCOL
             )))
@@ -604,6 +743,7 @@ class ReplicaNode:
                             state: Dict[str, Any]) -> None:
         batch, _ = decode_batch(payload, decoder=state["decoder"])
         channel = batch.channel
+        received_at = self.host.now
         uids: List[UpdateId] = []
         fresh = 0
         for message in batch.messages:
@@ -617,6 +757,9 @@ class ReplicaNode:
                 self.streams.setdefault(channel, []).append(uid)
                 self.counters["delivered"] += 1
                 fresh += 1
+                if self.tracer is not None:
+                    self.tracer.record("deliver", uid, channel[0], channel[1],
+                                       received_at)
         if fresh:
             applied = self.host.deliver(list(batch.messages))
             now = self.host.now
@@ -710,6 +853,8 @@ class ReplicaNode:
             "metadata_size": self.replica.metadata_size(),
             "counters": dict(self.counters),
             "recovered": self.recovered,
+            "wire_stats": dict(self.wire_stats),
+            "trace": list(self.tracer.events) if self.tracer is not None else [],
         }
 
 

@@ -43,7 +43,7 @@ import queue
 import socket
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.consistency import ConsistencyChecker, ConsistencyReport
@@ -94,6 +94,9 @@ class ControlLink:
         self._pending_ops: Dict[int, List[Any]] = {}
         self._ops_lock = threading.Lock()
         self.op_replies: Dict[int, Tuple[float, int, Any]] = {}
+        #: TELEMETRY pushes collected by the reader thread, in arrival
+        #: order: ``(sample time, replica id, samples)`` triples.
+        self.telemetry: List[Tuple[float, Any, list]] = []
         self.send(frames.CONTROL_HELLO)
         self._reader = threading.Thread(target=self._read_loop, daemon=True)
         self._reader.start()
@@ -169,6 +172,8 @@ class ControlLink:
             self._stats.put(payload)
         elif kind == frames.REPORT:
             self._reports.put(payload)
+        elif kind == frames.TELEMETRY:
+            self.telemetry.append(frames.decode_telemetry_payload(payload))
 
 
 # ======================================================================
@@ -192,6 +197,11 @@ class LiveRunResult:
     metrics: RunMetrics
     #: Wall-clock seconds the workload + drain took (the live makespan).
     wall_duration: float = 0.0
+    #: Per-node TELEMETRY streams collected during the run: replica id →
+    #: ``[(sample time, replica id, samples), …]`` in arrival order.
+    telemetry: Dict[ReplicaId, List[Tuple[float, ReplicaId, list]]] = field(
+        default_factory=dict
+    )
 
     def events_by_replica(self) -> Dict[ReplicaId, Sequence[ReplicaEvent]]:
         """Each node's local issue/apply/read trace."""
@@ -229,6 +239,33 @@ class LiveRunResult:
         """The final value of ``register`` at every replica storing it."""
         return dict(self.final_state().get(register, {}))
 
+    def trace_events(self) -> List[Tuple[float, str, UpdateId, ReplicaId, ReplicaId]]:
+        """The merged cluster-wide lifecycle trace, sorted by time.
+
+        Every node records into its own process-local
+        :class:`~repro.obs.trace.TraceRecorder` against the shared
+        ``clock_origin``, so concatenating the per-node event lists yields
+        one coherent wall-relative trace — the same cross-process join the
+        apply-latency merge performs, keyed by update id.
+        """
+        events: List[Any] = []
+        for report in self.reports.values():
+            events.extend(report.get("trace", ()))
+        events.sort()
+        return events
+
+    def channel_wire_stats(self) -> Dict[Channel, Any]:
+        """Per-channel outgoing wire books, merged across nodes.
+
+        Each directed channel is owned by exactly one sending node, so the
+        merge is a plain union — the live counterpart of the simulator's
+        ``NetworkStats.per_channel``.
+        """
+        out: Dict[Channel, Any] = {}
+        for report in self.reports.values():
+            out.update(report.get("wire_stats", {}))
+        return out
+
     @property
     def delivered_ops_per_sec(self) -> float:
         """Remote applies per wall-clock second over the whole run."""
@@ -252,6 +289,7 @@ def merge_reports(
     crashes: int = 0,
     restarts: int = 0,
     downtime: Optional[Dict[ReplicaId, List[Tuple[float, float]]]] = None,
+    telemetry: Optional[Dict[ReplicaId, List[Tuple[float, ReplicaId, list]]]] = None,
 ) -> LiveRunResult:
     """Fold per-node reports into one cluster-wide :class:`LiveRunResult`.
 
@@ -297,6 +335,7 @@ def merge_reports(
         reports=reports,
         metrics=metrics,
         wall_duration=wall_duration,
+        telemetry=dict(telemetry or {}),
     )
 
 
@@ -330,6 +369,14 @@ class LiveCluster:
     durable_dir:
         Directory for per-node snapshot files; required for
         :meth:`kill`/:meth:`restart` recovery.  ``None`` runs diskless.
+    tracing:
+        Record the message-lifecycle trace at every node (wall-relative
+        stamps against the shared clock origin); the merged trace comes
+        back via :meth:`LiveRunResult.trace_events`.
+    telemetry_interval:
+        Seconds between ``TELEMETRY`` pushes from each node over the
+        control link (``0`` disables); samples land on
+        :attr:`LiveRunResult.telemetry`.
     """
 
     def __init__(
@@ -340,6 +387,8 @@ class LiveCluster:
         reliability: Optional[ReliabilityConfig] = None,
         durable_dir: Optional[str] = None,
         listen_host: str = "127.0.0.1",
+        tracing: bool = False,
+        telemetry_interval: float = 0.0,
     ) -> None:
         self.share_graph = share_graph
         self.listen_host = listen_host
@@ -376,6 +425,8 @@ class LiveCluster:
                 reliability=reliability,
                 snapshot_path=snapshot_path,
                 clock_origin=self.clock_origin,
+                tracing=tracing,
+                telemetry_interval=telemetry_interval,
             ))
 
     # ------------------------------------------------------------------
@@ -617,6 +668,11 @@ class LiveCluster:
                     f"cannot collect from down replica {rid!r}; restart it first"
                 )
             reports[rid] = link.request_report()
+        telemetry = {
+            rid: list(member.link.telemetry)
+            for rid, member in sorted(self._members.items())
+            if member.link is not None and member.link.telemetry
+        }
         return merge_reports(
             self.share_graph,
             reports,
@@ -626,4 +682,5 @@ class LiveCluster:
             crashes=self._crashes,
             restarts=self._restarts,
             downtime=self._downtime,
+            telemetry=telemetry,
         )

@@ -1,0 +1,124 @@
+"""Causal message-lifecycle tracing: one op's path, stage by stage.
+
+The protocol already carries a globally unique identity on every wire
+message — the update id ``(issuer, seq)`` minted when the op is issued —
+so tracing needs no id machinery of its own: the uid *is* the trace id,
+and every layer that touches a message can stamp ``(time, stage, uid,
+src, dst)`` into a :class:`TraceRecorder`.  The recorded stages mirror
+the message lifecycle documented in ``docs/ARCHITECTURE.md``:
+
+``issue``
+    The op executes at its issuing replica (once per uid).
+``send``
+    One destination copy is handed to the transport (simulator) or joins
+    its channel's FIFO send queue (live runtime) — one event per
+    ``(uid, destination)``.
+``wire``
+    The copy's batching window flushes and the encoded frame goes on the
+    wire.  ``wire − send`` is the batching-window wait.
+``deliver``
+    The copy arrives at its destination (kernel delivery event, or read
+    off the TCP socket).  ``deliver − wire`` is the transport latency.
+``apply``
+    The destination's apply loop applies the update.  ``apply − deliver``
+    is the pending-buffer (causal-wait) time.
+
+Times are *host time*: simulated units in the simulator, wall-clock
+seconds relative to the cluster's shared ``clock_origin`` in the live
+runtime — the same convention :class:`~repro.core.host.RunMetrics` uses,
+so live recorders on different processes produce mutually comparable
+timestamps and the launcher can join their events by uid exactly the way
+it joins apply latencies.
+
+The hooks are zero-cost when disabled: every instrumented layer keeps a
+``tracer`` attribute that is ``None`` by default and guards each record
+with one ``is not None`` check (the overhead contract is gated by
+``benchmarks/bench_protocol_micro.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Tuple, Union
+
+from ..core.protocol import UpdateId
+from ..core.registers import ReplicaId
+
+#: The lifecycle stages, in causal order.
+ISSUE = "issue"
+SEND = "send"
+WIRE = "wire"
+DELIVER = "deliver"
+APPLY = "apply"
+STAGES: Tuple[str, ...] = (ISSUE, SEND, WIRE, DELIVER, APPLY)
+
+#: One recorded event: ``(time, stage, uid, src, dst)``.
+TraceEvent = Tuple[float, str, UpdateId, ReplicaId, ReplicaId]
+
+
+class TraceRecorder:
+    """An append-only span/event recorder (one per host or node process).
+
+    Deliberately minimal: the hot-path cost of an enabled recorder is one
+    tuple construction and one list append per event, and a disabled
+    recorder costs the caller a single ``is not None`` check.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, stage: str, uid: UpdateId, src: ReplicaId,
+               dst: ReplicaId, time: float) -> None:
+        """Stamp one lifecycle event (hot path)."""
+        self.events.append((time, stage, uid, src, dst))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    """One event as the JSONL record ``trace_report`` consumes."""
+    time, stage, uid, src, dst = event
+    return {"t": time, "stage": stage, "uid": list(uid), "src": src, "dst": dst}
+
+
+def event_from_dict(record: dict) -> TraceEvent:
+    """Inverse of :func:`event_to_dict` (uid back to a hashable tuple)."""
+    issuer, seq = record["uid"]
+    return (record["t"], record["stage"], (issuer, seq),
+            record["src"], record["dst"])
+
+
+def write_trace_jsonl(events: Iterable[TraceEvent],
+                      path_or_file: Union[str, IO[str]]) -> int:
+    """Dump events as JSON Lines (one event per line); returns the count.
+
+    Events are written sorted by time so dumps from several recorders
+    (e.g. the per-process recorders of a live run) can be concatenated
+    into one coherent trace by merging their event lists first.
+    """
+    ordered = sorted(events)
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            return write_trace_jsonl(ordered, handle)
+    for event in ordered:
+        path_or_file.write(json.dumps(event_to_dict(event)) + "\n")
+    return len(ordered)
+
+
+def load_trace_jsonl(path_or_file: Union[str, IO[str]]) -> List[TraceEvent]:
+    """Load a JSONL trace dump back into event tuples (blank lines skipped)."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "r", encoding="utf-8") as handle:
+            return load_trace_jsonl(handle)
+    events: List[TraceEvent] = []
+    for line in path_or_file:
+        line = line.strip()
+        if line:
+            events.append(event_from_dict(json.loads(line)))
+    return events

@@ -515,6 +515,9 @@ class Transport:
         #: Per-channel stream epoch, bumped when a crash severs the stream
         #: (see :class:`BatchDeliveryEvent`).
         self._channel_epoch: Dict[Channel, int] = {}
+        #: The attached :class:`~repro.obs.trace.TraceRecorder`, if any;
+        #: ``None`` on the untraced fast path.
+        self.tracer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Fault-subsystem configuration
@@ -602,6 +605,10 @@ class Transport:
             destination_log = self._sent_log.setdefault(message.destination, {})
             destination_log[message.update.uid] = (self.kernel.now, message)
 
+        if self.tracer is not None:
+            self.tracer.record("send", message.update.uid, message.sender,
+                               message.destination, self.kernel.now)
+
         if self._batching is not None and delay is None:
             self._enqueue_for_batch(message)
             return
@@ -609,7 +616,11 @@ class Transport:
         channel = (message.sender, message.destination)
         # Unbatched messages ship as standalone envelopes with full
         # timestamp frames (delta frames need the per-channel FIFO stream
-        # only the batching transport provides).
+        # only the batching transport provides).  No window means the copy
+        # hits the wire immediately: its ``wire`` stamp equals its ``send``.
+        if self.tracer is not None:
+            self.tracer.record("wire", message.update.uid, message.sender,
+                               message.destination, self.kernel.now)
         self._account_single(message)
         if self._blocked(channel):
             self._held_messages.append((self.kernel.now, message))
@@ -674,6 +685,10 @@ class Transport:
         self.stats.batches_sent += 1
         self.stats.batched_messages_sent += len(batch.messages)
         self.stats.account_wire(channel, sizes, messages=len(batch.messages), batches=1)
+        if self.tracer is not None:
+            for message in batch.messages:
+                self.tracer.record("wire", message.update.uid, channel[0],
+                                   channel[1], self.kernel.now)
         if self._reliability is not None:
             for sent_at, message in window:
                 self._track(message, sent_at)
@@ -796,6 +811,10 @@ class Transport:
     def record_delivery(self, event: DeliveryEvent, time: float) -> None:
         """Account for one fired :class:`DeliveryEvent` in the statistics."""
         self._note_message_delivered(event.message, event.sent_at, time)
+        if self.tracer is not None:
+            message = event.message
+            self.tracer.record("deliver", message.update.uid, message.sender,
+                               message.destination, time)
 
     def record_batch_delivery(self, event: BatchDeliveryEvent, time: float) -> None:
         """Account for every message of a delivered batch.
@@ -806,6 +825,10 @@ class Transport:
         """
         for message, sent_at in zip(event.batch.messages, event.sent_times):
             self._note_message_delivered(message, sent_at, time)
+        if self.tracer is not None:
+            for message in event.batch.messages:
+                self.tracer.record("deliver", message.update.uid,
+                                   message.sender, message.destination, time)
 
     def note_lost_delivery(self, event: DeliveryEvent) -> None:
         """Account for a delivery discarded because its destination is down.
@@ -1163,6 +1186,24 @@ class SimulationHost(ReplicaHost):
     def now(self) -> float:
         """Current simulated time."""
         return self.kernel.now
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def enable_tracing(self, recorder: Optional[Any] = None) -> Any:
+        """Attach a message-lifecycle :class:`~repro.obs.trace.TraceRecorder`.
+
+        One recorder covers host and transport, so every stage of every
+        op — issue, send, wire, deliver, apply — lands in one event list
+        (simulated-time stamps).  Returns the recorder.  Tracing is off by
+        default; untraced runs pay a single ``is not None`` check per hook.
+        """
+        if recorder is None:
+            from ..obs.trace import TraceRecorder
+            recorder = TraceRecorder()
+        self.tracer = recorder
+        self.transport.tracer = recorder
+        return recorder
 
     # ------------------------------------------------------------------
     # Event scheduling

@@ -38,6 +38,11 @@ class ChannelDeltaEncoder:
         #: form — cleared, not reallocated, per call, so repeated encodes
         #: keep one grown-to-size backing allocation.
         self._scratch = bytearray()
+        #: Optional frame observer ``(channel, sizes) -> None``; ``None``
+        #: by default so untraced encoding pays one ``is not None`` check.
+        #: The observability layer uses it to count delta-vs-full frames
+        #: live (:func:`repro.obs.publish.attach_encoder_observer`).
+        self.on_frame: Optional[Any] = None
 
     def encode_message_into(
         self,
@@ -51,6 +56,8 @@ class ChannelDeltaEncoder:
         prev = self._last.get(channel)
         sizes = encode_message_frame_into(out, message, codec=codec, prev=prev)
         self._last[channel] = message.metadata
+        if self.on_frame is not None:
+            self.on_frame(channel, sizes)
         return sizes
 
     def encode_message(

@@ -61,6 +61,20 @@ class RunOutcome:
     final_state: Tuple[Tuple[Register, Tuple[Tuple[ReplicaId, Any], ...]], ...]
     #: channel -> first-receipt uid stream.
     streams: Tuple[Tuple[Channel, Tuple[UpdateId, ...]], ...]
+    #: channel -> (messages, timestamp bytes, payload bytes): the
+    #: batch-boundary-independent slice of the per-channel wire books.
+    #: Header bytes are deliberately excluded — they scale with the batch
+    #: count, which wall-clock flush timing legitimately changes.  Message
+    #: counts and payload bytes are schedule-determined (exact parity);
+    #: timestamp bytes carry *causal state*, which depends on delivery
+    #: timing, so they are only band-comparable (see
+    #: :func:`assert_equivalent`).
+    wire_books: Tuple[Tuple[Channel, Tuple[int, int, int]], ...] = ()
+    #: ``True`` when no retransmission/resync/duplicate touched the run —
+    #: the precondition for byte parity (the sim re-sends lost copies as
+    #: full-frame singles, the live runtime re-batches them with deltas,
+    #: so only clean runs are byte-comparable).
+    clean: bool = True
 
 
 def _freeze_state(state: Dict[Register, Dict[ReplicaId, Any]]) -> Tuple:
@@ -72,6 +86,15 @@ def _freeze_state(state: Dict[Register, Dict[ReplicaId, Any]]) -> Tuple:
 
 def _freeze_streams(streams: Dict[Channel, Tuple[UpdateId, ...]]) -> Tuple:
     return tuple(sorted((c, tuple(u)) for c, u in streams.items() if u))
+
+
+def _freeze_wire_books(per_channel: Dict[Channel, Any]) -> Tuple:
+    """The byte-parity slice of per-channel wire books (either runtime's)."""
+    return tuple(sorted(
+        (channel, (book.messages, book.timestamp_bytes, book.payload_bytes))
+        for channel, book in per_channel.items()
+        if book.messages
+    ))
 
 
 class RecordingCluster(Cluster):
@@ -138,6 +161,7 @@ def run_sim(
         batching=BatchingConfig(max_messages=16, max_delay=2.0),
     )
     result = run_open_loop(cluster, workload)
+    stats = cluster.network.stats
     return RunOutcome(
         consistent=result.consistent,
         safety_violations=result.safety_violations,
@@ -148,6 +172,9 @@ def run_sim(
         streams=_freeze_streams(
             {c: tuple(u) for c, u in cluster.streams.items()}
         ),
+        wire_books=_freeze_wire_books(stats.per_channel),
+        clean=(stats.retransmissions == 0 and stats.messages_dropped == 0
+               and stats.messages_duplicated == 0),
     )
 
 
@@ -162,12 +189,19 @@ def run_live(
     with LiveCluster(graph, durable_dir=durable_dir) as cluster:
         result = cluster.run_open_loop(workload, time_scale=time_scale)
     report = result.check_consistency()
+    counters = [r.get("counters", {}) for r in result.reports.values()]
     return RunOutcome(
         consistent=report.is_causally_consistent,
         safety_violations=len(report.safety_violations),
         liveness_violations=len(report.liveness_violations),
         final_state=_freeze_state(result.final_state()),
         streams=_freeze_streams(result.channel_streams()),
+        wire_books=_freeze_wire_books(result.channel_wire_stats()),
+        clean=all(
+            c.get("retransmissions", 0) == 0 and c.get("resyncs", 0) == 0
+            and c.get("duplicates", 0) == 0
+            for c in counters
+        ),
     )
 
 
@@ -197,6 +231,51 @@ def assert_equivalent(sim: RunOutcome, live: RunOutcome) -> None:
             f"delivery stream diverged on channel {channel}: "
             f"sim {sim_streams[channel][:5]}… vs live {live_streams[channel][:5]}…"
         )
+    # Byte parity.  On a clean run (no retransmission/resync/duplicate on
+    # either side — those re-send through different paths: the sim ships
+    # full-frame singles, the live node re-batches with deltas) the
+    # per-channel books are comparable at two strengths:
+    #
+    # * **exact** — message counts and payload bytes.  Both are functions
+    #   of the schedule alone: the same update stream crosses each
+    #   channel, and a value's payload encoding does not depend on when
+    #   its message was delivered.
+    # * **banded** — timestamp bytes.  A timestamp is *causal state*: its
+    #   counters record what the issuer had applied at issue time, which
+    #   real delivery timing legitimately perturbs, so the varint/delta
+    #   widths differ between simulated and wall-clock executions.  The
+    #   counter *structure* per message is identical (fixed by the share
+    #   graph), so the totals must still land within 2x of each other —
+    #   wide enough for timing noise, tight enough to catch a broken
+    #   delta chain (which regresses to full frames, a >2x blowup on any
+    #   channel long enough to matter).
+    if sim.clean and live.clean and sim.wire_books and live.wire_books:
+        sim_books = dict(sim.wire_books)
+        live_books = dict(live.wire_books)
+        assert set(sim_books) == set(live_books), (
+            f"wire-book channel sets diverged: "
+            f"sim-only {set(sim_books) - set(live_books)}, "
+            f"live-only {set(live_books) - set(sim_books)}"
+        )
+        for channel in sim_books:
+            sim_messages, sim_ts, sim_payload = sim_books[channel]
+            live_messages, live_ts, live_payload = live_books[channel]
+            assert (sim_messages, sim_payload) == (live_messages, live_payload), (
+                f"wire books diverged on channel {channel}: sim "
+                f"(messages, payload bytes) = {(sim_messages, sim_payload)} "
+                f"vs live {(live_messages, live_payload)}"
+            )
+            assert sim_ts > 0 and live_ts > 0, (
+                f"channel {channel} carried messages but booked no "
+                f"timestamp bytes (sim {sim_ts}, live {live_ts})"
+            )
+            ratio = live_ts / sim_ts
+            assert 0.5 <= ratio <= 2.0, (
+                f"timestamp bytes diverged beyond timing noise on channel "
+                f"{channel}: sim {sim_ts} vs live {live_ts} "
+                f"(ratio {ratio:.2f}; a broken delta chain regresses to "
+                "full frames and trips this)"
+            )
 
 
 def run_differential(

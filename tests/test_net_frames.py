@@ -1,0 +1,162 @@
+"""Control-payload codecs: STATS, TELEMETRY, and their degenerate shapes.
+
+``tests/test_net_framing.py`` covers the framing layer and the basic
+frame round-trips; this module drills into the structured control
+payloads the launcher's drain/observability machinery depends on —
+including the empty and degenerate progress books a freshly booted or
+fully idle node reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import frames
+from repro.wire.primitives import WireFormatError
+
+# ----------------------------------------------------------------------
+# STATS: scalar counters + progress books
+# ----------------------------------------------------------------------
+
+counters = st.integers(min_value=0, max_value=2**40)
+replica_ids = st.one_of(
+    st.integers(min_value=0, max_value=10_000),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+        min_size=1, max_size=12,
+    ),
+)
+books = st.dictionaries(replica_ids, counters, max_size=8)
+
+
+@given(
+    stats=st.builds(
+        frames.NodeStats,
+        **{name: counters for name in frames.NodeStats._FIELDS},
+    ),
+    outbox=books,
+    inbox=books,
+)
+def test_stats_payload_roundtrip(stats, outbox, inbox):
+    payload = frames.encode_stats_payload(stats, outbox, inbox)
+    decoded_stats, decoded_outbox, decoded_inbox = frames.decode_stats_payload(
+        payload
+    )
+    assert decoded_stats == stats
+    assert decoded_outbox == outbox
+    assert decoded_inbox == inbox
+
+
+def test_stats_payload_empty_books():
+    """A freshly booted node: all counters zero, both books empty."""
+    stats = frames.NodeStats()
+    payload = frames.encode_stats_payload(stats, {}, {})
+    decoded_stats, outbox, inbox = frames.decode_stats_payload(payload)
+    assert decoded_stats == frames.NodeStats()
+    assert outbox == {} and inbox == {}
+
+
+def test_stats_payload_zero_valued_books_survive():
+    """A peer with 0 logged updates is still an entry, not an omission."""
+    stats = frames.NodeStats(ops_done=1)
+    payload = frames.encode_stats_payload(stats, {2: 0, 3: 7}, {"w": 0})
+    _, outbox, inbox = frames.decode_stats_payload(payload)
+    assert outbox == {2: 0, 3: 7}
+    assert inbox == {"w": 0}
+
+
+def test_stats_payload_mixed_id_types_order_deterministic():
+    """Int and str replica ids coexist; encoding order is deterministic."""
+    stats = frames.NodeStats()
+    book = {"b": 1, 2: 2, "a": 3, 1: 4}
+    first = frames.encode_stats_payload(stats, book, {})
+    second = frames.encode_stats_payload(stats, dict(reversed(book.items())), {})
+    assert first == second
+    _, decoded, _ = frames.decode_stats_payload(first)
+    assert decoded == book
+
+
+def test_stats_payload_trailing_bytes_rejected():
+    payload = frames.encode_stats_payload(frames.NodeStats(), {}, {})
+    with pytest.raises(WireFormatError):
+        frames.decode_stats_payload(payload + b"\x00")
+
+
+def test_stats_payload_truncated_rejected():
+    payload = frames.encode_stats_payload(frames.NodeStats(issued=300), {1: 9}, {})
+    with pytest.raises(WireFormatError):
+        frames.decode_stats_payload(payload[:-1])
+
+
+# ----------------------------------------------------------------------
+# TELEMETRY: periodic metrics samples
+# ----------------------------------------------------------------------
+
+label_atoms = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1, max_size=16,
+)
+samples_strategy = st.lists(
+    st.tuples(
+        label_atoms,  # metric name
+        st.lists(st.tuples(label_atoms, label_atoms), max_size=3).map(tuple),
+        st.one_of(
+            st.integers(min_value=0, max_value=2**50).map(float),
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+        ),
+    ),
+    max_size=12,
+)
+
+
+@given(
+    sampled_at=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    replica_id=replica_ids,
+    samples=samples_strategy,
+)
+def test_telemetry_payload_roundtrip(sampled_at, replica_id, samples):
+    payload = frames.encode_telemetry_payload(sampled_at, replica_id, samples)
+    decoded_at, decoded_replica, decoded = frames.decode_telemetry_payload(
+        payload
+    )
+    assert decoded_at == sampled_at
+    assert decoded_replica == replica_id
+    assert decoded == samples
+
+
+def test_telemetry_payload_empty_samples():
+    """An idle node's sample list can legitimately be empty."""
+    payload = frames.encode_telemetry_payload(1.5, 3, [])
+    sampled_at, replica_id, samples = frames.decode_telemetry_payload(payload)
+    assert (sampled_at, replica_id, samples) == (1.5, 3, [])
+
+
+def test_telemetry_payload_unlabelled_and_labelled_mix():
+    samples = [
+        ("repro_node_sent_total", (), 42.0),
+        ("repro_node_wire_timestamp_bytes_total",
+         (("dst", "2"), ("src", "1")), 1234.0),
+        ("repro_node_send_queue_depth", (("replica", "1"),), 0.0),
+    ]
+    payload = frames.encode_telemetry_payload(0.25, "node-a", samples)
+    _, _, decoded = frames.decode_telemetry_payload(payload)
+    assert decoded == samples
+
+
+def test_telemetry_payload_trailing_bytes_rejected():
+    payload = frames.encode_telemetry_payload(1.0, 1, [])
+    with pytest.raises(WireFormatError):
+        frames.decode_telemetry_payload(payload + b"\x01")
+
+
+def test_telemetry_frame_kind_is_distinct():
+    """TELEMETRY must not collide with any existing control frame kind."""
+    kinds = {
+        frames.HELLO, frames.SYNC, frames.BATCH, frames.ACK,
+        frames.CONTROL_HELLO, frames.ADDR, frames.OP, frames.OP_REPLY,
+        frames.STATS_REQ, frames.STATS, frames.REPORT_REQ, frames.REPORT,
+        frames.SHUTDOWN, frames.TELEMETRY,
+    }
+    assert len(kinds) == 14

@@ -43,7 +43,26 @@ def _print_stats(profiler: cProfile.Profile, title: str, top: int) -> None:
     stats.strip_dirs().sort_stats("cumulative").print_stats(top)
 
 
-def profile_sim(clique: int, ops: int, top: int) -> None:
+def _stats_records(profiler: cProfile.Profile, top: int) -> list:
+    """The top-N rows as machine-readable records (for ``--json``)."""
+    stats = pstats.Stats(profiler).strip_dirs().sort_stats("cumulative")
+    records = []
+    for func in stats.fcn_list[:top]:  # fcn_list holds the sort order
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, line, name = func
+        records.append({
+            "function": name,
+            "file": filename,
+            "line": line,
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime": tt,
+            "cumtime": ct,
+        })
+    return records
+
+
+def profile_sim(clique: int, ops: int, top: int) -> dict:
     """The clique backlog drain: maximal pending buffers, batched delivery."""
     from repro.baselines.vector_clock_full import full_replication_factory
     from repro.core.share_graph import ShareGraph
@@ -73,9 +92,17 @@ def profile_sim(clique: int, ops: int, top: int) -> None:
         f"sim: clique-{clique} backlog, {ops} writes, {applies} applies",
         top,
     )
+    return {
+        "scenario": "sim",
+        "core": active_core(),
+        "clique": clique,
+        "ops": ops,
+        "applies": applies,
+        "hotspots": _stats_records(profiler, top),
+    }
 
 
-def profile_live(replicas: int, top: int) -> None:
+def profile_live(replicas: int, top: int) -> dict:
     """A real-TCP smoke run: sockets, framing and asyncio in the picture."""
     from repro.core.share_graph import ShareGraph
     from repro.net import LiveCluster
@@ -100,6 +127,14 @@ def profile_live(replicas: int, top: int) -> None:
         f"{result.metrics.applies} applies",
         top,
     )
+    return {
+        "scenario": "live",
+        "core": active_core(),
+        "replicas": replicas,
+        "ops": outcome.completed,
+        "applies": result.metrics.applies,
+        "hotspots": _stats_records(profiler, top),
+    }
 
 
 def main(argv=None) -> int:
@@ -115,12 +150,22 @@ def main(argv=None) -> int:
                         help="live: replica count (default 4)")
     parser.add_argument("--top", type=int, default=20,
                         help="rows to print per table (default 20)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also dump scenario summaries + top-N hotspots "
+                             "as machine-readable JSON")
     args = parser.parse_args(argv)
 
+    results = []
     if args.mode in ("sim", "both"):
-        profile_sim(args.clique, args.ops, args.top)
+        results.append(profile_sim(args.clique, args.ops, args.top))
     if args.mode in ("live", "both"):
-        profile_live(args.replicas, args.top)
+        results.append(profile_live(args.replicas, args.top))
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump({"scenarios": results}, handle, indent=2)
+        print(f"\nwrote profile JSON to {args.json}")
     return 0
 
 
