@@ -1,14 +1,17 @@
 """Quickstart: a live multi-process causal store on localhost.
 
-Boots a real 4-replica cluster — one OS process per replica, one TCP
-connection per share-graph channel carrying the binary wire format — and
-walks the full lifecycle the test suite exercises:
+Boots a real 8-replica cluster co-hosted on 2 multi-tenant nodes — four
+replicas per OS process, channels between co-hosted replicas delivered
+in process, inter-node traffic multiplexed onto one TCP stream per node
+pair carrying the binary wire format — and walks the full lifecycle the
+test suite exercises:
 
 1. **open-loop load** through the live client (writes multicast over the
    channels, reads served locally);
-2. **chaos**: SIGKILL a replica mid-run, watch operations addressed to it
-   get rejected, restart it from its durable snapshot and let the SYNC
-   resync catch it up;
+2. **chaos**: SIGKILL the node hosting replica 2 mid-run (taking all its
+   tenants down), watch operations addressed to them get rejected,
+   restart it from its write-ahead log (checkpoint + tail replay) and
+   let the SYNC resync catch it up;
 3. **verification**: drain the cluster, collect every node's event trace,
    and run the *same* consistency checker the simulator uses over the live
    execution — the simulator is the executable spec, the checker is the
@@ -34,11 +37,13 @@ from repro.sim.workloads import single_writer_workload
 
 
 def main() -> None:
-    graph = ShareGraph.from_placement(pairwise_clique_placement(4))
+    graph = ShareGraph.from_placement(pairwise_clique_placement(8))
     print("share graph:", graph.describe())
 
     with tempfile.TemporaryDirectory() as durable_dir:
-        with LiveCluster(graph, durable_dir=durable_dir) as cluster:
+        # nodes=2 co-hosts the 8 replicas four-per-process; kill/restart
+        # below address the *node* hosting replica 2.
+        with LiveCluster(graph, nodes=2, durable_dir=durable_dir) as cluster:
             # ----------------------------------------------------------
             # Phase 1: healthy open-loop traffic
             # ----------------------------------------------------------
@@ -53,16 +58,17 @@ def main() -> None:
             # Phase 2: SIGKILL replica 2, run degraded, restart, recover
             # ----------------------------------------------------------
             cluster.kill(2)
-            print("killed replica 2 (SIGKILL — no flush, no goodbye)")
+            print("killed the node hosting replica 2 "
+                  "(SIGKILL — no flush, no goodbye)")
             degraded = OpenLoopClient(cluster).run(
                 single_writer_workload(graph, rate=4.0, duration=40.0, seed=2),
                 time_scale=0.001,
             )
             print(f"phase 2: {degraded.completed} completed, "
-                  f"{degraded.rejected} rejected at the dead replica")
+                  f"{degraded.rejected} rejected at the dead node's tenants")
 
             cluster.restart(2)
-            print("restarted replica 2 from its durable snapshot")
+            print("restarted the node from its write-ahead log")
             recovered = OpenLoopClient(cluster).run(
                 single_writer_workload(graph, rate=4.0, duration=40.0, seed=3),
                 time_scale=0.001,
@@ -88,6 +94,8 @@ def main() -> None:
     print(f"restarts recovered:  {result.metrics.restarts}")
     print(f"op latency p50/p99:  {latency.p50 * 1000:.2f} / "
           f"{latency.p99 * 1000:.2f} ms")
+    print(f"open connections:    {result.open_connections()} "
+          f"(vs {len(graph.edges)} share-graph channels)")
     diverged = {
         register: values
         for register, values in result.final_state().items()

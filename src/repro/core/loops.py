@@ -147,8 +147,58 @@ def _loops_from_cycle(
     ``m`` (``1 <= m <= len(cycle) - 2``) is tried: the l-side is
     ``cycle[1:m+1]`` (so ``k = cycle[m]``) and the r-side is ``cycle[m+1:]``
     (so ``j = cycle[m+1]``).
+
+    Conditions (i)–(iii) are evaluated in O(1) per split instead of
+    re-deriving the l-side register unions from scratch (which made one
+    cycle cost O(n²) set unions — prohibitive at 512-replica rings, where
+    every oriented cycle has 511 split points).  The trick: the blocker
+    union only ever grows vertex by vertex along the cycle, so
+
+    * ``X − (X_{l_1} ∪ … ∪ X_{l_p}) ≠ ∅`` iff some register of ``X`` first
+      appears on the cycle tail *after* position ``p`` (or never); each
+      condition collapses to comparing a per-edge "survives until"
+      position — the max over the edge's registers of their first
+      appearance — against the split point;
+    * condition (iii) quantifies over a suffix of cycle edges, so a
+      suffix-minimum over those per-edge positions answers the whole
+      conjunction at once.
+
+    :func:`check_loop_conditions` remains the executable reference; the
+    equivalence is pinned by a property test in ``tests/test_loops.py``.
     """
     n = len(cycle)
+    if n < 3:
+        return
+    absent = n + 1
+    # First tail position (1-indexed) at which each register joins the
+    # blocker union; registers never stored on the tail stay ``absent``.
+    firstpos: Dict[Register, int] = {}
+    for p in range(1, n):
+        for register in graph.registers_at(cycle[p]):
+            if register not in firstpos:
+                firstpos[register] = p
+
+    def survives_until(u: ReplicaId, v: ReplicaId) -> int:
+        # Max over X_uv of the register's first blocking position: the set
+        # X_uv − regs(c_1..c_p) is non-empty iff this exceeds p.
+        best = 0
+        for register in graph.shared_registers(u, v):
+            p = firstpos.get(register, absent)
+            if p > best:
+                best = p
+        return best
+
+    # forward[p] covers the cycle edge leaving tail position p: (c_p, c_{p+1})
+    # for p < n-1, and the implicit closing edge (c_{n-1}, observer) at n-1.
+    forward = [0] * n
+    for p in range(1, n - 1):
+        forward[p] = survives_until(cycle[p], cycle[p + 1])
+    forward[n - 1] = survives_until(cycle[n - 1], observer)
+    # smin[p]: the weakest condition-(iii) edge among tail positions >= p.
+    smin = [absent] * (n + 1)
+    for p in range(n - 1, 0, -1):
+        smin[p] = min(forward[p], smin[p + 1])
+
     for m in range(1, n - 1):
         k = cycle[m]
         j = cycle[m + 1]
@@ -157,10 +207,22 @@ def _loops_from_cycle(
             continue
         if jk not in graph.edges:
             continue
-        l_side = tuple(cycle[1:m + 1])
-        r_side = tuple(cycle[m + 1:])
-        if check_loop_conditions(graph, observer, jk, l_side, r_side):
-            yield Loop(observer=observer, edge=jk, l_side=l_side, r_side=r_side)
+        # (i): X_jk − regs(l_1..l_{s-1}) ≠ ∅  (blockers exclude k = c_m).
+        if survives_until(j, k) < m:
+            continue
+        # (ii): X_{j r_2} − the same prefix ≠ ∅; r_2 is c_{m+2}, or the
+        # observer when the r-side is the single vertex j — either way the
+        # edge leaving tail position m+1.
+        if forward[m + 1] < m:
+            continue
+        # (iii): every r-side edge from r_2 onwards survives regs(l_1..l_s)
+        # (blockers now include k).
+        if m + 2 <= n - 1 and smin[m + 2] < m + 1:
+            continue
+        yield Loop(
+            observer=observer, edge=jk,
+            l_side=tuple(cycle[1:m + 1]), r_side=tuple(cycle[m + 1:]),
+        )
 
 
 def iter_loops(

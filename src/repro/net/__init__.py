@@ -10,18 +10,24 @@ frames over localhost TCP:
   incremental decoder (bytes arrive in arbitrary chunks; frames come out
   whole);
 * :mod:`repro.net.frames` — the small control vocabulary around the data
-  frames: channel hellos, acks, the resync exchange, client operations and
-  the stats/report harness protocol;
-* :mod:`repro.net.node` — one live replica: an asyncio TCP server, one
-  outbound streaming connection per share-graph channel with a FIFO send
-  queue, batching windows and per-channel delta encoding, an ack + resend
-  reliability layer mirroring
-  :class:`~repro.sim.engine.ReliabilityConfig`, and durable snapshots +
-  sent-log so a SIGKILLed process recovers exactly like a simulated crash;
+  frames: node hellos, replica-tagged acks and resync offers, client
+  operations and the stats/report harness protocol;
+* :mod:`repro.net.node` — one live node: an asyncio TCP server hosting
+  many replica *tenants*, one outbound stream per peer **node** (not per
+  share-graph edge) multiplexing every channel between the two nodes with
+  per-channel FIFO queues, batching windows and delta chains, an ack +
+  resend reliability layer mirroring
+  :class:`~repro.sim.engine.ReliabilityConfig`, intra-node short-circuit
+  delivery, and log-structured durability (:mod:`repro.net.wal`) so a
+  SIGKILLed process replays checkpoint + log tail exactly like a
+  simulated crash;
+* :mod:`repro.net.wal` — the checkpoint + write-ahead-log pair behind
+  that durability: O(delta) appends, fsync-then-rename compaction;
 * :mod:`repro.net.runtime` — the multi-process launcher
-  (:class:`~repro.net.runtime.LiveCluster`): spawns one process per
-  replica, drives workloads, detects quiescence, kills/restarts members,
-  and collects the event traces the consistency checker consumes;
+  (:class:`~repro.net.runtime.LiveCluster`): spawns node processes under
+  a replica→node placement, drives workloads, detects quiescence,
+  kills/restarts members, and collects the event traces the consistency
+  checker consumes;
 * :mod:`repro.net.client` — open-loop client load against a live cluster.
 
 The simulator is the test oracle for all of it: the differential harness
@@ -33,17 +39,20 @@ per-channel delivery streams.
 
 from .client import OpenLoopClient
 from .framing import StreamDecoder, encode_frame
-from .node import BatchPolicy, LiveNodeHost, NodeConfig, ReplicaNode
+from .node import BatchPolicy, LiveNode, LiveNodeHost, NodeConfig
 from .runtime import LiveCluster, LiveRunResult
+from .wal import ReplicaWAL, WalCheckpoint
 
 __all__ = [
     "BatchPolicy",
     "LiveCluster",
+    "LiveNode",
     "LiveNodeHost",
     "LiveRunResult",
     "NodeConfig",
     "OpenLoopClient",
-    "ReplicaNode",
+    "ReplicaWAL",
     "StreamDecoder",
+    "WalCheckpoint",
     "encode_frame",
 ]

@@ -78,7 +78,8 @@ class OpenLoopClient:
             op_id = self.cluster.next_op_id()
             try:
                 link.submit_op(
-                    op_id, operation.kind, operation.register, operation.value
+                    op_id, operation.replica_id, operation.kind,
+                    operation.register, operation.value,
                 )
             except OSError:
                 outcome.rejected += 1

@@ -4,20 +4,28 @@ Every frame on a live connection is a ``(kind, payload)`` pair under the
 length-prefixed framing of :mod:`repro.net.framing`.  Two connection roles
 share the vocabulary:
 
-**Channel connections** (one per directed share-graph edge, opened by the
-sending replica):
+**Peer streams** (one per ordered *node* pair, opened by the sending node;
+every channel between replicas hosted on the two nodes is multiplexed onto
+this single connection):
 
-* ``HELLO`` — the sender identifies itself and announces its own listening
-  port, so a restarted peer's new address propagates with its traffic;
-* ``SYNC`` — sent by the *accepting* side immediately after the hello: the
-  update ids it holds durably.  The sender answers by re-sending every
-  sent-log entry outside that set — the live mirror of the simulator's
-  anti-entropy :meth:`~repro.sim.engine.Transport.resync`.  On a first
-  connection the sent-log is empty and the exchange is a no-op;
-* ``BATCH`` — an encoded :class:`~repro.wire.batch.MessageBatch` (the data
-  path; byte-identical to what the simulator's wire accounting measures);
-* ``ACK`` — update ids applied durably by the receiver; the sender retires
-  them from its outstanding set (the ack half of the reliability layer).
+* ``HELLO`` — the connecting *node* identifies itself and announces its own
+  listening port, so a restarted peer's new address propagates with its
+  traffic;
+* ``SYNC`` — sent by the *accepting* side immediately after the hello, once
+  per hosted replica with traffic from the connecting node: the destination
+  replica plus the update ids it holds durably.  The sender answers by
+  re-sending every sent-log entry for that replica outside that set — the
+  live mirror of the simulator's anti-entropy
+  :meth:`~repro.sim.engine.Transport.resync`.  On a first connection the
+  sent-log is empty and the exchange is a no-op;
+* ``BATCH`` — an encoded :class:`~repro.wire.batch.MessageBatch`.  The batch
+  envelope already names its channel ``(sender, destination)``, so frames
+  from many channels interleave on one stream with no extra tag, and the
+  receiver demultiplexes by destination replica (byte-identical to what the
+  simulator's wire accounting measures);
+* ``ACK`` — the destination replica plus the update ids it applied durably;
+  the sending node retires them from that channel's outstanding set (the
+  ack half of the reliability layer).
 
 **Control connections** (harness/client → node):
 
@@ -102,35 +110,56 @@ def decode_uid_list(data: bytes, offset: int = 0) -> Tuple[List[UpdateId], int]:
 
 
 # ----------------------------------------------------------------------
-# HELLO — channel identification
+# Tagged update-id lists (SYNC / ACK payloads on multiplexed streams)
 # ----------------------------------------------------------------------
 
-def encode_hello(sender: ReplicaId, listen_port: int) -> bytes:
-    """The connecting replica's identity and its own server port."""
-    return encode_atom(sender) + encode_uvarint(listen_port)
+def encode_tagged_uids(replica: ReplicaId, uids: Iterable[UpdateId]) -> bytes:
+    """A destination replica plus an update-id list.
+
+    SYNC and ACK frames ride the shared per-node-pair stream, so they name
+    the replica they speak for; the sending node routes the frame to that
+    channel's book-keeping.
+    """
+    return encode_atom(replica) + encode_uid_list(uids)
 
 
-def decode_hello(data: bytes) -> Tuple[ReplicaId, int]:
-    sender, offset = decode_atom(data)
+def decode_tagged_uids(data: bytes) -> Tuple[ReplicaId, List[UpdateId]]:
+    replica, offset = decode_atom(data)
+    uids, offset = decode_uid_list(data, offset)
+    _expect_end(data, offset, "tagged-uid")
+    return replica, uids
+
+
+# ----------------------------------------------------------------------
+# HELLO — peer-stream identification
+# ----------------------------------------------------------------------
+
+def encode_hello(node_id: object, listen_port: int) -> bytes:
+    """The connecting node's identity and its own server port."""
+    return encode_atom(node_id) + encode_uvarint(listen_port)
+
+
+def decode_hello(data: bytes) -> Tuple[object, int]:
+    node_id, offset = decode_atom(data)
     port, offset = decode_uvarint(data, offset)
     _expect_end(data, offset, "HELLO")
-    return sender, port
+    return node_id, port
 
 
 # ----------------------------------------------------------------------
-# ADDR — a peer's (possibly new) address, pushed by the launcher
+# ADDR — a peer node's (possibly new) address, pushed by the launcher
 # ----------------------------------------------------------------------
 
-def encode_addr(replica_id: ReplicaId, host: str, port: int) -> bytes:
-    return encode_atom(replica_id) + encode_atom(host) + encode_uvarint(port)
+def encode_addr(node_id: object, host: str, port: int) -> bytes:
+    return encode_atom(node_id) + encode_atom(host) + encode_uvarint(port)
 
 
-def decode_addr(data: bytes) -> Tuple[ReplicaId, str, int]:
-    replica_id, offset = decode_atom(data)
+def decode_addr(data: bytes) -> Tuple[object, str, int]:
+    node_id, offset = decode_atom(data)
     host, offset = decode_atom(data, offset)
     port, offset = decode_uvarint(data, offset)
     _expect_end(data, offset, "ADDR")
-    return replica_id, host, port
+    return node_id, host, port
 
 
 # ----------------------------------------------------------------------
@@ -140,22 +169,29 @@ def decode_addr(data: bytes) -> Tuple[ReplicaId, str, int]:
 _OP_KINDS = ("write", "read")
 
 
-def encode_op(op_id: int, kind: str, register: object, value: object) -> bytes:
-    """One client operation: id, kind, register, value (writes only)."""
+def encode_op(op_id: int, replica: ReplicaId, kind: str, register: object,
+              value: object) -> bytes:
+    """One client operation: id, target replica, kind, register, value.
+
+    The target replica routes the operation to a tenant on a multi-tenant
+    node — one control connection serves every replica the node hosts.
+    """
     try:
         kind_code = _OP_KINDS.index(kind)
     except ValueError:
         raise WireFormatError(f"unknown operation kind {kind!r}") from None
     return (
         encode_uvarint(op_id)
+        + encode_atom(replica)
         + bytes((kind_code,))
         + encode_atom(register)
         + encode_value(value)
     )
 
 
-def decode_op(data: bytes) -> Tuple[int, str, object, object]:
+def decode_op(data: bytes) -> Tuple[int, ReplicaId, str, object, object]:
     op_id, offset = decode_uvarint(data)
+    replica, offset = decode_atom(data, offset)
     if offset >= len(data):
         raise WireFormatError("truncated OP frame")
     kind_code = data[offset]
@@ -165,7 +201,7 @@ def decode_op(data: bytes) -> Tuple[int, str, object, object]:
     register, offset = decode_atom(data, offset)
     value, offset = decode_value(data, offset)
     _expect_end(data, offset, "OP")
-    return op_id, _OP_KINDS[kind_code], register, value
+    return op_id, replica, _OP_KINDS[kind_code], register, value
 
 
 def encode_op_reply(op_id: int, status: int, value: object = None) -> bytes:
@@ -236,44 +272,58 @@ class NodeStats:
         return cls(**values), offset
 
 
-#: Per-peer durable progress books riding the STATS frame: ``outbox`` is
-#: how many distinct updates this node has ever logged for each peer,
-#: ``inbox`` how many distinct updates it has ever received from each.
-#: Both are derived from crash-surviving state, so the launcher's drain
-#: detection (``outbox[i][j] == inbox[j][i]`` for every channel) stays
-#: sound across kill/restart cycles — in-memory counters die with a
-#: SIGKILL, these books do not.
-PeerCounts = dict
+#: Per-channel durable progress books riding the STATS frame, keyed by the
+#: directed channel ``(src replica, dst replica)``: ``outbox`` is how many
+#: distinct updates this node has ever logged on each outgoing channel,
+#: ``inbox`` how many distinct updates it has ever first-received on each
+#: incoming one.  Both are derived from crash-surviving state, so the
+#: launcher's drain detection (``outbox[(i,j)]`` at ``i``'s node ==
+#: ``inbox[(i,j)]`` at ``j``'s node for every channel) stays sound across
+#: kill/restart cycles — in-memory counters die with a SIGKILL, these
+#: books do not.
+ChannelCounts = dict
 
 
-def _encode_peer_counts(book: dict) -> bytes:
+def _channel_order(channel: tuple) -> tuple:
     # Deterministic order even for mixed int/str replica ids (atoms allow
     # both): ints first, then strings, each sorted.
+    src, dst = channel
+    return (isinstance(src, str), src, isinstance(dst, str), dst)
+
+
+def _encode_channel_counts(book: dict) -> bytes:
     out = bytearray(encode_uvarint(len(book)))
-    for peer in sorted(book, key=lambda p: (isinstance(p, str), p)):
-        out += encode_atom(peer)
-        out += encode_uvarint(book[peer])
+    for channel in sorted(book, key=_channel_order):
+        src, dst = channel
+        out += encode_atom(src)
+        out += encode_atom(dst)
+        out += encode_uvarint(book[channel])
     return bytes(out)
 
 
-def _decode_peer_counts(data: bytes, offset: int) -> Tuple[dict, int]:
+def _decode_channel_counts(data: bytes, offset: int) -> Tuple[dict, int]:
     count, offset = decode_uvarint(data, offset)
     book = {}
     for _ in range(count):
-        peer, offset = decode_atom(data, offset)
-        book[peer], offset = decode_uvarint(data, offset)
+        src, offset = decode_atom(data, offset)
+        dst, offset = decode_atom(data, offset)
+        book[(src, dst)], offset = decode_uvarint(data, offset)
     return book, offset
 
 
 def encode_stats_payload(stats: NodeStats, outbox: dict, inbox: dict) -> bytes:
     """The full ``STATS`` payload: scalar counters + the progress books."""
-    return stats.encode() + _encode_peer_counts(outbox) + _encode_peer_counts(inbox)
+    return (
+        stats.encode()
+        + _encode_channel_counts(outbox)
+        + _encode_channel_counts(inbox)
+    )
 
 
 def decode_stats_payload(data: bytes) -> Tuple[NodeStats, dict, dict]:
     stats, offset = NodeStats.decode_from(data)
-    outbox, offset = _decode_peer_counts(data, offset)
-    inbox, offset = _decode_peer_counts(data, offset)
+    outbox, offset = _decode_channel_counts(data, offset)
+    inbox, offset = _decode_channel_counts(data, offset)
     _expect_end(data, offset, "STATS")
     return stats, outbox, inbox
 

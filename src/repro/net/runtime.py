@@ -1,10 +1,16 @@
-"""The multi-process launcher: a live cluster of replica nodes on localhost.
+"""The multi-process launcher: a live cluster of multi-tenant nodes.
 
-:class:`LiveCluster` spawns one OS process per replica
-(:func:`repro.net.node.node_main` under the ``spawn`` start method, so each
-node owns a clean interpreter and asyncio loop), wires the address map,
-drives client operations over per-node control connections, and collects
-the end-of-run reports the consistency checker consumes.
+:class:`LiveCluster` deploys a share graph onto OS processes under a
+**placement** — a map from node id to the replicas it hosts.  The default
+placement is one replica per node (node id == replica id), the shape every
+pre-existing test drives; ``nodes=k`` splits the sorted replica ids
+contiguously across ``k`` nodes, so a 512-replica graph runs in 8
+processes instead of 512.  Each process is one
+:class:`~repro.net.node.LiveNode` (:func:`repro.net.node.node_main` under
+the ``spawn`` start method, so each node owns a clean interpreter and
+asyncio loop); the launcher wires the node address map, drives client
+operations over per-node control connections, and collects the
+end-of-run reports the consistency checker consumes.
 
 The launcher is deliberately synchronous — plain sockets plus one reader
 thread per control link — so tests and benchmarks drive it like any other
@@ -12,25 +18,27 @@ fixture.  The interesting concurrency all lives in the nodes.
 
 Lifecycle::
 
-    with LiveCluster(graph, durable_dir=tmp) as cluster:   # start() implied
+    with LiveCluster(graph, nodes=8, durable_dir=tmp) as cluster:
         result = cluster.run_open_loop(workload)           # client + drain
         report = result.check_consistency()
 
 Fault injection is first-class: :meth:`LiveCluster.kill` SIGKILLs a node
-mid-run and :meth:`LiveCluster.restart` boots a fresh process from the
-node's durable snapshot; the channel reconnect + ``SYNC`` resync protocol
-(:mod:`repro.net.node`) brings it back in sync, exactly like the
-simulator's crash/restart path.
+mid-run (taking all its tenants down at once) and
+:meth:`LiveCluster.restart` boots a fresh process that replays each
+tenant's checkpoint + WAL tail (:mod:`repro.net.wal`); the stream
+reconnect + ``SYNC`` resync protocol (:mod:`repro.net.node`) brings it
+back in sync, exactly like the simulator's crash/restart path.
 
 **Quiescence detection.**  The launcher polls every node's ``STATS`` frame
 and declares the cluster drained when (a) every per-channel durable
-progress book matches — for each directed share-graph edge ``e_ij``, node
-``i`` has logged exactly as many updates for ``j`` as ``j`` has ever
-received from ``i`` — and (b) every node reports empty send queues, no
-unacked messages and an empty pending buffer, and (c) the whole snapshot
-is stable across consecutive polls.  The books are derived from
-crash-durable state, so the condition stays sound across kill/restart
-cycles.
+progress book matches — for each directed share-graph edge ``(i, j)``,
+``i``'s hosting node has logged exactly as many updates on channel
+``(i, j)`` as ``j``'s hosting node has ever first-received on it — and
+(b) every node reports empty send queues, no unacked messages and an
+empty pending buffer, and (c) the whole snapshot is stable across
+consecutive polls.  The books are keyed by *channel*, not peer, so they
+are placement-independent: co-hosting replicas moves a channel off the
+wire without changing what the books say.
 """
 
 from __future__ import annotations
@@ -44,10 +52,10 @@ import socket
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.consistency import ConsistencyChecker, ConsistencyReport
-from ..core.errors import SimulationError
+from ..core.errors import ConfigurationError, SimulationError
 from ..core.host import LatencySummary, RunMetrics
 from ..core.protocol import ReplicaEvent, UpdateId
 from ..core.registers import Register, ReplicaId
@@ -61,6 +69,8 @@ from .node import (
     BatchPolicy,
     Channel,
     NodeConfig,
+    NodeId,
+    _id_order,
     edge_indexed_factory,
     node_main,
 )
@@ -79,7 +89,9 @@ class ControlLink:
 
     Writes happen on the caller's thread (serialised by a lock); a daemon
     reader thread decodes incoming frames and dispatches operation replies,
-    stats and reports to their waiters.
+    stats and reports to their waiters.  :meth:`close` joins the reader, so
+    every frame the node flushed before exiting — including a REPORT racing
+    the shutdown — is dispatched, never dropped on the floor.
     """
 
     def __init__(self, address: Address, timeout: float = 5.0) -> None:
@@ -95,8 +107,12 @@ class ControlLink:
         self._ops_lock = threading.Lock()
         self.op_replies: Dict[int, Tuple[float, int, Any]] = {}
         #: TELEMETRY pushes collected by the reader thread, in arrival
-        #: order: ``(sample time, replica id, samples)`` triples.
+        #: order: ``(sample time, node id, samples)`` triples.
         self.telemetry: List[Tuple[float, Any, list]] = []
+        #: Frames of unknown kind, surfaced for the harness to inspect
+        #: instead of silently discarded (a version-skewed node speaking a
+        #: newer vocabulary should be a visible condition, not a mystery).
+        self.unclaimed: List[Tuple[int, bytes]] = []
         self.send(frames.CONTROL_HELLO)
         self._reader = threading.Thread(target=self._read_loop, daemon=True)
         self._reader.start()
@@ -106,11 +122,15 @@ class ControlLink:
         with self._send_lock:
             self.sock.sendall(data)
 
-    def submit_op(self, op_id: int, kind: str, register: Any, value: Any) -> None:
-        """Fire one operation (open-loop: the reply arrives asynchronously)."""
+    def submit_op(self, op_id: int, replica: ReplicaId, kind: str,
+                  register: Any, value: Any) -> None:
+        """Fire one operation at a hosted replica (open-loop: the reply
+        arrives asynchronously)."""
         with self._ops_lock:
             self._pending_ops[op_id] = [time.perf_counter()]
-        self.send(frames.OP, frames.encode_op(op_id, kind, register, value))
+        self.send(
+            frames.OP, frames.encode_op(op_id, replica, kind, register, value)
+        )
 
     def outstanding_ops(self) -> int:
         with self._ops_lock:
@@ -138,7 +158,34 @@ class ControlLink:
             ) from None
         return pickle.loads(payload)
 
-    def close(self) -> None:
+    def close(self, timeout: float = 2.0) -> None:
+        """Shut the link down without losing frames already in flight.
+
+        Half-close the socket (we will send no more), then join the reader
+        thread with a timeout: the reader keeps dispatching until the node
+        closes its end, so a REPORT or TELEMETRY frame racing the close
+        still lands in its queue.  Only if the node never hangs up within
+        the timeout is the socket forced closed — a bounded wait, so
+        :meth:`LiveCluster.stop` cannot hang on a wedged node.
+        """
+        try:
+            self.sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+        self._reader.join(timeout=timeout)
+        if self._reader.is_alive():
+            # The node side never closed: force EOF under the reader (a
+            # full shutdown wakes a blocked recv, which a bare close does
+            # not) and give it one more bounded chance to finish.
+            try:
+                self.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self._reader.join(timeout=timeout)
         self.alive = False
         try:
             self.sock.close()
@@ -174,6 +221,8 @@ class ControlLink:
             self._reports.put(payload)
         elif kind == frames.TELEMETRY:
             self.telemetry.append(frames.decode_telemetry_payload(payload))
+        else:
+            self.unclaimed.append((kind, payload))
 
 
 # ======================================================================
@@ -187,7 +236,9 @@ class LiveRunResult:
     The cluster-wide view stitched from the per-node reports: the same
     event traces, metrics and verdicts the simulator produces, fed from
     wall-clock processes — which is exactly what the differential harness
-    compares.
+    compares.  ``reports`` stays keyed by *replica* id regardless of
+    placement (the consistency checker thinks in replicas); the per-node
+    transport footprint lives in ``node_reports``.
     """
 
     share_graph: ShareGraph
@@ -197,14 +248,17 @@ class LiveRunResult:
     metrics: RunMetrics
     #: Wall-clock seconds the workload + drain took (the live makespan).
     wall_duration: float = 0.0
-    #: Per-node TELEMETRY streams collected during the run: replica id →
-    #: ``[(sample time, replica id, samples), …]`` in arrival order.
-    telemetry: Dict[ReplicaId, List[Tuple[float, ReplicaId, list]]] = field(
+    #: Per-node TELEMETRY streams collected during the run: node id →
+    #: ``[(sample time, node id, samples), …]`` in arrival order.
+    telemetry: Dict[Any, List[Tuple[float, Any, list]]] = field(
         default_factory=dict
     )
+    #: Node-level reports (transport footprint, WAL counters), keyed by
+    #: node id; the tenant payloads are flattened into ``reports``.
+    node_reports: Dict[Any, Dict[str, Any]] = field(default_factory=dict)
 
     def events_by_replica(self) -> Dict[ReplicaId, Sequence[ReplicaEvent]]:
-        """Each node's local issue/apply/read trace."""
+        """Each replica's local issue/apply/read trace."""
         return {rid: report["events"] for rid, report in self.reports.items()}
 
     def check_consistency(self, check_liveness: bool = True) -> ConsistencyReport:
@@ -244,9 +298,9 @@ class LiveRunResult:
 
         Every node records into its own process-local
         :class:`~repro.obs.trace.TraceRecorder` against the shared
-        ``clock_origin``, so concatenating the per-node event lists yields
-        one coherent wall-relative trace — the same cross-process join the
-        apply-latency merge performs, keyed by update id.
+        ``clock_origin``, so concatenating the per-replica event lists
+        yields one coherent wall-relative trace — the same cross-process
+        join the apply-latency merge performs, keyed by update id.
         """
         events: List[Any] = []
         for report in self.reports.values():
@@ -255,16 +309,28 @@ class LiveRunResult:
         return events
 
     def channel_wire_stats(self) -> Dict[Channel, Any]:
-        """Per-channel outgoing wire books, merged across nodes.
+        """Per-channel outgoing wire books, merged across replicas.
 
-        Each directed channel is owned by exactly one sending node, so the
-        merge is a plain union — the live counterpart of the simulator's
-        ``NetworkStats.per_channel``.
+        Each directed channel is owned by exactly one sending replica, so
+        the merge is a plain union — the live counterpart of the
+        simulator's ``NetworkStats.per_channel``.  Channels between
+        co-hosted replicas short-circuit in process and never appear: no
+        bytes, no book.
         """
         out: Dict[Channel, Any] = {}
         for report in self.reports.values():
             out.update(report.get("wire_stats", {}))
         return out
+
+    def open_connections(self) -> int:
+        """Cluster-wide transport footprint: outbound streams + inbound
+        sockets (control links included), summed across nodes."""
+        total = 0
+        for report in self.node_reports.values():
+            transport = report.get("transport", {})
+            total += transport.get("open_streams", 0)
+            total += transport.get("inbound_connections", 0)
+        return total
 
     @property
     def delivered_ops_per_sec(self) -> float:
@@ -289,13 +355,14 @@ def merge_reports(
     crashes: int = 0,
     restarts: int = 0,
     downtime: Optional[Dict[ReplicaId, List[Tuple[float, float]]]] = None,
-    telemetry: Optional[Dict[ReplicaId, List[Tuple[float, ReplicaId, list]]]] = None,
+    telemetry: Optional[Dict[Any, List[Tuple[float, Any, list]]]] = None,
+    node_reports: Optional[Dict[Any, Dict[str, Any]]] = None,
 ) -> LiveRunResult:
-    """Fold per-node reports into one cluster-wide :class:`LiveRunResult`.
+    """Fold per-replica reports into one cluster-wide :class:`LiveRunResult`.
 
-    Remote-apply latencies are joined across nodes: each node reports when
-    it applied each update (wall-relative), the issuer reports when it was
-    issued; the difference is the live analogue of the simulator's
+    Remote-apply latencies are joined across replicas: each replica reports
+    when it applied each update (wall-relative), the issuer reports when it
+    was issued; the difference is the live analogue of the simulator's
     issue→apply latency samples.
     """
     metrics = RunMetrics()
@@ -336,6 +403,7 @@ def merge_reports(
         metrics=metrics,
         wall_duration=wall_duration,
         telemetry=dict(telemetry or {}),
+        node_reports=dict(node_reports or {}),
     )
 
 
@@ -343,9 +411,33 @@ def merge_reports(
 # The launcher
 # ======================================================================
 
+def contiguous_placement(
+    share_graph: ShareGraph, nodes: int
+) -> Dict[NodeId, Tuple[ReplicaId, ...]]:
+    """Split the sorted replica ids contiguously across ``nodes`` nodes.
+
+    Contiguity keeps ring/torus neighbours co-hosted, so the short-circuit
+    path absorbs most traffic on locality-friendly topologies.  Node ids
+    are ``"n0" … "n{k-1}"``; empty groups (more nodes than replicas) are
+    dropped.
+    """
+    if nodes < 1:
+        raise ConfigurationError("a live cluster needs at least one node")
+    rids = sorted(share_graph.replica_ids, key=_id_order)
+    count = min(nodes, len(rids))
+    base, extra = divmod(len(rids), count)
+    placement: Dict[NodeId, Tuple[ReplicaId, ...]] = {}
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        placement[f"n{index}"] = tuple(rids[start:start + size])
+        start += size
+    return placement
+
+
 @dataclass
 class _Member:
-    """One cluster member's process-side bookkeeping."""
+    """One node process's launcher-side bookkeeping."""
 
     config: NodeConfig
     process: Any = None
@@ -353,7 +445,7 @@ class _Member:
 
 
 class LiveCluster:
-    """A live deployment of one share graph: one OS process per replica.
+    """A live deployment of one share graph across multi-tenant nodes.
 
     Parameters
     ----------
@@ -367,10 +459,19 @@ class LiveCluster:
         Wire-layer knobs forwarded to every node (seconds, not simulated
         units).
     durable_dir:
-        Directory for per-node snapshot files; required for
+        Directory for per-replica checkpoint + WAL files; required for
         :meth:`kill`/:meth:`restart` recovery.  ``None`` runs diskless.
+    nodes:
+        Host the replicas on this many OS processes (contiguous split of
+        the sorted replica ids).  Default: one node per replica, node id
+        == replica id — the shape single-tenant tests expect.
+    placement:
+        Explicit node id → hosted replica ids map (overrides ``nodes``).
+        Must partition the share graph's replicas exactly.
+    wal_compact_bytes:
+        Per-replica WAL size that triggers compaction into a checkpoint.
     tracing:
-        Record the message-lifecycle trace at every node (wall-relative
+        Record the message-lifecycle trace at every replica (wall-relative
         stamps against the shared clock origin); the merged trace comes
         back via :meth:`LiveRunResult.trace_events`.
     telemetry_interval:
@@ -389,14 +490,17 @@ class LiveCluster:
         listen_host: str = "127.0.0.1",
         tracing: bool = False,
         telemetry_interval: float = 0.0,
+        nodes: Optional[int] = None,
+        placement: Optional[Mapping[NodeId, Sequence[ReplicaId]]] = None,
+        wal_compact_bytes: int = 1 << 18,
     ) -> None:
         self.share_graph = share_graph
         self.listen_host = listen_host
         self.clock_origin = time.time()
         self._ctx = multiprocessing.get_context("spawn")
         self._ready: Any = self._ctx.Queue()
-        self._members: Dict[ReplicaId, _Member] = {}
-        self.addresses: Dict[ReplicaId, Address] = {}
+        self._members: Dict[NodeId, _Member] = {}
+        self.addresses: Dict[NodeId, Address] = {}
         self._op_counter = 0
         self._started = False
         #: Launcher-side fault accounting (the launcher injects the faults,
@@ -412,22 +516,65 @@ class LiveCluster:
         )
         if durable_dir is not None:
             os.makedirs(durable_dir, exist_ok=True)
-        for rid in share_graph.replica_ids:
-            snapshot_path = None
-            if durable_dir is not None:
-                snapshot_path = os.path.join(durable_dir, f"node-{rid}.state")
-            self._members[rid] = _Member(config=NodeConfig(
-                replica_id=rid,
+        self.placement = self._resolve_placement(nodes, placement)
+        #: replica id → hosting node id, the inverse of ``placement``.
+        self._replica_node: Dict[ReplicaId, NodeId] = {
+            rid: node_id
+            for node_id, rids in self.placement.items()
+            for rid in rids
+        }
+        for node_id, rids in self.placement.items():
+            self._members[node_id] = _Member(config=NodeConfig(
+                node_id=node_id,
                 share_graph=share_graph,
+                replica_ids=tuple(rids),
+                replica_nodes=dict(self._replica_node),
                 listen_host=listen_host,
                 replica_factory=replica_factory,
                 batching=batching,
                 reliability=reliability,
-                snapshot_path=snapshot_path,
+                durable_dir=durable_dir,
+                wal_compact_bytes=wal_compact_bytes,
                 clock_origin=self.clock_origin,
                 tracing=tracing,
                 telemetry_interval=telemetry_interval,
             ))
+
+    def _resolve_placement(
+        self,
+        nodes: Optional[int],
+        placement: Optional[Mapping[NodeId, Sequence[ReplicaId]]],
+    ) -> Dict[NodeId, Tuple[ReplicaId, ...]]:
+        if placement is not None:
+            resolved = {
+                node_id: tuple(rids) for node_id, rids in placement.items()
+            }
+            hosted = [rid for rids in resolved.values() for rid in rids]
+            if sorted(hosted, key=_id_order) != sorted(
+                self.share_graph.replica_ids, key=_id_order
+            ) or len(hosted) != len(set(hosted)):
+                raise ConfigurationError(
+                    "placement must partition the share graph's replicas "
+                    "exactly (every replica on exactly one node)"
+                )
+            return resolved
+        if nodes is not None:
+            return contiguous_placement(self.share_graph, nodes)
+        # The single-tenant default: node id == replica id, so fault
+        # injection and link lookup by replica id keep working verbatim.
+        return {
+            rid: (rid,)
+            for rid in sorted(self.share_graph.replica_ids, key=_id_order)
+        }
+
+    def _resolve_node(self, member_id: Any) -> NodeId:
+        """Accept either a node id or a hosted replica id."""
+        if member_id in self._members:
+            return member_id
+        node_id = self._replica_node.get(member_id)
+        if node_id is None:
+            raise LiveRuntimeError(f"unknown node or replica {member_id!r}")
+        return node_id
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -439,8 +586,17 @@ class LiveCluster:
     def __exit__(self, *exc_info: Any) -> None:
         self.stop()
 
-    def start(self, timeout: float = 30.0) -> None:
-        """Boot every node process and wire the address map."""
+    def start(self, timeout: Optional[float] = None) -> None:
+        """Boot every node process and wire the address map.
+
+        The default ready deadline scales with cluster size: every tenant
+        builds its Definition 5 timestamp graph during boot, so a 512-way
+        multi-tenant cluster legitimately takes far longer to come up than
+        an 8-process single-tenant one — especially on a single core,
+        where the node processes serialise.
+        """
+        if timeout is None:
+            timeout = 30.0 + 0.2 * len(self._replica_node)
         if self._started:
             return
         self._started = True
@@ -449,8 +605,8 @@ class LiveCluster:
         deadline = time.monotonic() + timeout
         while len(self.addresses) < len(self._members):
             self._collect_ready(deadline)
-        for rid in sorted(self._members):
-            self._connect_control(rid)
+        for node_id in sorted(self._members, key=_id_order):
+            self._connect_control(node_id)
         self._broadcast_addresses()
 
     def _spawn(self, member: _Member) -> None:
@@ -458,30 +614,32 @@ class LiveCluster:
             target=node_main,
             args=(member.config, self._ready),
             daemon=True,
-            name=f"repro-node-{member.config.replica_id}",
+            name=f"repro-node-{member.config.node_id}",
         )
         member.process.start()
 
     def _collect_ready(self, deadline: float) -> None:
         remaining = deadline - time.monotonic()
         if remaining <= 0:
-            missing = sorted(set(self._members) - set(self.addresses))
+            missing = sorted(
+                set(self._members) - set(self.addresses), key=_id_order
+            )
             raise LiveRuntimeError(f"nodes {missing} never reported ready")
         try:
-            rid, port = self._ready.get(timeout=min(remaining, 0.5))
+            node_id, port = self._ready.get(timeout=min(remaining, 0.5))
         except queue.Empty:
             return
-        self.addresses[rid] = (self.listen_host, port)
+        self.addresses[node_id] = (self.listen_host, port)
 
-    def _connect_control(self, rid: ReplicaId) -> None:
-        member = self._members[rid]
-        member.link = ControlLink(self.addresses[rid])
+    def _connect_control(self, node_id: NodeId) -> None:
+        member = self._members[node_id]
+        member.link = ControlLink(self.addresses[node_id])
 
     def _broadcast_addresses(self) -> None:
-        for rid, address in sorted(self.addresses.items()):
-            payload = frames.encode_addr(rid, *address)
+        for node_id, address in sorted(self.addresses.items(), key=lambda kv: _id_order(kv[0])):
+            payload = frames.encode_addr(node_id, *address)
             for other, member in self._members.items():
-                if other != rid and member.link is not None and member.link.alive:
+                if other != node_id and member.link is not None and member.link.alive:
                     member.link.send(frames.ADDR, payload)
 
     def stop(self, timeout: float = 5.0) -> None:
@@ -507,39 +665,44 @@ class LiveCluster:
     # ------------------------------------------------------------------
     # Fault injection
     # ------------------------------------------------------------------
-    def kill(self, replica_id: ReplicaId) -> None:
+    def kill(self, member_id: Any) -> None:
         """SIGKILL a node mid-run: no warning, no flush, no goodbye.
 
-        The process dies with its in-memory queues; what survives is the
-        durable snapshot + sent-log it last persisted.  Peers' channel
-        connections break and enter their reconnect loops.
+        Accepts a node id or any replica id it hosts; every tenant goes
+        down with the process.  What survives is each tenant's durable
+        checkpoint + WAL tail; peers' streams break and enter their
+        reconnect loops.
         """
-        member = self._members[replica_id]
+        node_id = self._resolve_node(member_id)
+        member = self._members[node_id]
         if member.process is None or not member.process.is_alive():
-            raise LiveRuntimeError(f"replica {replica_id!r} is not running")
+            raise LiveRuntimeError(f"node {node_id!r} is not running")
         member.process.kill()
         member.process.join()
         if member.link is not None:
             member.link.close()
             member.link = None
-        self.addresses.pop(replica_id, None)
+        self.addresses.pop(node_id, None)
         self._crashes += 1
-        self._down_since[replica_id] = time.time() - self.clock_origin
+        down_at = time.time() - self.clock_origin
+        for rid in member.config.replica_ids:
+            self._down_since[rid] = down_at
 
-    def restart(self, replica_id: ReplicaId, timeout: float = 30.0) -> None:
-        """Boot a fresh process for ``replica_id`` from its durable state.
+    def restart(self, member_id: Any, timeout: float = 30.0) -> None:
+        """Boot a fresh process for the node from its durable state.
 
-        The new node loads its snapshot + sent-log, binds a fresh port,
-        reconnects its outbound channels (learning peers from the address
-        map in its config) and answers every peer's ``SYNC`` with the
+        The new node replays each tenant's checkpoint + WAL tail, binds a
+        fresh port, reconnects its peer streams (learning addresses from
+        the map in its config) and answers every peer's ``SYNC`` with the
         updates they missed — the live crash-recovery path.
         """
-        member = self._members[replica_id]
+        node_id = self._resolve_node(member_id)
+        member = self._members[node_id]
         if member.process is not None and member.process.is_alive():
-            raise LiveRuntimeError(f"replica {replica_id!r} is still running")
-        if member.config.snapshot_path is None:
+            raise LiveRuntimeError(f"node {node_id!r} is still running")
+        if member.config.durable_dir is None:
             raise LiveRuntimeError(
-                "restart requires durable snapshots (a diskless node would "
+                "restart requires durable state (a diskless node would "
                 "reissue already-used update ids); construct the cluster "
                 "with durable_dir"
             )
@@ -548,20 +711,21 @@ class LiveCluster:
         )
         self._spawn(member)
         deadline = time.monotonic() + timeout
-        while replica_id not in self.addresses:
+        while node_id not in self.addresses:
             self._collect_ready(deadline)
-        self._connect_control(replica_id)
+        self._connect_control(node_id)
         self._broadcast_addresses()
         self._restarts += 1
-        down_at = self._down_since.pop(replica_id, None)
-        if down_at is not None:
-            self._downtime.setdefault(replica_id, []).append(
-                (down_at, time.time() - self.clock_origin)
-            )
+        up_at = time.time() - self.clock_origin
+        for rid in member.config.replica_ids:
+            down_at = self._down_since.pop(rid, None)
+            if down_at is not None:
+                self._downtime.setdefault(rid, []).append((down_at, up_at))
 
-    def alive(self, replica_id: ReplicaId) -> bool:
+    def alive(self, member_id: Any) -> bool:
         """``True`` while the node's process runs and its link is open."""
-        member = self._members[replica_id]
+        node_id = self._resolve_node(member_id)
+        member = self._members[node_id]
         return (
             member.process is not None
             and member.process.is_alive()
@@ -572,9 +736,17 @@ class LiveCluster:
     # ------------------------------------------------------------------
     # Client operations
     # ------------------------------------------------------------------
-    def link(self, replica_id: ReplicaId) -> Optional[ControlLink]:
-        """The node's control link, or ``None`` while it is down."""
-        member = self._members.get(replica_id)
+    def link(self, member_id: Any) -> Optional[ControlLink]:
+        """The hosting node's control link, or ``None`` while it is down.
+
+        Accepts a node id or a replica id — clients address replicas; the
+        placement decides which process answers.
+        """
+        try:
+            node_id = self._resolve_node(member_id)
+        except LiveRuntimeError:
+            return None
+        member = self._members.get(node_id)
         if member is None or member.link is None or not member.link.alive:
             return None
         return member.link
@@ -606,26 +778,31 @@ class LiveCluster:
     # ------------------------------------------------------------------
     # Quiescence and collection
     # ------------------------------------------------------------------
-    def poll_stats(self) -> Dict[ReplicaId, Tuple[frames.NodeStats, dict, dict]]:
+    def poll_stats(self) -> Dict[NodeId, Tuple[frames.NodeStats, dict, dict]]:
         """One STATS round-trip per live node."""
         out = {}
-        for rid in sorted(self._members):
-            link = self.link(rid)
+        for node_id in sorted(self._members, key=_id_order):
+            link = self.link(node_id)
             if link is not None:
-                out[rid] = link.request_stats()
+                out[node_id] = link.request_stats()
         return out
 
     def _quiescent(
-        self, snapshot: Dict[ReplicaId, Tuple[frames.NodeStats, dict, dict]]
+        self, snapshot: Dict[NodeId, Tuple[frames.NodeStats, dict, dict]]
     ) -> bool:
         if set(snapshot) != set(self._members):
             return False
         for stats, _, _ in snapshot.values():
             if stats.pending or stats.send_queue or stats.unacked:
                 return False
+        # Channel-keyed progress books: compare what i's hosting node has
+        # logged on channel (i, j) against what j's hosting node has
+        # first-received on it.  Placement-independent — an intra-node
+        # channel's books live on the same node, but the comparison is
+        # identical.
         for i, j in self.share_graph.edges:
-            sent = snapshot[i][1].get(j, 0)
-            got = snapshot[j][2].get(i, 0)
+            sent = snapshot[self._replica_node[i]][1].get((i, j), 0)
+            got = snapshot[self._replica_node[j]][2].get((i, j), 0)
             if sent != got:
                 return False
         return True
@@ -653,24 +830,33 @@ class LiveCluster:
             time.sleep(poll_interval)
         raise LiveRuntimeError(
             f"cluster did not quiesce within {timeout}s; last stats: "
-            f"{ {rid: entry[0] for rid, entry in self.poll_stats().items()} }"
+            f"{ {node_id: entry[0] for node_id, entry in self.poll_stats().items()} }"
         )
 
     def collect(self, operation_latencies: Optional[List[float]] = None,
                 rejected_operations: int = 0,
                 wall_duration: float = 0.0) -> LiveRunResult:
         """Fetch every node's report and merge the cluster-wide result."""
-        reports = {}
-        for rid in sorted(self._members):
-            link = self.link(rid)
+        reports: Dict[ReplicaId, Dict[str, Any]] = {}
+        node_reports: Dict[NodeId, Dict[str, Any]] = {}
+        for node_id in sorted(self._members, key=_id_order):
+            link = self.link(node_id)
             if link is None:
                 raise LiveRuntimeError(
-                    f"cannot collect from down replica {rid!r}; restart it first"
+                    f"cannot collect from down node {node_id!r}; restart it first"
                 )
-            reports[rid] = link.request_report()
+            node_report = link.request_report()
+            node_reports[node_id] = {
+                key: value
+                for key, value in node_report.items()
+                if key != "tenants"
+            }
+            reports.update(node_report["tenants"])
         telemetry = {
-            rid: list(member.link.telemetry)
-            for rid, member in sorted(self._members.items())
+            node_id: list(member.link.telemetry)
+            for node_id, member in sorted(
+                self._members.items(), key=lambda kv: _id_order(kv[0])
+            )
             if member.link is not None and member.link.telemetry
         }
         return merge_reports(
@@ -683,4 +869,5 @@ class LiveCluster:
             restarts=self._restarts,
             downtime=self._downtime,
             telemetry=telemetry,
+            node_reports=node_reports,
         )

@@ -1,0 +1,294 @@
+"""Log-structured durability for live replicas: checkpoint + write-ahead log.
+
+Until PR 8 every persist wrote the node's whole durable state as one pickle
+— O(replica state) per operation, the dominant cost of the live hot path
+once histories grow.  This module replaces it with the classic
+log-structured pair:
+
+* a **checkpoint** (``replica-<id>.ckpt``): the full durable state
+  (:class:`WalCheckpoint`) written rarely — at compaction — via the
+  fsync-then-atomic-rename discipline, so a crash at any instant leaves
+  either the old or the new checkpoint intact, never a torn one;
+* a **write-ahead log** (``replica-<id>.wal.<generation>``): one framed
+  record appended per state change, O(delta) per operation.  Records reuse
+  the :mod:`repro.net.framing` envelope and the :mod:`repro.wire` codecs —
+  the bytes in the log are the bytes of the wire.
+
+Recovery loads the checkpoint (if any) and replays the log tail.  Replay
+is deterministic: a ``WRITE`` record re-executes the original
+``replica.write`` at its recorded time, regenerating the *identical*
+update id and outgoing copies (the protocol derives both from durable
+replica state); a ``DELIVER`` record re-applies the received batch; an
+``ACK`` record re-prunes the sent-log.  A SIGKILL can truncate the final
+record mid-append — the replay parser stops at the torn tail and the
+reopened log truncates it away, exactly the prefix-durability a
+write-ahead log promises.
+
+Compaction runs when the log outgrows ``compact_bytes``: snapshot the
+current state into the next-generation checkpoint (fsync, rename), start
+an empty next-generation log, delete the old one.  The generation number
+stored *inside* the checkpoint names the log that extends it, so a crash
+between any two compaction steps recovers an unambiguous pair.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Tuple
+
+from ..core.protocol import UpdateId, UpdateMessage
+from ..core.registers import Register, ReplicaId
+from ..wire.batch import MessageBatch, decode_batch, encode_batch
+from ..wire.codecs import decode_value, encode_value
+from ..wire.primitives import (
+    WireFormatError,
+    decode_atom,
+    decode_uvarint,
+    encode_atom,
+)
+from .framing import MAX_FRAME_SIZE, encode_frame
+
+Channel = Tuple[ReplicaId, ReplicaId]
+
+# Record kinds (disjoint from repro.net.frames kinds only by convention;
+# the namespaces never share a stream).
+W_WRITE = 1
+W_READ = 2
+W_DELIVER = 3
+W_ACK = 4
+
+
+@dataclass
+class WalCheckpoint:
+    """One replica's full durable state at a compaction point."""
+
+    replica: Any  # ReplicaSnapshot
+    sent_log: Dict[ReplicaId, Dict[UpdateId, UpdateMessage]]
+    outbox_total: Dict[ReplicaId, int]
+    streams: Dict[Channel, List[UpdateId]]
+    apply_times: Dict[UpdateId, float]
+    #: The log generation this checkpoint is extended by.
+    generation: int = 0
+    issue_times: Dict[UpdateId, float] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Record payload codecs (wire primitives, same trust domain as the log)
+# ----------------------------------------------------------------------
+
+def encode_write_record(register: Register, value: Any, at: float) -> bytes:
+    return encode_atom(register) + encode_value(value) + encode_value(at)
+
+
+def decode_write_record(payload: bytes) -> Tuple[Register, Any, float]:
+    register, offset = decode_atom(payload)
+    value, offset = decode_value(payload, offset)
+    at, _ = decode_value(payload, offset)
+    return register, value, at
+
+
+def encode_read_record(register: Register, at: float) -> bytes:
+    return encode_atom(register) + encode_value(at)
+
+
+def decode_read_record(payload: bytes) -> Tuple[Register, float]:
+    register, offset = decode_atom(payload)
+    at, _ = decode_value(payload, offset)
+    return register, at
+
+
+def encode_deliver_record(received_at: float, batch: MessageBatch,
+                          codec: Any) -> bytes:
+    # Full frames (no delta chain): every record must replay standalone —
+    # a log is not a stream, compaction may drop any prefix.
+    data, _ = encode_batch(batch, encoder=None, codec=codec)
+    return encode_value(received_at) + data
+
+
+def decode_deliver_record(payload: bytes) -> Tuple[float, MessageBatch]:
+    received_at, offset = decode_value(payload)
+    batch, _ = decode_batch(payload, offset=offset, decoder=None)
+    return received_at, batch
+
+
+def encode_ack_record(destination: ReplicaId, uids: List[UpdateId]) -> bytes:
+    from . import frames
+
+    return encode_atom(destination) + frames.encode_uid_list(uids)
+
+
+def decode_ack_record(payload: bytes) -> Tuple[ReplicaId, List[UpdateId]]:
+    from . import frames
+
+    destination, offset = decode_atom(payload)
+    uids, _ = frames.decode_uid_list(payload, offset)
+    return destination, uids
+
+
+def _parse_records(data: bytes) -> Tuple[List[Tuple[int, bytes]], int]:
+    """Parse framed records; returns ``(records, valid byte length)``.
+
+    Stops — without raising — at a torn tail: a truncated length prefix,
+    kind byte or body ends the valid log, which is exactly what a crash
+    mid-append leaves behind.
+    """
+    records: List[Tuple[int, bytes]] = []
+    offset = 0
+    size = len(data)
+    while offset < size:
+        try:
+            body, after = decode_uvarint(data, offset)
+        except WireFormatError:
+            break
+        if body <= 0 or body > MAX_FRAME_SIZE or after + body > size:
+            break
+        records.append((data[after], bytes(data[after + 1:after + body])))
+        offset = after + body
+    return records, offset
+
+
+class ReplicaWAL:
+    """One replica's durable state: a checkpoint plus an append-only log.
+
+    ``append`` is the per-operation hot path: one framed record, one
+    buffered write, one flush to the OS — O(record), never O(state).
+    ``checkpoint`` is the rare path and the only place the full state is
+    serialised.
+    """
+
+    def __init__(self, directory: str, replica_id: ReplicaId,
+                 compact_bytes: int = 1 << 18) -> None:
+        self.directory = directory
+        self.replica_id = replica_id
+        self.compact_bytes = compact_bytes
+        self.checkpoint_path = os.path.join(directory, f"replica-{replica_id}.ckpt")
+        self.generation = 0
+        self._log: Optional[IO[bytes]] = None
+        #: Bytes appended to the current log generation.
+        self.wal_bytes = 0
+        #: Records appended over this process's lifetime (telemetry).
+        self.records_appended = 0
+        #: Compactions performed over this process's lifetime (telemetry).
+        self.compactions = 0
+
+    def _log_path(self, generation: int) -> str:
+        return os.path.join(
+            self.directory, f"replica-{self.replica_id}.wal.{generation}"
+        )
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def load(self) -> Tuple[Optional[WalCheckpoint], List[Tuple[int, bytes]]]:
+        """Read the durable pair; opens the log for appending.
+
+        Returns ``(checkpoint or None, log records after it)``.  A torn
+        final record is truncated away; an orphaned ``.ckpt.tmp`` (a
+        compaction that never committed) is discarded — the previous
+        checkpoint + log remain authoritative; stale log generations from
+        interrupted compactions are deleted.
+        """
+        checkpoint: Optional[WalCheckpoint] = None
+        if os.path.exists(self.checkpoint_path):
+            with open(self.checkpoint_path, "rb") as handle:
+                checkpoint = pickle.load(handle)
+            self.generation = checkpoint.generation
+        tmp = self.checkpoint_path + ".tmp"
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        records: List[Tuple[int, bytes]] = []
+        valid = 0
+        path = self._log_path(self.generation)
+        if os.path.exists(path):
+            with open(path, "rb") as handle:
+                records, valid = _parse_records(handle.read())
+        self._open_log(truncate_to=valid if os.path.exists(path) else None)
+        self._cleanup_stale()
+        return checkpoint, records
+
+    def _open_log(self, truncate_to: Optional[int] = None) -> None:
+        path = self._log_path(self.generation)
+        if truncate_to is not None:
+            self._log = open(path, "r+b")
+            self._log.truncate(truncate_to)
+            self._log.seek(truncate_to)
+            self.wal_bytes = truncate_to
+        else:
+            self._log = open(path, "wb")
+            self.wal_bytes = 0
+
+    def _cleanup_stale(self) -> None:
+        prefix = f"replica-{self.replica_id}.wal."
+        for name in os.listdir(self.directory):
+            if not name.startswith(prefix):
+                continue
+            try:
+                generation = int(name[len(prefix):])
+            except ValueError:
+                continue
+            if generation != self.generation:
+                os.unlink(os.path.join(self.directory, name))
+
+    # ------------------------------------------------------------------
+    # The hot path
+    # ------------------------------------------------------------------
+    def append(self, kind: int, payload: bytes) -> None:
+        """Append one record and flush it to the OS.
+
+        The flush makes the record SIGKILL-durable (the process can die,
+        the kernel keeps the page); full power-loss durability would add
+        an fsync here, a policy knob the fault model does not require —
+        the crash injector kills processes, not the machine.
+        """
+        if self._log is None:
+            self._open_log()
+        frame = encode_frame(kind, payload)
+        self._log.write(frame)
+        self._log.flush()
+        self.wal_bytes += len(frame)
+        self.records_appended += 1
+
+    def should_compact(self) -> bool:
+        return self.wal_bytes >= self.compact_bytes
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def checkpoint(self, state: WalCheckpoint) -> None:
+        """Fold the log into a fresh checkpoint (fsync, then atomic rename).
+
+        Crash-window analysis, step by step: (1) the next-generation log is
+        created empty — a crash now leaves it stale, cleaned up on the next
+        load; (2) the checkpoint is written to ``.tmp`` and **fsynced
+        before the rename**, so the rename can never publish a name whose
+        bytes are still in flight; (3) ``os.replace`` commits — before it,
+        recovery sees the old checkpoint + old log; after it, the new
+        checkpoint + empty new log; (4) the old log is deleted — a crash
+        first leaves an orphan, cleaned up on the next load.
+        """
+        next_generation = self.generation + 1
+        state.generation = next_generation
+        next_log = open(self._log_path(next_generation), "wb")
+        tmp = self.checkpoint_path + ".tmp"
+        with open(tmp, "wb") as handle:
+            pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.checkpoint_path)
+        old_log, old_path = self._log, self._log_path(self.generation)
+        self.generation = next_generation
+        self._log = next_log
+        self.wal_bytes = 0
+        self.compactions += 1
+        if old_log is not None:
+            old_log.close()
+        if os.path.exists(old_path):
+            os.unlink(old_path)
+
+    def close(self) -> None:
+        if self._log is not None:
+            self._log.flush()
+            self._log.close()
+            self._log = None

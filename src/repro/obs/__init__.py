@@ -22,6 +22,7 @@ from .analyze import (
     complete_chains,
     coverage,
     critical_paths,
+    node_transport_table,
     stage_breakdown,
 )
 from .publish import (
@@ -86,6 +87,7 @@ __all__ = [
     "fold_samples",
     "load_metrics_jsonl",
     "load_trace_jsonl",
+    "node_transport_table",
     "publish_channel_wire_stats",
     "publish_network_stats",
     "publish_node_counters",

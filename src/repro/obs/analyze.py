@@ -222,6 +222,59 @@ def channel_byte_table(metric_records: Sequence[dict]) -> List[dict]:
     return rows
 
 
+#: The node-level transport/durability telemetry families, in table order.
+_NODE_TRANSPORT_METRICS = (
+    "repro_node_peer_streams",
+    "repro_node_open_streams",
+    "repro_node_inbound_connections",
+    "repro_node_send_queue_depth",
+    "repro_node_unacked",
+    "repro_node_wal_bytes",
+    "repro_node_wal_records_total",
+    "repro_node_wal_compactions_total",
+)
+
+
+def node_transport_table(metric_records: Sequence[dict]) -> List[dict]:
+    """Per-node transport-footprint rows from a metrics JSONL dump.
+
+    Consumes the node-level families a multi-tenant :class:`LiveNode`
+    emits (``node`` label, no ``replica``): the host-pair stream counts
+    that make the socket footprint O(hosts²), the queue/unacked depths,
+    and the WAL counters.  One row per node, sorted by node id."""
+    nodes: Dict[str, Dict[str, float]] = {}
+    for record in metric_records:
+        name = record.get("name", "")
+        if name not in _NODE_TRANSPORT_METRICS:
+            continue
+        labels = record.get("labels", {})
+        if "node" not in labels:
+            continue
+        nodes.setdefault(labels["node"], {})[name] = record.get("value", 0.0)
+    rows = []
+    for node, values in sorted(nodes.items()):
+        rows.append({
+            "node": node,
+            "peer_streams": int(values.get("repro_node_peer_streams", 0.0)),
+            "open_streams": int(values.get("repro_node_open_streams", 0.0)),
+            "inbound_connections": int(
+                values.get("repro_node_inbound_connections", 0.0)
+            ),
+            "send_queue_depth": int(
+                values.get("repro_node_send_queue_depth", 0.0)
+            ),
+            "unacked": int(values.get("repro_node_unacked", 0.0)),
+            "wal_bytes": int(values.get("repro_node_wal_bytes", 0.0)),
+            "wal_records": int(
+                values.get("repro_node_wal_records_total", 0.0)
+            ),
+            "wal_compactions": int(
+                values.get("repro_node_wal_compactions_total", 0.0)
+            ),
+        })
+    return rows
+
+
 def channel_timelines(
     telemetry: Dict[ReplicaId, List[Tuple[float, ReplicaId, list]]],
     metric: str = "repro_node_wire_timestamp_bytes_total",

@@ -32,9 +32,10 @@ EXPECTED_OUTPUT = {
     ],
     "live_cluster.py": [
         "phase 1:",
-        "killed replica 2",
-        "restarted replica 2 from its durable snapshot",
+        "killed the node hosting replica 2",
+        "restarted the node from its write-ahead log",
         "causally consistent: True",
+        "open connections:",
         "none — resync converged",
     ],
     "wire_overhead.py": [

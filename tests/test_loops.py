@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.loops import (
     Loop,
+    _loops_from_cycle,
     check_loop_conditions,
     find_loop,
     has_loop,
@@ -13,6 +16,7 @@ from repro.core.loops import (
     loop_edges,
     loops_by_edge,
 )
+from repro.core.registers import RegisterPlacement
 from repro.core.share_graph import ShareGraph
 from repro.sim.topologies import (
     figure5_placement,
@@ -123,3 +127,54 @@ class TestEdgeCases:
         assert not check_loop_conditions(figure5_graph, 1, (4, 3), (2, 3), ())
         # l_side must end with k and r_side must start with j.
         assert not check_loop_conditions(figure5_graph, 1, (4, 3), (2,), (4,))
+
+
+# ----------------------------------------------------------------------
+# Fast split enumeration vs the Definition 4 reference
+# ----------------------------------------------------------------------
+
+def _random_share_graph(draw):
+    """A small random share graph: registers placed on 2–3 owners each."""
+    num_replicas = draw(st.integers(min_value=3, max_value=7))
+    num_registers = draw(st.integers(min_value=num_replicas - 1,
+                                     max_value=num_replicas + 3))
+    stores = {rid: set() for rid in range(1, num_replicas + 1)}
+    for index in range(num_registers):
+        owners = draw(
+            st.sets(
+                st.integers(min_value=1, max_value=num_replicas),
+                min_size=2, max_size=min(3, num_replicas),
+            )
+        )
+        for owner in owners:
+            stores[owner].add(f"x{index}")
+    stores = {rid: frozenset(regs) for rid, regs in stores.items() if regs}
+    return ShareGraph.from_placement(RegisterPlacement(stores))
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_loops_from_cycle_matches_definition4_reference(data):
+    """The O(1)-per-split enumeration inside :func:`_loops_from_cycle` is
+    exactly equivalent to evaluating :func:`check_loop_conditions` at every
+    split point of every oriented cycle — same loops, same order."""
+    try:
+        graph = _random_share_graph(data.draw)
+    except Exception:
+        return  # degenerate placement (e.g. a replica storing nothing)
+    for observer in graph.replica_ids:
+        for cycle in graph.simple_cycles_through(observer):
+            fast = [
+                (loop.edge, loop.l_side, loop.r_side)
+                for loop in _loops_from_cycle(graph, observer, cycle)
+            ]
+            reference = []
+            for m in range(1, len(cycle) - 1):
+                jk = (cycle[m + 1], cycle[m])
+                if jk not in graph.edges:
+                    continue
+                l_side = tuple(cycle[1:m + 1])
+                r_side = tuple(cycle[m + 1:])
+                if check_loop_conditions(graph, observer, jk, l_side, r_side):
+                    reference.append((jk, l_side, r_side))
+            assert fast == reference

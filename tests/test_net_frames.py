@@ -28,7 +28,8 @@ replica_ids = st.one_of(
         min_size=1, max_size=12,
     ),
 )
-books = st.dictionaries(replica_ids, counters, max_size=8)
+channels = st.tuples(replica_ids, replica_ids)
+books = st.dictionaries(channels, counters, max_size=8)
 
 
 @given(
@@ -59,18 +60,20 @@ def test_stats_payload_empty_books():
 
 
 def test_stats_payload_zero_valued_books_survive():
-    """A peer with 0 logged updates is still an entry, not an omission."""
+    """A channel with 0 logged updates is still an entry, not an omission."""
     stats = frames.NodeStats(ops_done=1)
-    payload = frames.encode_stats_payload(stats, {2: 0, 3: 7}, {"w": 0})
+    payload = frames.encode_stats_payload(
+        stats, {(1, 2): 0, (1, 3): 7}, {("w", 1): 0}
+    )
     _, outbox, inbox = frames.decode_stats_payload(payload)
-    assert outbox == {2: 0, 3: 7}
-    assert inbox == {"w": 0}
+    assert outbox == {(1, 2): 0, (1, 3): 7}
+    assert inbox == {("w", 1): 0}
 
 
 def test_stats_payload_mixed_id_types_order_deterministic():
     """Int and str replica ids coexist; encoding order is deterministic."""
     stats = frames.NodeStats()
-    book = {"b": 1, 2: 2, "a": 3, 1: 4}
+    book = {("b", 1): 1, (2, "b"): 2, ("a", "a"): 3, (1, 2): 4}
     first = frames.encode_stats_payload(stats, book, {})
     second = frames.encode_stats_payload(stats, dict(reversed(book.items())), {})
     assert first == second
@@ -85,7 +88,9 @@ def test_stats_payload_trailing_bytes_rejected():
 
 
 def test_stats_payload_truncated_rejected():
-    payload = frames.encode_stats_payload(frames.NodeStats(issued=300), {1: 9}, {})
+    payload = frames.encode_stats_payload(
+        frames.NodeStats(issued=300), {(1, 2): 9}, {}
+    )
     with pytest.raises(WireFormatError):
         frames.decode_stats_payload(payload[:-1])
 

@@ -155,26 +155,29 @@ def test_uid_list_roundtrip(uids):
 
 @given(
     st.integers(min_value=0, max_value=1 << 32),
+    st.one_of(st.integers(min_value=0, max_value=500), st.text(max_size=8)),
     st.sampled_from(["write", "read"]),
     st.one_of(st.integers(min_value=0, max_value=1000), st.text(max_size=16)),
     st.one_of(st.none(), st.booleans(), st.integers(), st.floats(allow_nan=False),
               st.text(max_size=64), st.binary(max_size=64)),
 )
-def test_op_roundtrip(op_id, kind, register, value):
-    decoded = frames.decode_op(frames.encode_op(op_id, kind, register, value))
-    assert decoded == (op_id, kind, register, value)
+def test_op_roundtrip(op_id, replica, kind, register, value):
+    decoded = frames.decode_op(
+        frames.encode_op(op_id, replica, kind, register, value)
+    )
+    assert decoded == (op_id, replica, kind, register, value)
 
 
 def test_hello_addr_and_stats_roundtrip():
-    assert frames.decode_hello(frames.encode_hello(3, 61234)) == (3, 61234)
-    assert frames.decode_addr(frames.encode_addr(9, "127.0.0.1", 8080)) == (
-        9, "127.0.0.1", 8080
+    assert frames.decode_hello(frames.encode_hello("n3", 61234)) == ("n3", 61234)
+    assert frames.decode_addr(frames.encode_addr("n9", "127.0.0.1", 8080)) == (
+        "n9", "127.0.0.1", 8080
     )
     stats = frames.NodeStats(ops_done=5, issued=2, enqueued=6, sent=6,
                              received=4, delivered=4, applied=6, pending=0,
                              send_queue=0, unacked=2, duplicates=1,
                              retransmissions=1, resyncs=0)
-    outbox, inbox = {2: 3, "r9": 1}, {4: 2}
+    outbox, inbox = {(1, 2): 3, (1, "r9"): 1}, {(4, 1): 2}
     payload = frames.encode_stats_payload(stats, outbox, inbox)
     decoded_stats, decoded_outbox, decoded_inbox = frames.decode_stats_payload(
         payload
@@ -184,6 +187,107 @@ def test_hello_addr_and_stats_roundtrip():
     assert decoded_inbox == inbox
 
 
+def test_tagged_uid_roundtrip():
+    uids = [(1, 3), (2, 1), ("w", 9)]
+    replica, decoded = frames.decode_tagged_uids(
+        frames.encode_tagged_uids("r7", uids)
+    )
+    assert replica == "r7"
+    assert decoded == uids
+
+
 def test_op_reply_roundtrip():
     payload = frames.encode_op_reply(17, frames.OP_OK, "value")
     assert frames.decode_op_reply(payload) == (17, frames.OP_OK, "value")
+
+
+# ----------------------------------------------------------------------
+# Multiplexed channel streams: many channels, one byte stream
+# ----------------------------------------------------------------------
+
+#: Replicas 1..3 on one side, "a"/"b" on the other: every ordered pair is
+#: a distinct channel that may share the host-pair stream.
+_MUX_CHANNELS = [
+    (src, dst)
+    for src in (1, 2, 3)
+    for dst in ("a", "b")
+] + [("a", 1), ("b", 2)]
+
+
+def _mux_message(channel, seq):
+    from repro.core.protocol import Update, UpdateMessage
+    from repro.core.timestamps import EdgeTimestamp
+
+    src, dst = channel
+    ts = EdgeTimestamp({(src, dst): seq})
+    return UpdateMessage(
+        update=Update(issuer=src, seq=seq, register="x", value=f"{src}:{seq}"),
+        sender=src,
+        destination=dst,
+        metadata=ts,
+        metadata_size=ts.size_counters(),
+        payload=True,
+    )
+
+
+@given(
+    picks=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=len(_MUX_CHANNELS) - 1),
+            st.integers(min_value=1, max_value=4),
+        ),
+        max_size=25,
+    ),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_multiplexed_channels_survive_arbitrary_fragmentation(picks, data):
+    """The host-pair stream contract (PR 8): BATCH frames from many
+    channels interleave on one byte stream — one shared delta
+    encoder/decoder pair, channel-keyed chains — and under *arbitrary*
+    fragmentation/coalescing the receiver recovers exactly each channel's
+    message sequence, in order, with contiguous per-channel batch seqs."""
+    from repro.wire.batch import MessageBatch, decode_batch, encode_batch
+    from repro.wire.channel import ChannelDeltaDecoder, ChannelDeltaEncoder
+
+    # Sender side: one encoder for the whole stream, per-channel counters.
+    encoder = ChannelDeltaEncoder()
+    sent = {}          # channel -> [messages in send order]
+    batch_seq = {}     # channel -> next batch seq
+    stream = bytearray()
+    for index, size in picks:
+        channel = _MUX_CHANNELS[index]
+        window = []
+        for _ in range(size):
+            seq = len(sent.get(channel, ())) + 1
+            message = _mux_message(channel, seq)
+            sent.setdefault(channel, []).append(message)
+            window.append(message)
+        batch = MessageBatch(
+            sender=channel[0], destination=channel[1],
+            seq=batch_seq.get(channel, 0), messages=tuple(window),
+        )
+        batch_seq[channel] = batch.seq + 1
+        payload, _ = encode_batch(batch, encoder=encoder)
+        stream += encode_frame(frames.BATCH, payload)
+
+    # Receiver side: arbitrary chunk boundaries, one decoder for the
+    # stream, frames demultiplexed by the batch's self-described channel.
+    cuts = data.draw(chunkings(bytes(stream)))
+    bounds = [0] + cuts + [len(stream)]
+    stream_decoder = StreamDecoder()
+    delta_decoder = ChannelDeltaDecoder()
+    received = {}
+    seqs_seen = {}
+    for start, end in zip(bounds, bounds[1:]):
+        for kind, payload in stream_decoder.feed(bytes(stream[start:end])):
+            assert kind == frames.BATCH
+            batch, consumed = decode_batch(bytes(payload), decoder=delta_decoder)
+            assert consumed == len(payload)
+            seqs_seen.setdefault(batch.channel, []).append(batch.seq)
+            received.setdefault(batch.channel, []).extend(batch.messages)
+
+    assert stream_decoder.at_boundary()
+    assert received == {channel: msgs for channel, msgs in sent.items()}
+    for channel, seqs in seqs_seen.items():
+        assert seqs == list(range(len(seqs)))

@@ -1,0 +1,235 @@
+"""Log-structured durability unit tests: record codecs, torn tails,
+compaction crash windows, and the fsync-before-rename discipline.
+
+These drive :mod:`repro.net.wal` directly — no processes, no sockets —
+simulating every crash point a SIGKILL can hit: mid-append (torn final
+record), between checkpoint write and rename (orphan ``.ckpt.tmp``), and
+between rename and old-log cleanup (stale generation).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.protocol import Update, UpdateMessage
+from repro.core.timestamps import EdgeTimestamp
+from repro.net import wal
+from repro.net.framing import encode_frame
+from repro.wire.batch import MessageBatch
+
+
+def _message(seq, sender=1, destination=2):
+    ts = EdgeTimestamp({(sender, destination): seq})
+    return UpdateMessage(
+        update=Update(issuer=sender, seq=seq, register="x", value=f"v{seq}"),
+        sender=sender,
+        destination=destination,
+        metadata=ts,
+        metadata_size=ts.size_counters(),
+        payload=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Record codecs
+# ----------------------------------------------------------------------
+
+def test_write_and_read_record_roundtrip():
+    register, value, at = "x", {"k": [1, 2]}, 3.25
+    assert wal.decode_write_record(
+        wal.encode_write_record(register, value, at)
+    ) == (register, value, at)
+    assert wal.decode_read_record(
+        wal.encode_read_record(register, at)
+    ) == (register, at)
+
+
+def test_deliver_record_roundtrip_is_standalone():
+    """DELIVER records replay without any delta-chain context."""
+    batch = MessageBatch(
+        sender=1, destination=2, seq=0,
+        messages=(_message(1), _message(2)),
+    )
+    payload = wal.encode_deliver_record(0.75, batch, codec=None)
+    received_at, decoded = wal.decode_deliver_record(payload)
+    assert received_at == 0.75
+    assert decoded == batch
+
+
+def test_ack_record_roundtrip():
+    uids = [(1, 3), (1, 4), ("w", 1)]
+    assert wal.decode_ack_record(wal.encode_ack_record("r2", uids)) == (
+        "r2", uids
+    )
+
+
+# ----------------------------------------------------------------------
+# Append / load / torn tails
+# ----------------------------------------------------------------------
+
+def test_append_then_load_replays_records_in_order(tmp_path):
+    log = wal.ReplicaWAL(str(tmp_path), 1)
+    assert log.load() == (None, [])
+    payloads = [
+        (wal.W_WRITE, wal.encode_write_record("x", 1, 0.1)),
+        (wal.W_READ, wal.encode_read_record("x", 0.2)),
+        (wal.W_ACK, wal.encode_ack_record(2, [(1, 1)])),
+    ]
+    for kind, payload in payloads:
+        log.append(kind, payload)
+    log.close()
+
+    reopened = wal.ReplicaWAL(str(tmp_path), 1)
+    checkpoint, records = reopened.load()
+    assert checkpoint is None
+    assert records == payloads
+    reopened.close()
+
+
+def test_torn_tail_is_truncated_and_log_stays_appendable(tmp_path):
+    log = wal.ReplicaWAL(str(tmp_path), 1)
+    log.load()
+    log.append(wal.W_WRITE, wal.encode_write_record("x", 1, 0.1))
+    log.append(wal.W_WRITE, wal.encode_write_record("x", 2, 0.2))
+    log.close()
+    # A SIGKILL mid-append leaves a prefix of the final frame.
+    path = log._log_path(0)
+    torn = encode_frame(wal.W_WRITE, wal.encode_write_record("x", 3, 0.3))
+    with open(path, "ab") as handle:
+        handle.write(torn[:len(torn) - 2])
+
+    reopened = wal.ReplicaWAL(str(tmp_path), 1)
+    _, records = reopened.load()
+    assert [wal.decode_write_record(p)[1] for _, p in records] == [1, 2]
+    # The torn bytes are gone from disk and appends continue cleanly.
+    reopened.append(wal.W_WRITE, wal.encode_write_record("x", 4, 0.4))
+    reopened.close()
+    final = wal.ReplicaWAL(str(tmp_path), 1)
+    _, records = final.load()
+    assert [wal.decode_write_record(p)[1] for _, p in records] == [1, 2, 4]
+    final.close()
+
+
+def test_append_is_o_delta_not_o_state(tmp_path):
+    """The hot path never rewrites the log: each append grows the file by
+    exactly one frame, independent of how much history precedes it."""
+    log = wal.ReplicaWAL(str(tmp_path), 1)
+    log.load()
+    payload = wal.encode_write_record("x", "v", 1.0)
+    frame_size = len(encode_frame(wal.W_WRITE, payload))
+    sizes = []
+    for _ in range(50):
+        log.append(wal.W_WRITE, payload)
+        sizes.append(os.path.getsize(log._log_path(0)))
+    log.close()
+    deltas = [b - a for a, b in zip(sizes, sizes[1:])]
+    assert deltas == [frame_size] * len(deltas)
+
+
+# ----------------------------------------------------------------------
+# Compaction and its crash windows
+# ----------------------------------------------------------------------
+
+def _checkpoint_state(marker):
+    return wal.WalCheckpoint(
+        replica=("snapshot", marker),
+        sent_log={}, outbox_total={}, streams={}, apply_times={},
+    )
+
+
+def test_compaction_rolls_generation_and_drops_old_log(tmp_path):
+    log = wal.ReplicaWAL(str(tmp_path), 1, compact_bytes=1)
+    log.load()
+    log.append(wal.W_WRITE, wal.encode_write_record("x", 1, 0.1))
+    assert log.should_compact()
+    log.checkpoint(_checkpoint_state("A"))
+    assert log.generation == 1 and log.wal_bytes == 0
+    log.append(wal.W_WRITE, wal.encode_write_record("x", 2, 0.2))
+    log.close()
+
+    reopened = wal.ReplicaWAL(str(tmp_path), 1)
+    checkpoint, records = reopened.load()
+    assert checkpoint.replica == ("snapshot", "A")
+    assert checkpoint.generation == 1
+    assert [wal.decode_write_record(p)[1] for _, p in records] == [2]
+    assert not os.path.exists(log._log_path(0))
+    reopened.close()
+
+
+def test_kill_between_checkpoint_write_and_rename_recovers_previous(tmp_path):
+    """The ISSUE 8 hardening satellite: a crash after writing the new
+    checkpoint bytes but *before* the atomic rename must recover the
+    previous consistent state — the orphan ``.ckpt.tmp`` and the stale
+    next-generation log are both discarded."""
+    log = wal.ReplicaWAL(str(tmp_path), 1)
+    log.load()
+    log.checkpoint(_checkpoint_state("committed"))   # generation -> 1
+    log.append(wal.W_WRITE, wal.encode_write_record("x", 7, 0.7))
+    log.close()
+    # Simulate the interrupted second compaction: the next-gen log exists,
+    # the new checkpoint sits fully written at .tmp, the rename never ran.
+    open(os.path.join(tmp_path, "replica-1.wal.2"), "wb").close()
+    with open(os.path.join(tmp_path, "replica-1.ckpt.tmp"), "wb") as handle:
+        pickle.dump(_checkpoint_state("torn"), handle)
+
+    reopened = wal.ReplicaWAL(str(tmp_path), 1)
+    checkpoint, records = reopened.load()
+    assert checkpoint.replica == ("snapshot", "committed")
+    assert [wal.decode_write_record(p)[1] for _, p in records] == [7]
+    assert not os.path.exists(os.path.join(tmp_path, "replica-1.ckpt.tmp"))
+    assert not os.path.exists(os.path.join(tmp_path, "replica-1.wal.2"))
+    reopened.close()
+
+
+def test_kill_between_rename_and_log_cleanup_recovers_new(tmp_path):
+    """After the rename commits, the *new* checkpoint is authoritative:
+    the leftover previous-generation log must be ignored and deleted."""
+    log = wal.ReplicaWAL(str(tmp_path), 1)
+    log.load()
+    log.append(wal.W_WRITE, wal.encode_write_record("x", 1, 0.1))
+    log.checkpoint(_checkpoint_state("new"))         # generation -> 1
+    log.close()
+    # Resurrect the old log as if cleanup never ran.
+    with open(os.path.join(tmp_path, "replica-1.wal.0"), "wb") as handle:
+        handle.write(encode_frame(wal.W_WRITE,
+                                  wal.encode_write_record("x", 99, 9.9)))
+
+    reopened = wal.ReplicaWAL(str(tmp_path), 1)
+    checkpoint, records = reopened.load()
+    assert checkpoint.replica == ("snapshot", "new")
+    assert records == []
+    assert not os.path.exists(os.path.join(tmp_path, "replica-1.wal.0"))
+    reopened.close()
+
+
+def test_checkpoint_fsyncs_before_rename(tmp_path, monkeypatch):
+    """The rename must never publish a checkpoint whose bytes are still in
+    flight: ``os.fsync`` on the temp file strictly precedes ``os.replace``."""
+    calls = []
+    real_fsync, real_replace = os.fsync, os.replace
+    monkeypatch.setattr(
+        os, "fsync", lambda fd: (calls.append("fsync"), real_fsync(fd))[1]
+    )
+    monkeypatch.setattr(
+        os, "replace",
+        lambda src, dst: (calls.append("replace"), real_replace(src, dst))[1],
+    )
+    log = wal.ReplicaWAL(str(tmp_path), 1)
+    log.load()
+    log.checkpoint(_checkpoint_state("A"))
+    log.close()
+    assert "fsync" in calls and "replace" in calls
+    assert calls.index("fsync") < calls.index("replace")
+
+
+def test_oversized_record_rejected_before_hitting_disk(tmp_path):
+    from repro.wire.primitives import WireFormatError
+
+    log = wal.ReplicaWAL(str(tmp_path), 1)
+    log.load()
+    with pytest.raises(WireFormatError):
+        log.append(wal.W_WRITE, b"x" * (64 * 1024 * 1024))
+    log.close()

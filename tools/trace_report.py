@@ -14,6 +14,9 @@ live runs — see ``docs/ARCHITECTURE.md``, *Observability*) and prints:
 * with ``--metrics`` (a ``MetricsRegistry.write_jsonl`` dump) — the
   per-channel timestamp-bytes-vs-bound table: shipped timestamp bytes per
   message next to the paper's closed-form counter bound for the sender;
+  plus, when the dump carries node-level telemetry from a multi-tenant
+  live run, the per-node transport-footprint table (host-pair streams,
+  queue depths, WAL bytes/records/compactions);
 * with ``--chrome PATH`` — a Chrome ``trace_event`` JSON file; load it in
   ``chrome://tracing`` or https://ui.perfetto.dev to see every chain as a
   flame row (one process per destination replica, one row per source).
@@ -47,6 +50,7 @@ from repro.obs import (  # noqa: E402
     critical_paths,
     load_metrics_jsonl,
     load_trace_jsonl,
+    node_transport_table,
     stage_breakdown,
 )
 
@@ -89,6 +93,22 @@ def _print_channel_table(rows) -> None:
               f"{f'{ratio:.2f}' if ratio is not None else '-':>7}")
 
 
+def _print_node_table(rows) -> None:
+    if not rows:
+        return
+    print()
+    print("per-node transport footprint (host-pair streams + WAL):")
+    print(f"{'node':<8} {'peers':>6} {'open':>5} {'inbound':>8} "
+          f"{'queued':>7} {'unacked':>8} {'wal B':>9} {'wal rec':>8} "
+          f"{'compact':>8}")
+    for row in rows:
+        print(f"{row['node']:<8} {row['peer_streams']:>6} "
+              f"{row['open_streams']:>5} {row['inbound_connections']:>8} "
+              f"{row['send_queue_depth']:>7} {row['unacked']:>8} "
+              f"{row['wal_bytes']:>9} {row['wal_records']:>8} "
+              f"{row['wal_compactions']:>8}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trace", help="JSONL trace dump (write_trace_jsonl)")
@@ -127,9 +147,13 @@ def main(argv=None) -> int:
     _print_critical_paths(paths)
 
     channel_rows = []
+    node_rows = []
     if args.metrics:
-        channel_rows = channel_byte_table(load_metrics_jsonl(args.metrics))
+        metric_records = load_metrics_jsonl(args.metrics)
+        channel_rows = channel_byte_table(metric_records)
         _print_channel_table(channel_rows)
+        node_rows = node_transport_table(metric_records)
+        _print_node_table(node_rows)
 
     if args.chrome:
         document = chrome_trace(spans, time_scale=args.time_scale)
@@ -154,6 +178,7 @@ def main(argv=None) -> int:
                 {**entry, "uid": list(entry["uid"])} for entry in paths
             ],
             "channels": channel_rows,
+            "nodes": node_rows,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
