@@ -54,10 +54,22 @@ from ..optimizations import (
     full_replication_dummies,
     loop_cover_dummies,
 )
+from ..placement import (
+    PlacementResult,
+    PlacementSpec,
+    placement_policies,
+    score_placement,
+)
 from ..sim.cluster import Cluster, ReplicaFactory, edge_indexed_factory
 from ..sim.delays import FixedDelay, PerChannelDelay, UniformDelay
 from ..sim.engine import BatchingConfig, NetworkStats, SimulationHost
-from ..sim.faults import FaultInjector, FaultSchedule, random_fault_schedule
+from ..sim.faults import (
+    FaultInjector,
+    FaultSchedule,
+    crash,
+    random_fault_schedule,
+    restart,
+)
 from ..sim.metrics import (
     ComparisonRow,
     compare_protocols,
@@ -92,6 +104,7 @@ from ..sim.workloads import (
     run_workload,
     uniform_workload,
 )
+from ..topo import Topology, geant_like, geo_regions
 from .tables import edge_label, render_table
 
 
@@ -1639,6 +1652,220 @@ def render_observability(rows: Sequence[ObservabilityRow]) -> str:
                 f"{r.end_to_end_p50:.2f}",
                 f"{r.end_to_end_p99:.2f}",
                 r.dominant_stage,
+                "yes" if r.consistent else "NO",
+            )
+            for r in rows
+        ],
+    )
+
+
+# ======================================================================
+# E21 — Placement policies on measured topologies
+# ======================================================================
+
+@dataclass(frozen=True)
+class PlacementRow:
+    """One topology × policy × protocol/architecture/fault cell of E21."""
+
+    topology: str
+    policy: str
+    protocol: str
+    architecture: str
+    #: ``"none"`` or ``"kill:<region>"`` (crash every replica of the
+    #: region mid-run, restart after the outage window).
+    fault: str
+    share_edges: int
+    #: Mean per-replica counter count |E_i| of the emitted share graph.
+    counters_mean: float
+    messages: int
+    #: Measured timestamp bytes per wire message.
+    ts_bytes_per_msg: float
+    #: Theorem-15 closed-form bound in bytes/replica where one applies
+    #: (mean over replicas with a closed form; NaN on general graphs).
+    bound_bytes: float
+    #: Static prediction: p99 share-edge latency of the placement (ms).
+    predicted_edge_p99: float
+    #: Measured apply-latency p99 over the run (ms).
+    apply_p99: float
+    availability_min: float
+    #: Worst-case fraction of registers surviving any single-region kill.
+    region_survival: float
+    consistent: bool
+
+
+def placement_topologies() -> Dict[str, Topology]:
+    """The E21 topology axis: one measured map, one parametric geo map."""
+    return {
+        "geant-like": geant_like(),
+        "geo-3x4": geo_regions(3, 4),
+    }
+
+
+def _placement_victim_region(result: PlacementResult) -> str:
+    """The region whose kill hurts most: most replicas, ties by name."""
+    regions = sorted({result.region_of(rid) for rid in result.assignment})
+    return max(regions, key=lambda r: (len(result.replicas_in_region(r)), r))
+
+
+def exp_placement(
+    rate: float = 4.0,
+    duration: float = 40.0,
+    num_replicas: int = 10,
+    num_registers: int = 16,
+    replication_factor: int = 2,
+    capacity: int = 6,
+    jitter: float = 0.1,
+    seed: int = 21,
+    topologies: Optional[Mapping[str, Topology]] = None,
+    region_kill: bool = True,
+) -> List[PlacementRow]:
+    """Sweep placement policy × topology × protocol/architecture (E21).
+
+    For every topology and policy the placement layer emits a share graph
+    plus a node assignment; the same seeded Poisson workload then runs
+    over :class:`~repro.topo.LatencyDelayModel` delays in four cells —
+    edge-indexed and full-track peer-to-peer, edge-indexed client–server,
+    and (with ``region_kill``) edge-indexed peer-to-peer through a
+    region-kill fault (crash every replica of the placement's most-loaded
+    region at 40% of the run, restart at 65%).  Reported per cell: the
+    emitted share graph's counter cost and measured timestamp bytes per
+    message against the closed-form bound, static predicted edge p99
+    versus measured apply p99, fixed-horizon availability, and the
+    region-survival score.  Consistency must hold in every cell,
+    including through the region kill.
+    """
+    all_rows: List[PlacementRow] = []
+    protocols: Dict[str, ReplicaFactory] = {
+        "edge-indexed": edge_indexed_factory,
+        "full-track": full_track_factory,
+    }
+    for topology_name, topology in (topologies or placement_topologies()).items():
+        spec = PlacementSpec.make(
+            topology,
+            num_replicas=num_replicas,
+            num_registers=num_registers,
+            replication_factor=replication_factor,
+            capacity=capacity,
+        )
+        for policy_name, policy in placement_policies().items():
+            result = policy.place(spec, seed=seed)
+            graph = result.share_graph
+            workload = poisson_workload(
+                graph, rate=rate, duration=duration,
+                write_fraction=0.5, seed=seed,
+            )
+            score = score_placement(
+                result, max_updates=_workload_update_budget(workload)
+            )
+            bound_bytes = (
+                score.bound_bytes_mean
+                if score.bound_bytes_mean is not None
+                else float("nan")
+            )
+
+            def run_cell(protocol: str, architecture: str,
+                         fault: str, host: SimulationHost) -> PlacementRow:
+                injector = None
+                if fault != "none":
+                    region = fault.split(":", 1)[1]
+                    victims = result.replicas_in_region(region)
+                    injector = FaultInjector(host)
+                    injector.install(FaultSchedule(
+                        name=fault,
+                        actions=tuple(
+                            [crash(0.4 * duration, rid) for rid in victims]
+                            + [restart(0.65 * duration, rid) for rid in victims]
+                        ),
+                    ))
+                run_result = run_open_loop(host, workload)
+                if injector is not None:
+                    injector.finalize_downtime()
+                # Fixed horizon, as in E15: availabilities compare across
+                # cells regardless of how long each run drains.
+                availability = host.metrics.availability(
+                    duration, graph.replica_ids
+                )
+                stats = host.network.stats
+                return PlacementRow(
+                    topology=topology_name,
+                    policy=policy_name,
+                    protocol=protocol,
+                    architecture=architecture,
+                    fault=fault,
+                    share_edges=score.share_edges,
+                    counters_mean=score.counters_mean,
+                    messages=stats.messages_sent,
+                    ts_bytes_per_msg=(
+                        stats.timestamp_bytes_sent / stats.messages_sent
+                        if stats.messages_sent else 0.0
+                    ),
+                    bound_bytes=bound_bytes,
+                    predicted_edge_p99=score.edge_latency_p99,
+                    apply_p99=run_result.apply_latency.p99,
+                    availability_min=min(availability.values()),
+                    region_survival=score.region_survival_min,
+                    consistent=run_result.consistent,
+                )
+
+            for protocol_name, factory in protocols.items():
+                all_rows.append(run_cell(
+                    protocol_name, "peer-to-peer", "none",
+                    Cluster(
+                        graph,
+                        replica_factory=factory,
+                        delay_model=result.delay_model(jitter=jitter),
+                        seed=seed,
+                        wire_accounting=True,
+                    ),
+                ))
+            all_rows.append(run_cell(
+                "edge-indexed", "client-server", "none",
+                ClientServerCluster.with_colocated_clients(
+                    graph,
+                    delay_model=result.delay_model(jitter=jitter),
+                    seed=seed,
+                    wire_accounting=True,
+                ),
+            ))
+            if region_kill:
+                fault = f"kill:{_placement_victim_region(result)}"
+                all_rows.append(run_cell(
+                    "edge-indexed", "peer-to-peer", fault,
+                    Cluster(
+                        graph,
+                        replica_factory=edge_indexed_factory,
+                        delay_model=result.delay_model(jitter=jitter),
+                        seed=seed,
+                        wire_accounting=True,
+                    ),
+                ))
+    return all_rows
+
+
+def render_placement(rows: Sequence[PlacementRow]) -> str:
+    """Text table of the E21 sweep."""
+    return render_table(
+        [
+            "topology", "policy", "protocol", "arch", "fault", "edges",
+            "counters", "msgs", "tsB/msg", "boundB", "pred p99",
+            "apply p99", "min avail", "survival", "consistent",
+        ],
+        [
+            (
+                r.topology,
+                r.policy,
+                r.protocol,
+                r.architecture,
+                r.fault,
+                r.share_edges,
+                f"{r.counters_mean:.1f}",
+                r.messages,
+                f"{r.ts_bytes_per_msg:.1f}",
+                f"{r.bound_bytes:.1f}",
+                f"{r.predicted_edge_p99:.1f}",
+                f"{r.apply_p99:.1f}",
+                f"{r.availability_min:.3f}",
+                f"{r.region_survival:.2f}",
                 "yes" if r.consistent else "NO",
             )
             for r in rows

@@ -49,6 +49,28 @@ class RegisterNotStoredError(ReproError):
         self.replica_id = replica_id
 
 
+class TopologyError(ConfigurationError):
+    """A network topology description was malformed or physically impossible.
+
+    Raised by the measured-topology import layer (:mod:`repro.topo`) on
+    malformed rows, self-loops, non-positive or non-finite link latencies,
+    references to undeclared nodes, duplicate links, and disconnected
+    graphs — every failure mode that would otherwise produce a silently
+    wrong latency matrix.
+    """
+
+
+class PlacementError(ConfigurationError):
+    """A placement policy could not satisfy its constraints.
+
+    Raised by the :mod:`repro.placement` policies when a
+    :class:`~repro.placement.base.PlacementSpec` is infeasible (more
+    replicas than topology nodes, a replica-capacity budget too small for
+    the register copies plus connectivity slack) or when an assignment
+    step finds no capacity-respecting candidate.
+    """
+
+
 class ProtocolError(ReproError):
     """The messaging protocol was used incorrectly.
 

@@ -1,0 +1,48 @@
+"""Placement policies: from a measured topology to an optimized share graph.
+
+Everywhere else in the library the share graph is an *input* — a
+hand-picked tree, ring or clique.  This package turns it into an
+*output*: a :class:`~repro.placement.base.PlacementPolicy` takes a
+:class:`~repro.placement.base.PlacementSpec` (a measured
+:class:`~repro.topo.Topology`, a replica budget, registers with a
+replication factor and per-replica capacity) and emits a
+:class:`~repro.placement.base.PlacementResult` — replicas pinned to
+topology nodes plus a register placement whose induced share graph the
+protocol then runs, with delays driven by the measured latencies.
+
+Three policies span the design space (the YAFS random/greedy/partition
+triple, SNIPPETS #1–2):
+
+* :class:`~repro.placement.policies.RandomPlacement` — the baseline every
+  benchmark gate compares against;
+* :class:`~repro.placement.policies.LatencyGreedyPlacement` — cluster
+  register copies on the closest replicas, ignoring failure domains;
+* :class:`~repro.placement.policies.AvailabilityAwarePlacement` — place
+  every register across ≥2 regions (graph-partition style) while still
+  choosing the cheapest cross-region pairs the geometry offers.
+
+:mod:`~repro.placement.score` scores a result in the paper's own
+objective — timestamp counters and bytes against the closed-form lower
+bounds — alongside predicted latency and region-kill survival.
+"""
+
+from .base import PlacementPolicy, PlacementResult, PlacementSpec
+from .policies import (
+    AvailabilityAwarePlacement,
+    LatencyGreedyPlacement,
+    RandomPlacement,
+    placement_policies,
+)
+from .score import PlacementScore, score_placement
+
+__all__ = [
+    "AvailabilityAwarePlacement",
+    "LatencyGreedyPlacement",
+    "PlacementPolicy",
+    "PlacementResult",
+    "PlacementScore",
+    "PlacementSpec",
+    "RandomPlacement",
+    "placement_policies",
+    "score_placement",
+]

@@ -1,0 +1,247 @@
+"""Placement problem statement, result container and policy interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.errors import PlacementError
+from ..core.registers import Register, RegisterPlacement, ReplicaId
+from ..core.share_graph import ShareGraph
+from ..topo.delays import LatencyDelayModel
+from ..topo.model import NodeId, Topology
+
+__all__ = ["PlacementPolicy", "PlacementResult", "PlacementSpec"]
+
+
+@dataclass(frozen=True)
+class PlacementSpec:
+    """What a placement policy must realise on a topology.
+
+    Parameters
+    ----------
+    topology:
+        The measured network to place onto.
+    num_replicas:
+        Replica budget; each replica is pinned to its own topology node,
+        so this may not exceed the node count.
+    registers:
+        The register names to place.
+    replication_factor:
+        Copies per register the policy must place (before any repair
+        copies needed for coverage/connectivity), between 1 and
+        ``num_replicas``.
+    capacity:
+        Maximum registers a single replica may store, or ``None`` for
+        unbounded.  The budget must leave slack for the repair copies
+        that guarantee every replica stores a register and the share
+        graph is connected (at most ``num_replicas - 1`` extra copies).
+    """
+
+    topology: Topology
+    num_replicas: int
+    registers: Tuple[Register, ...]
+    replication_factor: int = 2
+    capacity: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "registers", tuple(dict.fromkeys(str(r) for r in self.registers))
+        )
+        if self.num_replicas < 1:
+            raise PlacementError(
+                f"need at least one replica, got {self.num_replicas}"
+            )
+        if self.num_replicas > self.topology.num_nodes:
+            raise PlacementError(
+                f"{self.num_replicas} replicas do not fit on topology "
+                f"{self.topology.name!r} with {self.topology.num_nodes} nodes "
+                "(each replica is pinned to its own node)"
+            )
+        if not self.registers:
+            raise PlacementError("need at least one register to place")
+        if not 1 <= self.replication_factor <= self.num_replicas:
+            raise PlacementError(
+                f"replication factor {self.replication_factor} must be in "
+                f"[1, {self.num_replicas}]"
+            )
+        if self.capacity is not None:
+            needed = (
+                len(self.registers) * self.replication_factor
+                + max(0, self.num_replicas - 1)
+            )
+            if self.capacity < 1:
+                raise PlacementError(f"capacity must be >= 1, got {self.capacity}")
+            if self.capacity * self.num_replicas < needed:
+                raise PlacementError(
+                    f"capacity {self.capacity} x {self.num_replicas} replicas "
+                    f"< {needed} register copies "
+                    f"({len(self.registers)} registers x rf "
+                    f"{self.replication_factor} plus connectivity slack)"
+                )
+
+    @classmethod
+    def make(
+        cls,
+        topology: Topology,
+        num_replicas: int,
+        num_registers: int,
+        replication_factor: int = 2,
+        capacity: Optional[int] = None,
+    ) -> "PlacementSpec":
+        """Spec with auto-named registers ``x00, x01, …``."""
+        width = max(2, len(str(max(0, num_registers - 1))))
+        return cls(
+            topology=topology,
+            num_replicas=num_replicas,
+            registers=tuple(f"x{k:0{width}d}" for k in range(num_registers)),
+            replication_factor=replication_factor,
+            capacity=capacity,
+        )
+
+    @property
+    def replica_ids(self) -> Tuple[ReplicaId, ...]:
+        """The replica ids a policy must assign: ``1..num_replicas``."""
+        return tuple(range(1, self.num_replicas + 1))
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """A realised placement: replicas on nodes, registers on replicas.
+
+    ``assignment`` pins each replica id to a distinct topology node;
+    ``placement`` is the register map whose induced share graph the
+    protocol runs.  Everything downstream (delay model, live-cluster
+    placement, availability regions) derives from these two maps.
+    """
+
+    spec: PlacementSpec
+    policy: str
+    seed: int
+    assignment: Mapping[ReplicaId, NodeId]
+    placement: RegisterPlacement
+
+    def __post_init__(self) -> None:
+        assignment = dict(self.assignment)
+        expected = set(self.spec.replica_ids)
+        if set(assignment) != expected:
+            raise PlacementError(
+                f"assignment covers replicas {sorted(assignment)}, "
+                f"spec requires {sorted(expected)}"
+            )
+        nodes = list(assignment.values())
+        if len(set(nodes)) != len(nodes):
+            raise PlacementError(
+                "assignment maps two replicas to the same topology node"
+            )
+        for rid, node in assignment.items():
+            if not self.spec.topology.has_node(node):
+                raise PlacementError(
+                    f"replica {rid} assigned to unknown node {node!r}"
+                )
+        if set(self.placement.replica_ids) != expected:
+            raise PlacementError(
+                f"register placement covers replicas "
+                f"{sorted(self.placement.replica_ids)}, "
+                f"spec requires {sorted(expected)}"
+            )
+        missing = set(self.spec.registers) - set(self.placement.registers)
+        if missing:
+            raise PlacementError(
+                f"placement left registers unplaced: {sorted(missing)}"
+            )
+        object.__setattr__(self, "assignment", assignment)
+
+    @property
+    def topology(self) -> Topology:
+        """The topology this placement lives on."""
+        return self.spec.topology
+
+    @property
+    def share_graph(self) -> ShareGraph:
+        """The share graph induced by the register placement (cached)."""
+        cached = self.__dict__.get("_share_graph_cache")
+        if cached is None:
+            cached = ShareGraph.from_placement(self.placement)
+            self.__dict__["_share_graph_cache"] = cached
+        return cached
+
+    def node_of(self, replica_id: ReplicaId) -> NodeId:
+        """Topology node hosting ``replica_id``."""
+        try:
+            return self.assignment[replica_id]
+        except KeyError:
+            raise PlacementError(f"unknown replica id {replica_id!r}") from None
+
+    def region_of(self, replica_id: ReplicaId) -> str:
+        """Region of the node hosting ``replica_id``."""
+        return self.topology.region_of(self.node_of(replica_id))
+
+    def replicas_in_region(self, region: str) -> Tuple[ReplicaId, ...]:
+        """All replicas whose node lies in ``region``, sorted."""
+        return tuple(
+            sorted(
+                rid
+                for rid in self.assignment
+                if self.region_of(rid) == region
+            )
+        )
+
+    def regions_of_register(self, register: Register) -> Tuple[str, ...]:
+        """Distinct regions holding a copy of ``register``, sorted."""
+        return tuple(
+            sorted(
+                {
+                    self.region_of(rid)
+                    for rid in self.placement.replicas_storing(register)
+                }
+            )
+        )
+
+    def delay_model(
+        self, jitter: float = 0.0, local_latency_ms: float = 0.1
+    ) -> LatencyDelayModel:
+        """A :class:`LatencyDelayModel` for this placement's channels."""
+        return LatencyDelayModel(
+            self.topology,
+            self.assignment,
+            jitter=jitter,
+            local_latency_ms=local_latency_ms,
+        )
+
+    def live_placement(self) -> Dict[str, Tuple[ReplicaId, ...]]:
+        """Replica grouping for ``LiveCluster(placement=...)``.
+
+        Keys are the topology node names hosting at least one replica;
+        each replica lands on the OS process standing in for its node.
+        """
+        by_node: Dict[str, list] = {}
+        for rid in sorted(self.assignment):
+            by_node.setdefault(self.assignment[rid], []).append(rid)
+        return {node: tuple(rids) for node, rids in sorted(by_node.items())}
+
+    def describe(self) -> str:
+        """One-line summary for tables and logs."""
+        graph = self.share_graph
+        return (
+            f"{self.policy} on {self.topology.name!r}: "
+            f"{self.spec.num_replicas} replicas, "
+            f"{len(self.spec.registers)} registers, "
+            f"{len(graph.undirected_edges)} share edges"
+        )
+
+
+class PlacementPolicy:
+    """Interface every placement policy implements.
+
+    ``place`` must be a pure function of ``(spec, seed)``: identical
+    inputs yield identical results (the property tests enforce this), and
+    policies that use no randomness simply ignore the seed.
+    """
+
+    #: Short name used in registries, tables and benchmark gates.
+    name: str = "abstract"
+
+    def place(self, spec: PlacementSpec, seed: int = 0) -> PlacementResult:
+        """Realise ``spec`` on its topology."""
+        raise NotImplementedError

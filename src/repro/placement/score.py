@@ -1,0 +1,131 @@
+"""Score a placement in the paper's own objective.
+
+A placement is good when the share graph it induces is cheap to track
+(few edge-indexed counters → few timestamp bytes, measured against the
+closed-form lower bounds of Theorem 15), its share edges are short on
+the measured topology (propagation latency), and its register copies
+span failure domains (a region kill leaves every register readable).
+:func:`score_placement` computes all three families from a
+:class:`~repro.placement.base.PlacementResult` without running a
+simulation — experiment E21 then confirms the static predictions with
+live traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..lower_bounds.closed_form import (
+    algorithm_bits,
+    algorithm_counters,
+    lower_bound_bits,
+)
+from .base import PlacementResult
+
+__all__ = ["PlacementScore", "score_placement"]
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(math.ceil(fraction * len(ordered))) - 1)
+    return ordered[max(0, index)]
+
+
+@dataclass(frozen=True)
+class PlacementScore:
+    """Static quality metrics of one placement."""
+
+    policy: str
+    topology: str
+    #: Mean per-replica counter count |E_i| (the metadata the algorithm keeps).
+    counters_mean: float
+    #: Mean per-replica timestamp bits under the edge-indexed algorithm.
+    algorithm_bits_mean: float
+    #: Mean closed-form lower bound over replicas where one exists
+    #: (trees/cycles/cliques), else ``None`` — general graphs have no
+    #: closed form and are compared on counters alone.
+    bound_bits_mean: Optional[float]
+    #: Mean / p99 share-edge latency (ms) between the assigned nodes.
+    edge_latency_mean: float
+    edge_latency_p99: float
+    #: Worst-case fraction of registers still holding a live copy after
+    #: killing any single region (1.0 = every register survives every
+    #: single-region failure).
+    region_survival_min: float
+    #: Number of share-graph edges (undirected).
+    share_edges: int
+
+    @property
+    def algorithm_bytes_mean(self) -> float:
+        """Timestamp bytes per replica."""
+        return self.algorithm_bits_mean / 8.0
+
+    @property
+    def bound_bytes_mean(self) -> Optional[float]:
+        """Lower-bound bytes per replica, if a closed form applies."""
+        if self.bound_bits_mean is None:
+            return None
+        return self.bound_bits_mean / 8.0
+
+
+def score_placement(
+    result: PlacementResult, max_updates: int = 2**16
+) -> PlacementScore:
+    """Compute the static score of ``result``.
+
+    ``max_updates`` is the per-counter budget ``m`` used for the bit
+    counts — the same convention the tightness tables use.
+    """
+    graph = result.share_graph
+    replicas = graph.replica_ids
+    counters = [algorithm_counters(graph, rid) for rid in replicas]
+    bits = [algorithm_bits(graph, rid, max_updates) for rid in replicas]
+    bounds = [lower_bound_bits(graph, rid, max_updates) for rid in replicas]
+    # E16 convention: average over the replicas where a closed form exists
+    # (trees/cycles/cliques reached through a replica's local view), None
+    # when no replica has one — general graphs compare on counters alone.
+    known_bounds = [b for b in bounds if b is not None]
+    bound_mean = sum(known_bounds) / len(known_bounds) if known_bounds else None
+    latencies: List[float] = []
+    for pair in graph.undirected_edges:
+        i, j = sorted(pair)
+        latencies.append(
+            result.topology.path_latency(result.node_of(i), result.node_of(j))
+        )
+    survival = _region_survival(result)
+    return PlacementScore(
+        policy=result.policy,
+        topology=result.topology.name,
+        counters_mean=sum(counters) / len(counters),
+        algorithm_bits_mean=sum(bits) / len(bits),
+        bound_bits_mean=bound_mean,
+        edge_latency_mean=(sum(latencies) / len(latencies)) if latencies else 0.0,
+        edge_latency_p99=_percentile(latencies, 0.99),
+        region_survival_min=survival,
+        share_edges=len(graph.undirected_edges),
+    )
+
+
+def _region_survival(result: PlacementResult) -> float:
+    """Worst-case surviving-register fraction over single-region kills."""
+    regions = {result.region_of(rid) for rid in result.assignment}
+    registers: Tuple[str, ...] = tuple(sorted(result.placement.registers))
+    if len(regions) <= 1:
+        # Killing the only region kills everything; report the honest 0.
+        return 0.0
+    worst = 1.0
+    for region in sorted(regions):
+        surviving = sum(
+            1
+            for register in registers
+            if any(
+                result.region_of(rid) != region
+                for rid in result.placement.replicas_storing(register)
+            )
+        )
+        worst = min(worst, surviving / len(registers))
+    return worst

@@ -46,6 +46,21 @@ class DelayModel:
         """
         return 1
 
+    def channel_base(self, channel: Channel) -> float:
+        """The jitter-free base latency this model assigns to ``channel``.
+
+        Heterogeneous models (:class:`PerChannelDelay`,
+        :class:`~repro.topo.delays.LatencyDelayModel`) answer per channel;
+        scalar models answer their constant (or mean).  Wrappers such as
+        :class:`LossyDelay` / :class:`DuplicatingDelay` forward to the
+        model they wrap, so per-channel structure survives composition —
+        callers (placement scoring, experiment tables) can interrogate a
+        fully stacked model without unwrapping it by hand.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose a per-channel base latency"
+        )
+
 
 @dataclass
 class FixedDelay(DelayModel):
@@ -54,6 +69,9 @@ class FixedDelay(DelayModel):
     latency: float = 1.0
 
     def delay(self, message: UpdateMessage, rng: random.Random) -> float:
+        return self.latency
+
+    def channel_base(self, channel: Channel) -> float:
         return self.latency
 
 
@@ -71,6 +89,9 @@ class UniformDelay(DelayModel):
 
     def delay(self, message: UpdateMessage, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
+
+    def channel_base(self, channel: Channel) -> float:
+        return (self.low + self.high) / 2.0
 
 
 @dataclass
@@ -92,6 +113,9 @@ class PerChannelDelay(DelayModel):
         if self.jitter:
             latency += rng.uniform(0.0, self.jitter)
         return latency
+
+    def channel_base(self, channel: Channel) -> float:
+        return self.base.get(channel, self.default)
 
 
 @dataclass
@@ -127,6 +151,11 @@ class ChannelFateWrapper(DelayModel):
 
     def delay(self, message: UpdateMessage, rng: random.Random) -> float:
         return self.inner.delay(message, rng)
+
+    def channel_base(self, channel: Channel) -> float:
+        # Forward rather than assume a scalar: the wrapped model may be
+        # per-channel heterogeneous (PerChannelDelay, LatencyDelayModel).
+        return self.inner.channel_base(channel)
 
     def fate(self, message: UpdateMessage, rng: random.Random) -> int:
         copies = self.inner.fate(message, rng)

@@ -1,0 +1,40 @@
+"""Measured network topologies: import, catalog, and latency-driven delays.
+
+The paper treats the network as an abstract asynchronous message substrate;
+every experiment up to E20 therefore ran on synthetic cliques/trees/rings
+with *uniform* link delays.  This package supplies the missing realism:
+
+* :class:`~repro.topo.model.Topology` — an immutable weighted graph of
+  measured per-link latencies (milliseconds) with optional region labels,
+  validated on construction (typed :class:`~repro.core.errors.TopologyError`
+  on malformed rows, self-loops, non-positive latencies and disconnected
+  graphs) and exposing cached all-pairs shortest-path latencies;
+* :mod:`~repro.topo.datasets` — a bundled GEANT-like European research
+  backbone, a RocketFuel-like North-American ISP map (both parsed through
+  the real text importer, so the import path is exercised on every use)
+  and the parametric :func:`~repro.topo.datasets.geo_regions` generator
+  following the icarus convention of 2 ms internal / 34 ms external links;
+* :class:`~repro.topo.delays.LatencyDelayModel` — a
+  :class:`~repro.sim.delays.DelayModel` that drives the existing transport
+  machinery from topology shortest-path latencies between the nodes a
+  placement assigned to each replica, instead of uniform constants.
+
+The placement layer (:mod:`repro.placement`) consumes these topologies and
+emits the share graph the protocol then runs.
+"""
+
+from .datasets import catalog, geant_like, geo_regions, rocketfuel_like
+from .delays import LatencyDelayModel
+from .model import Link, NodeId, Topology, TopologyError
+
+__all__ = [
+    "LatencyDelayModel",
+    "Link",
+    "NodeId",
+    "Topology",
+    "TopologyError",
+    "catalog",
+    "geant_like",
+    "geo_regions",
+    "rocketfuel_like",
+]

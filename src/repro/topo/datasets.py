@@ -1,0 +1,190 @@
+"""Bundled measured-topology datasets and parametric generators.
+
+Two bundled maps mirror the public datasets the caching/placement
+literature runs on — a GEANT-like European research backbone and a
+RocketFuel-like North-American ISP PoP map — with per-link latencies in
+milliseconds derived from great-circle distances between the real cities
+(propagation at ~2/3 c, rounded to one decimal).  Both are stored as the
+plain text format of :meth:`repro.topo.model.Topology.parse` and parsed
+on every call, so the import path the tests exercise is the same one the
+experiments use.
+
+:func:`geo_regions` is the parametric generator following the icarus
+convention (SNIPPETS #3): dense regions with 2 ms internal links joined
+by 34 ms external links — the geo-replication regime where placement
+decisions dominate tail latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .model import Topology, TopologyError
+
+__all__ = ["catalog", "geant_like", "geo_regions", "rocketfuel_like"]
+
+
+# ~22 GEANT points of presence.  Latencies are one-way milliseconds along
+# the physical link (distance / (2/3 c) plus a small equipment constant);
+# regions group the cities the way the availability experiments kill them.
+_GEANT_TEXT = """
+# GEANT-like European research backbone (22 nodes, 36 links).
+node lisbon      iberia
+node madrid      iberia
+node paris       west
+node london      west
+node dublin      west
+node amsterdam   west
+node brussels    west
+node frankfurt   central
+node geneva      central
+node zurich      central
+node milan       south
+node rome        south
+node athens      south
+node vienna      central
+node bratislava  east
+node prague      east
+node budapest    east
+node warsaw      east
+node copenhagen  north
+node stockholm   north
+node helsinki    north
+node tallinn     north
+
+lisbon     madrid      3.2
+madrid     paris       5.3
+lisbon     london      7.9
+paris      london      1.9
+london     dublin      2.4
+london     amsterdam   1.9
+paris      geneva      2.1
+paris      brussels    1.4
+brussels   amsterdam   0.9
+amsterdam  frankfurt   1.8
+brussels   frankfurt   1.6
+frankfurt  geneva      2.3
+geneva     zurich      1.2
+zurich     milan       1.1
+milan      rome        2.4
+rome       athens      5.3
+milan      vienna      3.1
+frankfurt  prague      2.1
+prague     vienna      1.3
+vienna     bratislava  0.7
+bratislava budapest    1.0
+vienna     budapest    1.2
+budapest   athens      4.1
+prague     warsaw      2.6
+warsaw     budapest    2.8
+frankfurt  copenhagen  3.4
+amsterdam  copenhagen  3.1
+copenhagen stockholm   2.7
+stockholm  helsinki    2.0
+helsinki   tallinn     0.9
+warsaw     tallinn     4.2
+stockholm  warsaw      4.0
+geneva     madrid      5.1
+zurich     frankfurt   1.5
+vienna     zurich      3.0
+dublin     amsterdam   3.7
+"""
+
+
+# ~12 RocketFuel-style North-American PoPs (AS1221-like scale), latencies
+# from great-circle distances between the metro areas.
+_ROCKETFUEL_TEXT = """
+# RocketFuel-like North-American ISP map (12 PoPs, 18 links).
+node seattle      west
+node portland     west
+node sanfrancisco west
+node losangeles   west
+node saltlake     central
+node denver       central
+node dallas       central
+node chicago      central
+node atlanta      east
+node miami        east
+node washington   east
+node newyork      east
+
+seattle      portland      1.4
+portland     sanfrancisco  4.3
+sanfrancisco losangeles    2.8
+seattle      saltlake      5.7
+sanfrancisco saltlake      4.8
+losangeles   dallas        10.0
+saltlake     denver        3.0
+denver       dallas        5.3
+denver       chicago       7.3
+dallas       atlanta       5.8
+chicago      washington    4.9
+chicago      newyork       5.7
+atlanta      washington    4.4
+atlanta      miami         4.8
+miami        washington    7.4
+washington   newyork       1.6
+dallas       chicago       6.5
+losangeles   saltlake      5.9
+"""
+
+
+def geant_like() -> Topology:
+    """The bundled GEANT-like European backbone (22 nodes, 6 regions)."""
+    return Topology.parse(_GEANT_TEXT, name="geant-like")
+
+
+def rocketfuel_like() -> Topology:
+    """The bundled RocketFuel-like North-American ISP map (12 PoPs)."""
+    return Topology.parse(_ROCKETFUEL_TEXT, name="rocketfuel-like")
+
+
+def geo_regions(
+    num_regions: int = 3,
+    nodes_per_region: int = 4,
+    internal_ms: float = 2.0,
+    external_ms: float = 34.0,
+) -> Topology:
+    """Parametric geo-replication topology (icarus 2 ms / 34 ms convention).
+
+    Each region is a clique of ``nodes_per_region`` sites on
+    ``internal_ms`` links; regions are joined in a ring through their
+    first site on ``external_ms`` links (two regions get a single joining
+    link rather than a doubled pair).  Node ``rK_nJ`` lives in region
+    ``rK``.
+    """
+    if num_regions < 1:
+        raise TopologyError(f"geo_regions needs >= 1 region, got {num_regions}")
+    if nodes_per_region < 1:
+        raise TopologyError(
+            f"geo_regions needs >= 1 node per region, got {nodes_per_region}"
+        )
+    lines: List[str] = []
+    for r in range(num_regions):
+        region = f"r{r}"
+        names = [f"r{r}_n{j}" for j in range(nodes_per_region)]
+        for node in names:
+            lines.append(f"node {node} {region}")
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                lines.append(f"{names[i]} {names[j]} {internal_ms:g}")
+    if num_regions == 2:
+        lines.append(f"r0_n0 r1_n0 {external_ms:g}")
+    elif num_regions > 2:
+        for r in range(num_regions):
+            nxt = (r + 1) % num_regions
+            lines.append(f"r{r}_n0 r{nxt}_n0 {external_ms:g}")
+    return Topology.parse(
+        "\n".join(lines),
+        name=f"geo-{num_regions}x{nodes_per_region}",
+    )
+
+
+def catalog() -> Dict[str, Callable[[], Topology]]:
+    """Name → constructor map over every bundled/parametric topology."""
+    return {
+        "geant-like": geant_like,
+        "rocketfuel-like": rocketfuel_like,
+        "geo-3x4": lambda: geo_regions(3, 4),
+        "geo-2x3": lambda: geo_regions(2, 3),
+    }

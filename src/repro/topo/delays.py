@@ -1,0 +1,100 @@
+"""A delay model driven by measured topology latencies.
+
+:class:`LatencyDelayModel` closes the gap between the abstract simulator
+(delays in arbitrary "time units") and a measured network: one simulated
+time unit is one millisecond, and the latency of a replica-to-replica
+channel is the shortest-path latency between the topology nodes the
+placement assigned those replicas to.  Co-hosted replicas talk over a
+small loopback latency instead of zero so event ordering stays strict.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Mapping, Optional
+
+from ..core.protocol import UpdateMessage
+from ..core.registers import ReplicaId
+from ..sim.delays import Channel, DelayModel
+from .model import NodeId, Topology, TopologyError
+
+__all__ = ["LatencyDelayModel"]
+
+
+class LatencyDelayModel(DelayModel):
+    """Per-channel delays from topology shortest-path latencies.
+
+    Parameters
+    ----------
+    topology:
+        The measured topology (latencies in milliseconds).
+    assignment:
+        Replica id → topology node.  Every replica that ever sends or
+        receives a message must be assigned; unknown nodes raise
+        :class:`~repro.core.errors.TopologyError` eagerly.
+    jitter:
+        Multiplicative jitter fraction: each message's latency is drawn
+        uniformly from ``[base, base * (1 + jitter)]`` using the seeded
+        channel generator, so runs stay reproducible.  0 disables jitter.
+    local_latency_ms:
+        Latency between two replicas assigned to the *same* node
+        (loopback / intra-host); must be positive so the simulator never
+        schedules a zero-delay delivery.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        assignment: Mapping[ReplicaId, NodeId],
+        jitter: float = 0.0,
+        local_latency_ms: float = 0.1,
+    ) -> None:
+        if jitter < 0.0:
+            raise TopologyError(f"jitter fraction must be >= 0, got {jitter!r}")
+        if not local_latency_ms > 0.0:
+            raise TopologyError(
+                f"local latency must be positive, got {local_latency_ms!r}"
+            )
+        for rid, node in assignment.items():
+            if not topology.has_node(node):
+                raise TopologyError(
+                    f"replica {rid!r} assigned to unknown node {node!r} "
+                    f"of topology {topology.name!r}"
+                )
+        self.topology = topology
+        self.assignment: Dict[ReplicaId, NodeId] = dict(assignment)
+        self.jitter = float(jitter)
+        self.local_latency_ms = float(local_latency_ms)
+        pairs = topology.all_pairs_latency()
+        base: Dict[Channel, float] = {}
+        replicas = sorted(self.assignment)
+        for sender in replicas:
+            for destination in replicas:
+                if sender == destination:
+                    continue
+                u = self.assignment[sender]
+                v = self.assignment[destination]
+                base[(sender, destination)] = (
+                    self.local_latency_ms if u == v else pairs[u][v]
+                )
+        self._base = base
+
+    def node_of(self, replica_id: ReplicaId) -> Optional[NodeId]:
+        """The topology node ``replica_id`` is assigned to (None if absent)."""
+        return self.assignment.get(replica_id)
+
+    def channel_base(self, channel: Channel) -> float:
+        """Jitter-free base latency of a replica-to-replica channel."""
+        try:
+            return self._base[channel]
+        except KeyError:
+            raise TopologyError(
+                f"channel {channel!r} has an unassigned endpoint; "
+                f"assigned replicas: {sorted(self.assignment)}"
+            ) from None
+
+    def delay(self, message: UpdateMessage, rng: random.Random) -> float:
+        latency = self.channel_base((message.sender, message.destination))
+        if self.jitter:
+            latency *= 1.0 + rng.uniform(0.0, self.jitter)
+        return latency

@@ -184,15 +184,21 @@ def run_live(
     durable_dir: Optional[str] = None,
     time_scale: float = 0.0005,
     nodes: Optional[int] = None,
+    node_placement: Optional[Dict[str, Tuple[ReplicaId, ...]]] = None,
 ) -> RunOutcome:
     """Replay the workload through the live runtime (the system under test).
 
     ``nodes`` co-hosts the replicas on that many multi-tenant processes
     (the host-pair-multiplexed transport); the default keeps one process
-    per replica.
+    per replica.  ``node_placement`` instead pins replicas to named nodes
+    through the runtime's explicit ``placement=`` hook — the shape a
+    topology-driven :meth:`~repro.placement.base.PlacementResult.live_placement`
+    emits, where each topology site becomes one OS process.
     """
     graph = ShareGraph.from_placement(placement)
-    with LiveCluster(graph, durable_dir=durable_dir, nodes=nodes) as cluster:
+    with LiveCluster(
+        graph, durable_dir=durable_dir, nodes=nodes, placement=node_placement
+    ) as cluster:
         result = cluster.run_open_loop(workload, time_scale=time_scale)
     report = result.check_consistency()
     counters = [r.get("counters", {}) for r in result.reports.values()]
@@ -306,11 +312,19 @@ def run_differential(
     duration: float = 40.0,
     durable_dir: Optional[str] = None,
     nodes: Optional[int] = None,
+    node_placement: Optional[Dict[str, Tuple[ReplicaId, ...]]] = None,
 ) -> Tuple[RunOutcome, RunOutcome]:
     """Run both sides on the same seeded workload and assert equivalence."""
     workload = differential_workload(placement, rate=rate, duration=duration,
                                      seed=seed)
     sim = run_sim(placement, workload, seed=seed)
-    live = run_live(placement, workload, durable_dir=durable_dir, nodes=nodes)
-    assert_equivalent(sim, live, live_wire_subset=nodes is not None)
+    live = run_live(placement, workload, durable_dir=durable_dir, nodes=nodes,
+                    node_placement=node_placement)
+    # Multi-tenant runs (either the contiguous `nodes` split or an explicit
+    # node placement) short-circuit co-hosted channels, so the live wire
+    # books cover a subset of the sim's channels.
+    assert_equivalent(
+        sim, live,
+        live_wire_subset=nodes is not None or node_placement is not None,
+    )
     return sim, live

@@ -1,0 +1,219 @@
+"""Topology import: golden datasets parse, malformed inputs raise.
+
+The bundled datasets are golden files: their node/link/region counts,
+connectivity and strictly positive latencies are pinned here, and every
+degenerate input — malformed rows, self-loops, duplicate links,
+non-positive latencies, disconnected graphs — must raise a typed
+:class:`~repro.core.errors.TopologyError` instead of producing a silently
+wrong latency matrix.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sim.delays import DuplicatingDelay, LossyDelay, PerChannelDelay
+from repro.topo import (
+    LatencyDelayModel,
+    Link,
+    Topology,
+    TopologyError,
+    catalog,
+    geant_like,
+    geo_regions,
+    rocketfuel_like,
+)
+
+
+class TestGoldenDatasets:
+    def test_geant_like_shape(self):
+        topo = geant_like()
+        assert topo.name == "geant-like"
+        assert topo.num_nodes == 22
+        assert topo.num_links == 36
+        assert topo.region_names == (
+            "central", "east", "iberia", "north", "south", "west",
+        )
+        assert topo.is_connected()
+
+    def test_rocketfuel_like_shape(self):
+        topo = rocketfuel_like()
+        assert topo.num_nodes == 12
+        assert topo.num_links == 18
+        assert topo.region_names == ("central", "east", "west")
+        assert topo.is_connected()
+
+    @pytest.mark.parametrize("name", sorted(catalog()))
+    def test_catalog_latencies_strictly_positive(self, name):
+        topo = catalog()[name]()
+        assert topo.is_connected()
+        for link in topo.links:
+            assert link.latency_ms > 0.0
+        # Shortest paths are consistent: symmetric, zero on the diagonal,
+        # and never beat the direct link they could take.
+        for link in topo.links:
+            assert topo.path_latency(link.u, link.v) <= link.latency_ms
+        some = topo.nodes[0]
+        assert topo.path_latency(some, some) == 0.0
+        other = topo.nodes[-1]
+        assert topo.path_latency(some, other) == topo.path_latency(other, some)
+
+    def test_geo_regions_follows_icarus_convention(self):
+        topo = geo_regions(3, 4, internal_ms=2.0, external_ms=34.0)
+        assert topo.num_nodes == 12
+        assert topo.region_names == ("r0", "r1", "r2")
+        assert topo.region_of("r1_n2") == "r1"
+        # Intra-region links are 2 ms, region-joining links 34 ms.
+        assert topo.link_latency("r0_n0", "r0_n1") == 2.0
+        assert topo.link_latency("r0_n0", "r1_n0") == 34.0
+        # Crossing a region always pays the external link.
+        assert topo.path_latency("r0_n1", "r1_n1") == 2.0 + 34.0 + 2.0
+
+    def test_two_region_generator_has_single_joining_link(self):
+        topo = geo_regions(2, 3)
+        joins = [
+            link for link in topo.links
+            if topo.region_of(link.u) != topo.region_of(link.v)
+        ]
+        assert len(joins) == 1
+
+
+class TestDegenerateInputs:
+    def test_malformed_link_row_raises_with_line_number(self):
+        with pytest.raises(TopologyError, match="bad:2"):
+            Topology.parse("a b 1.0\na b c d\n", name="bad")
+
+    def test_non_numeric_latency_raises(self):
+        with pytest.raises(TopologyError, match="not a number"):
+            Topology.parse("a b fast\n")
+
+    def test_malformed_node_row_raises(self):
+        with pytest.raises(TopologyError, match="node rows"):
+            Topology.parse("node x\nx y 1.0\n")
+
+    def test_self_loop_raises(self):
+        with pytest.raises(TopologyError, match="self-loop"):
+            Topology.parse("a a 1.0\n")
+
+    def test_duplicate_link_raises_either_orientation(self):
+        with pytest.raises(TopologyError, match="duplicate link"):
+            Topology.parse("a b 1.0\nb a 2.0\n")
+
+    @pytest.mark.parametrize("latency", ["0", "-3.5", "inf", "nan"])
+    def test_non_positive_or_non_finite_latency_raises(self, latency):
+        with pytest.raises(TopologyError, match="latency"):
+            Topology.parse(f"a b {latency}\n")
+
+    def test_disconnected_graph_raises(self):
+        with pytest.raises(TopologyError, match="disconnected"):
+            Topology.parse("a b 1.0\nc d 1.0\n")
+
+    def test_isolated_declared_node_raises(self):
+        with pytest.raises(TopologyError, match="disconnected"):
+            Topology.parse("node lonely r0\na b 1.0\n")
+
+    def test_empty_text_raises(self):
+        with pytest.raises(TopologyError, match="no nodes"):
+            Topology.parse("# only a comment\n")
+
+    def test_link_to_unknown_node_raises_in_constructor(self):
+        with pytest.raises(TopologyError, match="undeclared node"):
+            Topology(name="t", nodes=("a", "b"), links=(Link("a", "c", 1.0),))
+
+    def test_unknown_node_queries_raise(self):
+        topo = Topology.parse("a b 1.0\n")
+        with pytest.raises(TopologyError):
+            topo.path_latency("a", "zz")
+        with pytest.raises(TopologyError):
+            topo.region_of("zz")
+        with pytest.raises(TopologyError):
+            topo.link_latency("a", "a")
+
+    def test_typed_error_is_a_configuration_error(self):
+        # Callers catching the library-wide hierarchy see topology
+        # failures as configuration mistakes, not crashes.
+        assert issubclass(TopologyError, ConfigurationError)
+
+    def test_single_node_topology_is_legal(self):
+        topo = Topology.parse("node only r0\n")
+        assert topo.num_nodes == 1
+        assert topo.is_connected()
+        assert topo.diameter_ms() == 0.0
+
+
+class TestLatencyDelayModel:
+    def test_delays_come_from_shortest_paths(self):
+        topo = geant_like()
+        model = LatencyDelayModel(
+            topo, {1: "vienna", 2: "bratislava", 3: "lisbon"}
+        )
+        assert model.channel_base((1, 2)) == topo.path_latency(
+            "vienna", "bratislava"
+        )
+        assert model.channel_base((1, 3)) == topo.path_latency(
+            "vienna", "lisbon"
+        )
+
+    def test_co_hosted_replicas_pay_loopback_not_zero(self):
+        topo = geo_regions(2, 2)
+        model = LatencyDelayModel(topo, {1: "r0_n0", 2: "r0_n0"})
+        assert model.channel_base((1, 2)) == pytest.approx(0.1)
+
+    def test_unknown_assignment_node_raises(self):
+        with pytest.raises(TopologyError, match="unknown node"):
+            LatencyDelayModel(geo_regions(2, 2), {1: "nowhere"})
+
+    def test_unassigned_channel_raises(self):
+        model = LatencyDelayModel(geo_regions(2, 2), {1: "r0_n0", 2: "r1_n0"})
+        with pytest.raises(TopologyError, match="unassigned endpoint"):
+            model.channel_base((1, 9))
+
+    def test_jitter_is_bounded_and_seeded(self):
+        topo = geo_regions(2, 2)
+        model = LatencyDelayModel(topo, {1: "r0_n0", 2: "r1_n0"}, jitter=0.5)
+        message = type("M", (), {"sender": 1, "destination": 2})()
+        base = model.channel_base((1, 2))
+        first = [model.delay(message, random.Random(7)) for _ in range(20)]
+        second = [model.delay(message, random.Random(7)) for _ in range(20)]
+        assert first == second
+        for value in first:
+            assert base <= value <= base * 1.5
+
+
+class TestWrapperComposition:
+    """Regression: fate wrappers must compose with heterogeneous delays.
+
+    The wrappers used to be interrogated as if the wrapped model had one
+    scalar base delay; stacked over a per-channel model they must forward
+    both the per-message delay and the per-channel base introspection.
+    """
+
+    def _message(self, sender, destination):
+        return type("M", (), {"sender": sender, "destination": destination})()
+
+    def test_fate_wrappers_preserve_per_channel_delays(self):
+        inner = PerChannelDelay(base={(1, 2): 3.0, (2, 1): 7.0}, default=1.0)
+        stacked = DuplicatingDelay(
+            inner=LossyDelay(inner=inner, drop_probability=0.5),
+            duplicate_probability=0.5,
+        )
+        rng = random.Random(0)
+        assert stacked.delay(self._message(1, 2), rng) == 3.0
+        assert stacked.delay(self._message(2, 1), rng) == 7.0
+        assert stacked.delay(self._message(1, 3), rng) == 1.0
+        assert stacked.channel_base((1, 2)) == 3.0
+        assert stacked.channel_base((2, 1)) == 7.0
+        assert stacked.channel_base((9, 9)) == 1.0
+
+    def test_fate_wrappers_forward_topology_latencies(self):
+        topo = geo_regions(2, 2)
+        inner = LatencyDelayModel(topo, {1: "r0_n0", 2: "r1_n0", 3: "r0_n1"})
+        lossy = LossyDelay(inner=inner, drop_probability=0.25)
+        assert lossy.channel_base((1, 2)) == topo.path_latency("r0_n0", "r1_n0")
+        assert lossy.channel_base((1, 3)) == topo.path_latency("r0_n0", "r0_n1")
+        rng = random.Random(3)
+        assert lossy.delay(self._message(1, 2), rng) == 34.0
+        assert lossy.delay(self._message(1, 3), rng) == 2.0
