@@ -1,0 +1,34 @@
+"""Closed-loop adaptive reconfiguration: sense → plan → act.
+
+The offline placement layer (:mod:`repro.placement`) optimises the share
+graph once, before the run; this package keeps optimising it *during*
+the run.  A :class:`~repro.adapt.sensor.Sensor` reads the simulator's
+cumulative telemetry into sliding
+:class:`~repro.adapt.signals.SignalWindow`\\ s, a
+:class:`~repro.adapt.planner.Planner` turns persistent workload shifts
+into bounded, feasibility-validated placement diffs, and the
+:class:`~repro.adapt.controller.AdaptiveController` installs accepted
+diffs through the epoch-based reconfiguration machinery
+(:mod:`repro.sim.reconfig`) — with hysteresis, fault deferral and rate
+limiting so the loop is safe to leave attached.  Experiment E22
+(:func:`repro.analysis.experiments.exp_adaptive`) demonstrates the loop
+beating every static placement policy on a drifting-hotspot workload.
+"""
+
+from .controller import AdaptiveController, ControllerConfig, Decision
+from .planner import PlanDiff, Planner, RegisterMove
+from .sensor import Sensor, SignalSnapshot
+from .signals import Hysteresis, SignalWindow
+
+__all__ = [
+    "AdaptiveController",
+    "ControllerConfig",
+    "Decision",
+    "Hysteresis",
+    "PlanDiff",
+    "Planner",
+    "RegisterMove",
+    "Sensor",
+    "SignalSnapshot",
+    "SignalWindow",
+]

@@ -1,0 +1,131 @@
+"""Sliding signal windows and hysteresis for the adaptive controller.
+
+The controller must react to *persistent* workload shifts and ignore
+noise: a single bursty window must not trigger a migration (each one
+costs availability), and a steady workload must trigger none at all.
+Two small primitives implement that discipline:
+
+* :class:`SignalWindow` — a bounded sliding window of samples with the
+  aggregates the planner consumes (sum/mean/last and per-key merges of
+  dict-valued signals);
+* :class:`Hysteresis` — a two-threshold trigger with an arming count:
+  it fires only after ``arm`` *consecutive* samples at or above the
+  ``rise`` threshold, and once fired stays quiet until the signal falls
+  to ``fall`` or below.  The gap between the thresholds is what keeps a
+  signal oscillating around a single cutoff from flapping the
+  controller.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generic, Iterator, List, Mapping, TypeVar
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["Hysteresis", "SignalWindow"]
+
+T = TypeVar("T")
+
+
+class SignalWindow(Generic[T]):
+    """A bounded sliding window of signal samples (oldest dropped first)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"signal window capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._samples: Deque[T] = deque(maxlen=capacity)
+
+    def append(self, sample: T) -> None:
+        """Add one sample, evicting the oldest beyond ``capacity``."""
+        self._samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._samples)
+
+    @property
+    def full(self) -> bool:
+        """``True`` once ``capacity`` samples have accumulated."""
+        return len(self._samples) == self.capacity
+
+    def last(self) -> T:
+        """The most recent sample."""
+        if not self._samples:
+            raise ConfigurationError("signal window is empty")
+        return self._samples[-1]
+
+    def samples(self) -> List[T]:
+        """The window contents, oldest first."""
+        return list(self._samples)
+
+    # ------------------------------------------------------------------
+    # Aggregates over numeric / dict-valued projections
+    # ------------------------------------------------------------------
+    def total(self, key) -> float:
+        """Sum of ``key(sample)`` over the window."""
+        return float(sum(key(sample) for sample in self._samples))
+
+    def mean(self, key) -> float:
+        """Mean of ``key(sample)`` over the window (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return self.total(key) / len(self._samples)
+
+    def merge_counts(self, key) -> Dict:
+        """Per-key sums of dict-valued ``key(sample)`` over the window."""
+        merged: Dict = {}
+        for sample in self._samples:
+            mapping: Mapping = key(sample)
+            for k, v in mapping.items():
+                merged[k] = merged.get(k, 0) + v
+        return merged
+
+
+class Hysteresis:
+    """A two-threshold trigger with an arming count.
+
+    ``update(value)`` returns ``True`` exactly while the trigger is
+    *active*: it activates after ``arm`` consecutive updates with
+    ``value >= rise`` and deactivates on the first update with
+    ``value <= fall``.  Values in the dead band ``(fall, rise)`` keep the
+    current state but reset the arming streak, so only a persistent
+    excursion fires.
+    """
+
+    def __init__(self, rise: float, fall: float, arm: int = 2) -> None:
+        if fall > rise:
+            raise ConfigurationError(
+                f"hysteresis fall threshold {fall!r} must not exceed "
+                f"rise threshold {rise!r}"
+            )
+        if arm < 1:
+            raise ConfigurationError(f"arm count must be >= 1, got {arm}")
+        self.rise = float(rise)
+        self.fall = float(fall)
+        self.arm = arm
+        self.active = False
+        self._streak = 0
+
+    def update(self, value: float) -> bool:
+        """Feed one sample; returns the (possibly new) active state."""
+        if value >= self.rise:
+            self._streak += 1
+            if self._streak >= self.arm:
+                self.active = True
+        elif value <= self.fall:
+            self._streak = 0
+            self.active = False
+        else:
+            self._streak = 0
+        return self.active
+
+    def reset(self) -> None:
+        """Drop back to the inactive state (e.g. after acting on it)."""
+        self.active = False
+        self._streak = 0

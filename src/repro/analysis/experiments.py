@@ -27,10 +27,11 @@ from ..clientserver import (
     build_all_augmented_timestamp_edges,
     client_index_edges,
 )
+from ..adapt import AdaptiveController, ControllerConfig
 from ..core.consistency import ConsistencyReport
 from ..core.hoops import compare_with_theorem8
 from ..core.protocol import CausalReplica
-from ..core.registers import RegisterPlacement, ReplicaId
+from ..core.registers import Register, RegisterPlacement, ReplicaId
 from ..core.replica import EdgeIndexedReplica
 from ..core.share_graph import Edge, ShareGraph
 from ..core.timestamp_graph import TimestampGraph, build_all_timestamp_graphs, timestamp_edges
@@ -98,6 +99,7 @@ from ..sim.workloads import (
     OpenLoopWorkload,
     bursty_workload,
     causal_chain_workload,
+    drifting_hotspot_workload,
     poisson_workload,
     poisson_workload_dynamic,
     run_open_loop,
@@ -1840,6 +1842,201 @@ def exp_placement(
                     ),
                 ))
     return all_rows
+
+
+@dataclass(frozen=True)
+class AdaptiveRow:
+    """One policy cell of E22 (the ``adaptive`` row is the controller)."""
+
+    policy: str
+    adaptive: bool
+    #: Committed reconfiguration epochs / controller plans installed.
+    reconfigs: int
+    plans: int
+    #: Whether the controller pulled the delta-encoding lever.
+    compressed: bool
+    messages: int
+    ts_bytes_per_msg: float
+    apply_p99: float
+    apply_mean: float
+    consistent: bool
+
+
+def _home_map(result: PlacementResult) -> Dict[ReplicaId, Register]:
+    """One distinct *home* register per replica, from its own stored set.
+
+    The drifting-hotspot workload writes only at home registers, so homes
+    must be a system of distinct representatives — computed by augmenting
+    paths (deterministic: replicas and registers visited in sorted
+    order).  Greedy first-fit is not enough: a later replica's whole
+    stored set may already be claimed by earlier replicas.
+    """
+    placement = result.placement
+    match: Dict[Register, ReplicaId] = {}
+
+    def try_assign(rid: ReplicaId, visited: set) -> bool:
+        for register in sorted(placement.registers_at(rid)):
+            if register in visited:
+                continue
+            visited.add(register)
+            if register not in match or try_assign(match[register], visited):
+                match[register] = rid
+                return True
+        return False
+
+    for rid in sorted(placement.replica_ids):
+        if not try_assign(rid, set()):
+            raise ValueError(
+                f"no distinct home register for replica {rid!r}: "
+                "placement has no perfect replica->register matching"
+            )
+    return {rid: register for register, rid in match.items()}
+
+
+def drifting_writer_groups(result: PlacementResult) -> List[List[ReplicaId]]:
+    """The workload's rotating writer groups: one per topology region."""
+    regions = sorted({result.region_of(rid) for rid in result.assignment})
+    return [sorted(result.replicas_in_region(region)) for region in regions]
+
+
+def adaptive_controller_config() -> ControllerConfig:
+    """The tuned E22 controller: fast sensing, small margin, short windows.
+
+    The loop must react within a small fraction of one hotspot phase
+    (``duration / rotations`` simulated time), so it samples every 1.5,
+    arms after two hot windows and rate-limits to one plan per 5; the
+    compression lever triggers once sustained timestamp bytes/msg exceed
+    a level every uncompressed cell comfortably exceeds.
+    """
+    return ControllerConfig(
+        interval=1.5,
+        window=2,
+        cooldown=5.0,
+        margin=0.02,
+        max_moves=3,
+        min_writes=3,
+        arm=2,
+        dominance_rise=0.4,
+        dominance_fall=0.25,
+        compress_bytes_per_msg=18.0,
+        reconfig_window=0.15,
+    )
+
+
+def exp_adaptive(
+    rate: float = 3.0,
+    duration: float = 720.0,
+    rotations: int = 12,
+    num_replicas: int = 10,
+    num_registers: int = 16,
+    replication_factor: int = 2,
+    capacity: int = 6,
+    jitter: float = 0.05,
+    seed: int = 22,
+    topology: Optional[Topology] = None,
+    base_policy: str = "latency-greedy",
+    config: Optional[ControllerConfig] = None,
+) -> List[AdaptiveRow]:
+    """Adaptive reconfiguration vs. every static placement (E22).
+
+    A drifting-hotspot workload (the writer set rotates across topology
+    regions every ``duration / rotations``) runs on a GEANT-like map in
+    four cells: each static placement policy as-is, plus an *adaptive*
+    cell that starts from ``base_policy``'s placement and leaves an
+    :class:`~repro.adapt.AdaptiveController` attached.  The controller
+    senses the drift, attracts hot registers' copies toward their current
+    writers through bounded epoch reconfigurations, and pulls the
+    delta-encoding lever once timestamp bytes/msg stay high — so the
+    adaptive cell must beat **every** static on both measured timestamp
+    bytes per message and apply-latency p99, with consistency holding
+    through every controller-issued reconfiguration (the E22 gate,
+    enforced by ``benchmarks/bench_adaptive.py``).
+    """
+    topology = topology or geant_like()
+    spec = PlacementSpec.make(
+        topology,
+        num_replicas=num_replicas,
+        num_registers=num_registers,
+        replication_factor=replication_factor,
+        capacity=capacity,
+    )
+    policies = placement_policies()
+    if base_policy not in policies:
+        raise ValueError(f"unknown base policy {base_policy!r}")
+
+    def run_cell(name: str, result: PlacementResult,
+                 adaptive: bool) -> AdaptiveRow:
+        home = _home_map(result)
+        workload = drifting_hotspot_workload(
+            home, drifting_writer_groups(result), rate=rate,
+            duration=duration, rotations=rotations, seed=seed,
+        )
+        host = Cluster(
+            result.share_graph,
+            replica_factory=edge_indexed_factory,
+            delay_model=result.delay_model(jitter=jitter),
+            seed=seed,
+            wire_accounting=True,
+        )
+        controller = None
+        if adaptive:
+            pinned = {register: rid for rid, register in home.items()}
+            controller = AdaptiveController(
+                host, result, pinned=pinned,
+                config=config or adaptive_controller_config(),
+            ).attach()
+        run_result = run_open_loop(host, workload)
+        stats = host.network.stats
+        return AdaptiveRow(
+            policy=name,
+            adaptive=adaptive,
+            reconfigs=host.metrics.reconfigs,
+            plans=controller.plans_installed if controller else 0,
+            compressed=bool(controller and controller.compressed),
+            messages=stats.messages_sent,
+            ts_bytes_per_msg=(
+                stats.timestamp_bytes_sent / stats.messages_sent
+                if stats.messages_sent else 0.0
+            ),
+            apply_p99=run_result.apply_latency.p99,
+            apply_mean=run_result.apply_latency.mean,
+            consistent=run_result.consistent,
+        )
+
+    rows = [
+        run_cell(name, policy.place(spec, seed=seed), adaptive=False)
+        for name, policy in policies.items()
+    ]
+    rows.append(run_cell(
+        "adaptive", policies[base_policy].place(spec, seed=seed),
+        adaptive=True,
+    ))
+    return rows
+
+
+def render_adaptive(rows: Sequence[AdaptiveRow]) -> str:
+    """Text table of the E22 sweep."""
+    return render_table(
+        [
+            "policy", "adaptive", "reconfigs", "plans", "compressed",
+            "msgs", "tsB/msg", "apply p99", "apply mean", "consistent",
+        ],
+        [
+            (
+                r.policy,
+                "yes" if r.adaptive else "no",
+                r.reconfigs,
+                r.plans,
+                "yes" if r.compressed else "no",
+                r.messages,
+                f"{r.ts_bytes_per_msg:.1f}",
+                f"{r.apply_p99:.2f}",
+                f"{r.apply_mean:.2f}",
+                "yes" if r.consistent else "NO",
+            )
+            for r in rows
+        ],
+    )
 
 
 def render_placement(rows: Sequence[PlacementRow]) -> str:

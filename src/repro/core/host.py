@@ -464,11 +464,14 @@ class ReplicaHost:
     def _apply_ready(self, replica: CausalReplica, force: bool = False) -> List[Update]:
         """Run a replica's apply loop and record the unified metrics."""
         applied = replica.apply_ready(sim_time=self.now, force=force)
+        replayed = replica.bootstrap_replayed
         for update in applied:
             self.metrics.applies += 1
             self.metrics.apply_times.append(self.now)
             issued_at = self._issue_times.get(update.uid)
-            if issued_at is not None:
+            # State-transfer replays measure the history's age, not
+            # propagation: they are applies but not latency samples.
+            if issued_at is not None and update.uid not in replayed:
                 self.metrics.apply_latencies.append(self.now - issued_at)
         if self.tracer is not None:
             for update in applied:
@@ -497,11 +500,12 @@ class ReplicaHost:
         delivery paths apart.
         """
         applied = replica.apply_batch(messages, sim_time=self.now)
+        replayed = replica.bootstrap_replayed
         for update in applied:
             self.metrics.applies += 1
             self.metrics.apply_times.append(self.now)
             issued_at = self._issue_times.get(update.uid)
-            if issued_at is not None:
+            if issued_at is not None and update.uid not in replayed:
                 self.metrics.apply_latencies.append(self.now - issued_at)
         if self.tracer is not None:
             for update in applied:

@@ -352,6 +352,11 @@ class CausalReplica(abc.ABC):
         #: Updates applied at this replica, in application order.
         self.applied: List[Update] = []
         self._applied_uids: set = set()
+        #: Uids applied from a state-transfer (bootstrap) stream rather than
+        #: live propagation — replayed history, whose issue→apply delta
+        #: measures the history's age, not the network (the host skips them
+        #: when sampling apply latency).
+        self.bootstrap_replayed: set = set()
         # -- pending-buffer index ------------------------------------------
         # Every buffered message lives in exactly one of two places: the
         # recheck queue (its predicate will be evaluated on the next
@@ -749,6 +754,7 @@ class CausalReplica(abc.ABC):
         if isinstance(message.metadata, BootstrapMetadata):
             # Bootstrap messages carry stream-position metadata, not a
             # timestamp: advance the stream instead of merging.
+            self.bootstrap_replayed.add(update.uid)
             self._bootstrap_next += 1
             if (
                 self._bootstrap_total is not None

@@ -22,12 +22,14 @@ from .analyze import (
     complete_chains,
     coverage,
     critical_paths,
+    epoch_byte_table,
     node_transport_table,
     stage_breakdown,
 )
 from .publish import (
     attach_encoder_observer,
     publish_channel_wire_stats,
+    publish_epoch_segments,
     publish_network_stats,
     publish_node_counters,
     publish_run_metrics,
@@ -82,6 +84,7 @@ __all__ = [
     "complete_chains",
     "coverage",
     "critical_paths",
+    "epoch_byte_table",
     "event_from_dict",
     "event_to_dict",
     "fold_samples",
@@ -89,6 +92,7 @@ __all__ = [
     "load_trace_jsonl",
     "node_transport_table",
     "publish_channel_wire_stats",
+    "publish_epoch_segments",
     "publish_network_stats",
     "publish_node_counters",
     "publish_run_metrics",

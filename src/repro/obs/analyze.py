@@ -222,6 +222,54 @@ def channel_byte_table(metric_records: Sequence[dict]) -> List[dict]:
     return rows
 
 
+def epoch_byte_table(metric_records: Sequence[dict]) -> List[dict]:
+    """Per-epoch timestamp-bytes-vs-bound rows from a metrics JSONL dump.
+
+    Consumes the ``repro_epoch_*`` families
+    :func:`~repro.obs.publish.publish_epoch_segments` emits: one row per
+    configuration epoch with the shipped timestamp bytes and metadata
+    counters per message and, when the dump carries the closed-form
+    bound gauge, the realised counters-per-message against the epoch's
+    worst-sender budget — the reconfiguration-time reading of the
+    paper's metadata-vs-bound claim (it must hold in every epoch a
+    schedule or controller installs, not just the starting one).
+    """
+    epochs: Dict[int, Dict[str, float]] = {}
+    for record in metric_records:
+        name = record.get("name", "")
+        if not name.startswith("repro_epoch_"):
+            continue
+        labels = record.get("labels", {})
+        if "epoch" not in labels:
+            continue
+        key = int(labels["epoch"])
+        epochs.setdefault(key, {})[name] = record.get("value", 0.0)
+    rows = []
+    for epoch, values in sorted(epochs.items()):
+        messages = values.get("repro_epoch_messages_total", 0.0)
+        ts_bytes = values.get("repro_epoch_timestamp_bytes_total", 0.0)
+        counters = values.get("repro_epoch_counters_total", 0.0)
+        bound = values.get("repro_epoch_bound_counters")
+        rows.append(
+            {
+                "epoch": epoch,
+                "start": values.get("repro_epoch_start", 0.0),
+                "end": values.get("repro_epoch_end", 0.0),
+                "replicas": int(values.get("repro_epoch_replicas", 0.0)),
+                "messages": int(messages),
+                "timestamp_bytes": int(ts_bytes),
+                "counters": int(counters),
+                "ts_bytes_per_message": ts_bytes / messages if messages else 0.0,
+                "counters_per_message": counters / messages if messages else 0.0,
+                "bound_counters": bound,
+                "counters_vs_bound": (
+                    counters / (messages * bound) if messages and bound else None
+                ),
+            }
+        )
+    return rows
+
+
 #: The node-level transport/durability telemetry families, in table order.
 _NODE_TRANSPORT_METRICS = (
     "repro_node_peer_streams",

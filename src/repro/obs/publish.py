@@ -9,7 +9,7 @@ Metric names follow the Prometheus conventions: ``repro_`` prefix,
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Optional, Tuple
+from typing import Any, Mapping, Optional, Sequence, Tuple
 
 from ..core.host import RunMetrics
 from ..core.registers import ReplicaId
@@ -107,6 +107,62 @@ def publish_channel_wire_stats(
             ).set(counters_of[src])
 
 
+def publish_epoch_segments(
+    registry: MetricsRegistry,
+    segments: Sequence[Mapping[str, Any]],
+    bounds: bool = True,
+    **labels: object,
+) -> None:
+    """Per-epoch traffic books (``ReconfigManager.epoch_segments`` rows).
+
+    One label set per configuration epoch: the messages, timestamp-frame
+    bytes and metadata counters shipped while that configuration was
+    active, its activation span, and — with ``bounds=True`` — the
+    closed-form counter budget of the epoch's share graph (the worst
+    sender's ``algorithm_counters``, the per-message metadata bound the
+    shipped traffic should respect in *every* epoch, including the ones
+    a controller installed mid-run).  Pass ``bounds=False`` to skip the
+    exponential ``|E_i|`` enumeration on dense share graphs.
+    """
+    for segment in segments:
+        epoch_labels = dict(labels, epoch=segment["epoch"])
+        registry.counter(
+            "repro_epoch_messages_total",
+            "messages sent while this epoch was active",
+            **epoch_labels).inc(segment["messages"])
+        registry.counter(
+            "repro_epoch_timestamp_bytes_total",
+            "timestamp-frame bytes sent while this epoch was active",
+            **epoch_labels).inc(segment["timestamp_bytes"])
+        registry.counter(
+            "repro_epoch_counters_total",
+            "metadata counters shipped while this epoch was active",
+            **epoch_labels).inc(segment["counters"])
+        registry.gauge(
+            "repro_epoch_start", "epoch activation time (host time)",
+            **epoch_labels).set(segment["start"])
+        registry.gauge(
+            "repro_epoch_end", "epoch retirement time (host time)",
+            **epoch_labels).set(segment["end"])
+        graph = segment.get("share_graph")
+        if graph is None:
+            continue
+        registry.gauge(
+            "repro_epoch_replicas", "replicas in the epoch's share graph",
+            **epoch_labels).set(graph.num_replicas)
+        if bounds:
+            worst = max(
+                (algorithm_counters(graph, rid) for rid in graph.replica_ids),
+                default=0,
+            )
+            registry.gauge(
+                "repro_epoch_bound_counters",
+                "closed-form metadata bound of the epoch's worst sender "
+                "(counters/message)",
+                **epoch_labels,
+            ).set(worst)
+
+
 def publish_network_stats(registry: MetricsRegistry, stats: Any,
                           graph: Optional[ShareGraph] = None,
                           bounds: bool = True,
@@ -152,11 +208,29 @@ _NODE_COUNTER_HELP = {
 def publish_node_counters(registry: MetricsRegistry, replica_id: ReplicaId,
                           counters: Mapping[str, int],
                           **labels: object) -> None:
-    """One live node's counter dict → per-replica counter families."""
+    """One live node's counter dict → per-replica counter families.
+
+    Report counters are cumulative totals from the node's (latest)
+    lifetime — the same series its TELEMETRY stream re-sends — so they go
+    through the :func:`~repro.obs.registry.fold_samples` counter-reset
+    path rather than a blind ``inc``: published after the node's telemetry
+    has been folded, a report adds only the increments the last telemetry
+    sample had not seen yet (and a post-restart report, smaller than the
+    pre-crash high-water mark, folds as a reset) instead of
+    double-counting the lifetime.
+    """
+    from .registry import fold_samples
+
     for name, value in sorted(counters.items()):
         help_text = _NODE_COUNTER_HELP.get(name, "")
-        registry.counter(f"repro_node_{name}_total", help_text,
-                         replica=replica_id, **labels).inc(value)
+        full_name = f"repro_node_{name}_total"
+        # Declare the family with its help text; folding only creates it.
+        registry.counter(full_name, help_text, replica=replica_id, **labels)
+        sample_labels = tuple(
+            sorted((k, str(v)) for k, v in
+                   dict(labels, replica=replica_id).items())
+        )
+        fold_samples(registry, [(full_name, sample_labels, float(value))])
 
 
 def attach_encoder_observer(encoder: Any, registry: MetricsRegistry,
@@ -209,8 +283,11 @@ def registry_for_live(result: Any, bounds: bool = True,
                       **labels: object) -> MetricsRegistry:
     """Everything a finished live run publishes, in one registry.
 
-    Folds the merged :class:`RunMetrics`, every node's counters, the
-    per-channel wire books, and the last TELEMETRY sample stream.
+    Folds the merged :class:`RunMetrics`, the per-channel wire books, the
+    TELEMETRY sample streams (in sample order, so counter resets across a
+    kill/restart fold correctly) and, last, every node's final report
+    counters — which share series with the telemetry stream and therefore
+    fold *after* it through the same counter-reset state.
     """
     from .registry import fold_samples
 
@@ -219,12 +296,12 @@ def registry_for_live(result: Any, bounds: bool = True,
     publish_channel_wire_stats(registry, result.channel_wire_stats(),
                                graph=result.share_graph, bounds=bounds,
                                **labels)
+    for _, frames in sorted(result.telemetry.items()):
+        for _, _, samples in sorted(frames, key=lambda frame: frame[0]):
+            fold_samples(registry, samples)
     for rid, report in sorted(result.reports.items()):
         publish_node_counters(registry, rid, report.get("counters", {}),
                               **labels)
-    for samples_by_node in result.telemetry.values():
-        for _, _, samples in samples_by_node:
-            fold_samples(registry, samples)
     return registry
 
 

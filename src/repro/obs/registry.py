@@ -152,6 +152,9 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._families: Dict[str, _Family] = {}
+        #: Last cumulative value seen per ``(name, labels)`` series by
+        #: :func:`fold_samples` — the state behind counter-reset folding.
+        self._fold_last_seen: Dict[Tuple[str, LabelItems], float] = {}
 
     # ------------------------------------------------------------------
     # Declaring / fetching families
@@ -270,12 +273,27 @@ def load_metrics_jsonl(path_or_file: Union[str, IO[str]]) -> List[dict]:
 def fold_samples(registry: MetricsRegistry,
                  samples: Iterable[Tuple[str, LabelItems, float]]) -> None:
     """Fold flat ``(name, labels, value)`` samples (a TELEMETRY payload)
-    into a registry.  Names ending in ``_total`` are counters and keep the
-    maximum seen (telemetry re-sends cumulative totals, so max = latest);
-    everything else is a gauge and keeps the last value."""
+    into a registry.  Names ending in ``_total`` are cumulative counters
+    folded with Prometheus counter-reset semantics: the registry tracks
+    the last value seen per ``(name, labels)`` series and accumulates
+    deltas, treating a decrease as a restart (the source died, its counter
+    reset to zero and regrew).  A plain ``max(seen, value)`` fold would
+    freeze each series at its pre-crash high-water mark and silently drop
+    every post-restart increment; delta accumulation counts both
+    lifetimes.  Everything else is a gauge and keeps the last value."""
+    last_seen = registry._fold_last_seen
     for name, labels, value in samples:
         if name.endswith("_total"):
             child = registry.counter(name, **dict(labels))
-            child.value = max(child.value, value)
+            key = (name, tuple(sorted((k, str(v)) for k, v in labels)))
+            previous = last_seen.get(key)
+            if previous is None or value < previous:
+                # First sample of the series, or a reset: the cumulative
+                # value is entirely new traffic.
+                delta = value
+            else:
+                delta = value - previous
+            last_seen[key] = value
+            child.value += delta
         else:
             registry.gauge(name, **dict(labels)).set(value)

@@ -107,6 +107,9 @@ class ReconfigAction:
     #: (``{anchor: registers}``), so a joiner can attach through a fresh
     #: register without a second action.
     grants: Tuple[Tuple[ReplicaId, FrozenSet[Register]], ...] = ()
+    #: For joins on measured topologies: the topology node hosting the
+    #: joiner.  ``None`` co-hosts it with its first share-graph neighbor.
+    node: Optional[str] = None
 
     def describe(self) -> str:
         """Human-readable one-liner for timelines and tables."""
@@ -127,6 +130,7 @@ class ReconfigAction:
 def join(time: float, replica_id: ReplicaId,
          registers: Iterable[Register],
          grants: Optional[Mapping[ReplicaId, Iterable[Register]]] = None,
+         node: Optional[str] = None,
          ) -> ReconfigAction:
     """A replica joins, storing ``registers``.
 
@@ -134,7 +138,10 @@ def join(time: float, replica_id: ReplicaId,
     state transfer of their history to the joiner; fresh names start
     empty.  ``grants`` optionally places registers at existing replicas in
     the same change (the usual way to attach a joiner through a *fresh*
-    shared register: grant it to the anchor too).
+    shared register: grant it to the anchor too).  ``node`` places the
+    joiner on a topology node when the run uses a measured
+    :class:`~repro.topo.delays.LatencyDelayModel`; without one the joiner
+    is co-hosted with its first share-graph neighbor.
     """
     return ReconfigAction(
         time=time, kind="join", replica_id=replica_id,
@@ -143,6 +150,7 @@ def join(time: float, replica_id: ReplicaId,
             (rid, frozenset(str(r) for r in regs))
             for rid, regs in sorted((grants or {}).items())
         ),
+        node=str(node) if node is not None else None,
     )
 
 
@@ -656,6 +664,7 @@ class ReconfigManager:
             self._retired.add(rid)
         host._migrate_members(new_graph, epoch)
         for rid in joiners:
+            self._assign_topology_node(rid, action, new_graph)
             host._add_member(rid, new_graph, epoch)
         host.epoch = epoch
         host.share_graph = new_graph
@@ -687,6 +696,38 @@ class ReconfigManager:
         self._window_opened_at = None
         self._affected = frozenset()
         self._pump()
+
+    def _assign_topology_node(self, replica_id: ReplicaId,
+                              action: ReconfigAction,
+                              new_graph: ShareGraph) -> None:
+        """Extend a measured delay model's channel table for a joiner.
+
+        Unwraps fate-wrapper chains (``.inner``) to reach the underlying
+        model; inert unless that model has an ``assign`` hook (i.e. a
+        :class:`~repro.topo.delays.LatencyDelayModel`).  An explicit
+        ``action.node`` wins; otherwise the joiner is co-hosted with its
+        first already-assigned share-graph neighbor, so schedules that
+        predate the knob (``random_churn_schedule``) keep working.
+        """
+        model = self.host.transport.delay_model
+        while not hasattr(model, "assign") and hasattr(model, "inner"):
+            model = model.inner
+        if not hasattr(model, "assign"):
+            return
+        node = action.node
+        if node is None:
+            for peer in sorted(new_graph.neighbors(replica_id)):
+                peer_node = model.node_of(peer)
+                if peer_node is not None:
+                    node = peer_node
+                    break
+        if node is None:
+            raise ReconfigurationError(
+                f"cannot place joiner {replica_id!r} on topology "
+                f"{model.topology.name!r}: no node given and no assigned "
+                "share-graph neighbor to co-host with"
+            )
+        model.assign(replica_id, node)
 
     # ------------------------------------------------------------------
     # Commit phases
@@ -783,14 +824,23 @@ class ReconfigManager:
         old_placement: RegisterPlacement,
         epoch: int,
     ) -> None:
-        """Replay the gained registers' history as a gated transfer stream."""
+        """Replay the gained registers' history as a gated transfer stream.
+
+        A replica that *re-gains* a register it once stored already holds a
+        prefix of that history durably; those updates are excluded from the
+        stream (the replica's duplicate suppression would drop them on
+        receive, which would strand the stream's position counter and leave
+        the bootstrap gate closed forever).
+        """
         host = self.host
+        replica = host._replica(replica_id)
+        known = replica.known_update_ids()
         stream = [
-            updates[uid] for uid in order if updates[uid].register in registers
+            updates[uid] for uid in order
+            if updates[uid].register in registers and uid not in known
         ]
         if not stream:
             return
-        replica = host._replica(replica_id)
         replica.begin_bootstrap(len(stream))
         self._warming[replica_id] = host.now
         host.metrics.reconfig_timeline.append(

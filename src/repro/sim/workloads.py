@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.errors import ConfigurationError
 from ..core.registers import Register, ReplicaId
@@ -417,6 +417,70 @@ def poisson_workload_dynamic(
         t += rng.expovariate(rate)
         index += 1
     return OpenLoopWorkload("poisson-dynamic", tuple(arrivals))
+
+
+def drifting_hotspot_workload(
+    home: Mapping[ReplicaId, Register],
+    groups: Sequence[Sequence[ReplicaId]],
+    rate: float,
+    duration: float,
+    write_fraction: float = 0.8,
+    rotations: int = 4,
+    seed: int = 0,
+) -> OpenLoopWorkload:
+    """Poisson arrivals whose *writer set* rotates between replica groups.
+
+    The load model behind experiment E22: clients issue writes at a
+    rotating hot group of replicas (one group per ``duration /
+    rotations`` phase, cycling through ``groups`` — normally the replicas
+    of each topology region), and every write targets the writing
+    replica's fixed *home* register.  Reads are uniform over all
+    replicas, each reading its own home register.
+
+    Homes never move with the hotspot, so the workload stays valid under
+    an adaptive controller that relocates only non-home copies: what
+    drifts is *which* registers are hot and therefore where their update
+    traffic flows — exactly the shift a static placement cannot follow
+    and an online reconfiguration loop can.
+    """
+    if rate <= 0:
+        raise ConfigurationError("rate must be positive")
+    if duration <= 0:
+        raise ConfigurationError("duration must be positive")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigurationError("write_fraction must be in [0, 1]")
+    if rotations < 1:
+        raise ConfigurationError("rotations must be >= 1")
+    groups = [sorted(group) for group in groups if group]
+    if not groups:
+        raise ConfigurationError("need at least one non-empty writer group")
+    replica_ids = sorted(home)
+    for group in groups:
+        for rid in group:
+            if rid not in home:
+                raise ConfigurationError(
+                    f"writer group member {rid!r} has no home register"
+                )
+    rng = random.Random(seed)
+    phase = duration / rotations
+    arrivals: List[TimedOperation] = []
+    t = rng.expovariate(rate)
+    index = 0
+    while t <= duration:
+        rotation = min(int(t / phase), rotations - 1)
+        group = groups[rotation % len(groups)]
+        if rng.random() < write_fraction:
+            writer = rng.choice(group)
+            operation = Operation(
+                "write", writer, home[writer], value=f"h{index}"
+            )
+        else:
+            reader = rng.choice(replica_ids)
+            operation = Operation("read", reader, home[reader])
+        arrivals.append(TimedOperation(time=t, operation=operation))
+        t += rng.expovariate(rate)
+        index += 1
+    return OpenLoopWorkload("drifting-hotspot", tuple(arrivals))
 
 
 def single_writer_workload(

@@ -79,6 +79,33 @@ class LatencyDelayModel(DelayModel):
                 )
         self._base = base
 
+    def assign(self, replica_id: ReplicaId, node: NodeId) -> None:
+        """Assign (or re-assign) one replica to a topology node mid-run.
+
+        The extension hook the reconfiguration join path calls: the
+        channel table is precomputed at construction, so without this a
+        joiner's first message dies in :meth:`channel_base`.  Extends
+        ``_base`` with both directions between ``replica_id`` and every
+        assigned replica, using shortest-path latencies (loopback for
+        co-hosted pairs) — exactly the construction-time rule.
+        """
+        if not self.topology.has_node(node):
+            raise TopologyError(
+                f"replica {replica_id!r} assigned to unknown node {node!r} "
+                f"of topology {self.topology.name!r}"
+            )
+        pairs = self.topology.all_pairs_latency()
+        self.assignment[replica_id] = node
+        for other, other_node in self.assignment.items():
+            if other == replica_id:
+                continue
+            latency = (
+                self.local_latency_ms if other_node == node
+                else pairs[node][other_node]
+            )
+            self._base[(replica_id, other)] = latency
+            self._base[(other, replica_id)] = latency
+
     def node_of(self, replica_id: ReplicaId) -> Optional[NodeId]:
         """The topology node ``replica_id`` is assigned to (None if absent)."""
         return self.assignment.get(replica_id)

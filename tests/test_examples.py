@@ -38,6 +38,14 @@ EXPECTED_OUTPUT = {
         "open connections:",
         "none — resync converged",
     ],
+    "adaptive_controller.py": [
+        "Drifting hotspot",
+        "controller decisions",
+        "compression lever pulled: True",
+        "per-epoch metadata traffic",
+        "adaptive vs static",
+        "both runs passed the consistency checker",
+    ],
     "wire_overhead.py": [
         "Anatomy of one update message",
         "round trip: decode(encode(message)) == message",

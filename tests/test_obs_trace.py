@@ -31,18 +31,28 @@ from repro.obs import (
     complete_chains,
     coverage,
     critical_paths,
+    epoch_byte_table,
     fold_samples,
     load_metrics_jsonl,
     load_trace_jsonl,
+    publish_epoch_segments,
     registry_for_sim,
     stage_breakdown,
     write_trace_jsonl,
 )
 from repro.sim.cluster import Cluster
+from repro.sim.delays import UniformDelay
 from repro.sim.engine import BatchingConfig
-from repro.sim.topologies import clique_placement, tree_placement
+from repro.sim.reconfig import (
+    ReconfigManager,
+    ReconfigSchedule,
+    add_edge,
+    remove_edge,
+)
+from repro.sim.topologies import clique_placement, figure5_placement, tree_placement
 from repro.sim.workloads import (
     poisson_workload,
+    poisson_workload_dynamic,
     run_open_loop,
     single_writer_workload,
 )
@@ -116,7 +126,7 @@ class TestMetricsRegistry:
         assert by_name["repro_lat"]["count"] == 1
         assert by_name["repro_lat"]["buckets"][-1][0] == "+Inf"
 
-    def test_fold_samples_counters_keep_max_gauges_keep_last(self):
+    def test_fold_samples_counters_accumulate_deltas_gauges_keep_last(self):
         registry = MetricsRegistry()
         fold_samples(registry, [
             ("repro_sent_total", (("replica", "1"),), 10.0),
@@ -126,12 +136,57 @@ class TestMetricsRegistry:
             ("repro_sent_total", (("replica", "1"),), 25.0),
             ("repro_depth", (("replica", "1"),), 2.0),
         ])
-        # A stale (reordered) cumulative sample must not wind counters back.
-        fold_samples(registry, [
-            ("repro_sent_total", (("replica", "1"),), 20.0),
-        ])
+        # Monotone growth within one node lifetime folds to the latest total.
         assert registry.counter("repro_sent_total", replica="1").value == 25.0
         assert registry.gauge("repro_depth", replica="1").value == 2.0
+        # Series are independent: another replica's stream folds separately.
+        fold_samples(registry, [
+            ("repro_sent_total", (("replica", "2"),), 7.0),
+        ])
+        assert registry.counter("repro_sent_total", replica="1").value == 25.0
+        assert registry.counter("repro_sent_total", replica="2").value == 7.0
+
+    def test_fold_samples_restart_reset_accumulates_both_lifetimes(self):
+        """A kill/restart resets a node's cumulative counters to zero.
+
+        The fold must treat a decrease as a counter reset (Prometheus
+        semantics) and keep accumulating, so post-restart traffic counts
+        on top of the pre-restart total instead of hiding below the old
+        high-water mark.
+        """
+        registry = MetricsRegistry()
+        labels = (("replica", "1"),)
+        # Pre-crash telemetry: cumulative totals grow 40 -> 100.
+        fold_samples(registry, [("repro_node_sent_total", labels, 40.0)])
+        fold_samples(registry, [("repro_node_sent_total", labels, 100.0)])
+        # SIGKILL + restart: the counter resets to 0 and regrows to 60.
+        fold_samples(registry, [("repro_node_sent_total", labels, 15.0)])
+        fold_samples(registry, [("repro_node_sent_total", labels, 60.0)])
+        # 100 messages before the crash plus 60 after.  A max() fold would
+        # report 100, silently dropping all post-restart traffic.
+        child = registry.counter("repro_node_sent_total", replica="1")
+        assert child.value == 160.0
+
+    def test_final_report_folds_after_telemetry_without_double_count(self):
+        """A node's final report re-sends the same cumulative series its
+        telemetry stream carried; folding it afterwards must add only the
+        unseen tail, not the whole lifetime again."""
+        from repro.obs.publish import publish_node_counters
+
+        registry = MetricsRegistry()
+        labels = (("replica", "3"),)
+        fold_samples(registry, [("repro_node_sent_total", labels, 80.0)])
+        # The final report caught 90 sends; only the last 10 are new.
+        publish_node_counters(registry, 3, {"sent": 90})
+        assert registry.counter("repro_node_sent_total", replica="3").value == 90.0
+        # Restart-shaped report: smaller than the telemetry high-water mark
+        # means a fresh lifetime — both lifetimes count.
+        registry2 = MetricsRegistry()
+        fold_samples(registry2, [("repro_node_sent_total", labels, 80.0)])
+        publish_node_counters(registry2, 3, {"sent": 25})
+        assert registry2.counter(
+            "repro_node_sent_total", replica="3"
+        ).value == 105.0
 
 
 # ======================================================================
@@ -291,6 +346,75 @@ class TestSixtyFourReplicaTrace:
         for row in rows:
             assert row["bound_counters"] is not None
             assert row["bytes_per_bound_counter"] > 0
+
+
+# ======================================================================
+# Per-epoch traffic books (the reconfiguration bytes-vs-bound reading)
+# ======================================================================
+
+class TestEpochByteTable:
+    def test_every_epoch_respects_its_own_bound(self, tmp_path):
+        """A reconfiguring run publishes one traffic book per epoch, and
+        the realised counters-per-message stay within each epoch's own
+        worst-sender ``|E_i|`` budget — the paper's bound read across a
+        share-graph change, not just at the starting configuration."""
+        placement = figure5_placement()
+        graph = ShareGraph.from_placement(placement)
+        cluster = Cluster(
+            graph, delay_model=UniformDelay(1, 5), seed=11,
+            wire_accounting=True,
+        )
+        manager = ReconfigManager(cluster, window=3.0)
+        schedule = ReconfigSchedule("epoch-table", (
+            add_edge(30.0, 1, 3, register="y"),
+            remove_edge(60.0, 1, 3),
+        ))
+        manager.install(schedule)
+        placements = schedule.placements_over(placement, window=3.0)
+        workload = poisson_workload_dynamic(
+            placements, rate=1.0, duration=100.0, seed=11
+        )
+        result = run_open_loop(cluster, workload)
+        assert result.consistent
+        assert cluster.metrics.reconfigs == 2
+
+        registry = registry_for_sim(cluster, bounds=False)
+        publish_epoch_segments(registry, manager.epoch_segments())
+        path = str(tmp_path / "metrics.jsonl")
+        registry.write_jsonl(path)
+
+        rows = epoch_byte_table(load_metrics_jsonl(path))
+        assert [row["epoch"] for row in rows] == [0, 1, 2]
+        for previous, current in zip(rows[:-1], rows[1:]):
+            assert previous["end"] == current["start"]
+        busy = [row for row in rows if row["messages"]]
+        assert busy
+        for row in busy:
+            assert row["replicas"] == 4
+            assert row["timestamp_bytes"] > 0
+            assert row["ts_bytes_per_message"] > 0.0
+            assert row["bound_counters"] is not None
+            assert row["bound_counters"] > 0
+            assert 0.0 < row["counters_vs_bound"] <= 1.0
+
+    def test_bounds_false_skips_the_enumeration(self, tmp_path):
+        """``bounds=False`` publishes the books without the bound gauge."""
+        placement = figure5_placement()
+        graph = ShareGraph.from_placement(placement)
+        cluster = Cluster(
+            graph, delay_model=UniformDelay(1, 5), seed=3,
+            wire_accounting=True,
+        )
+        manager = ReconfigManager(cluster, window=3.0)
+        workload = single_writer_workload(graph, rate=2.0, duration=20.0, seed=3)
+        run_open_loop(cluster, workload)
+        registry = MetricsRegistry()
+        publish_epoch_segments(registry, manager.epoch_segments(), bounds=False)
+        rows = epoch_byte_table(registry.snapshot())
+        assert [row["epoch"] for row in rows] == [0]
+        assert rows[0]["messages"] > 0
+        assert rows[0]["bound_counters"] is None
+        assert rows[0]["counters_vs_bound"] is None
 
 
 # ======================================================================

@@ -22,7 +22,7 @@ from repro.core.replica import EdgeIndexedReplica
 from repro.core.share_graph import ShareGraph
 from repro.core.timestamps import EdgeTimestamp
 from repro.sim.cluster import Cluster
-from repro.sim.delays import FixedDelay, UniformDelay
+from repro.sim.delays import FixedDelay, LossyDelay, UniformDelay
 from repro.sim.faults import FaultInjector, FaultSchedule, crash, heal, partition, restart
 from repro.sim.reconfig import (
     ReconfigManager,
@@ -37,6 +37,7 @@ from repro.sim.reconfig import (
 )
 from repro.sim.topologies import figure5_placement, tree_placement
 from repro.sim.workloads import Operation, poisson_workload_dynamic, run_open_loop
+from repro.topo import LatencyDelayModel, TopologyError, geo_regions
 from repro.wire.membership import decode_membership_change, encode_membership_change
 
 
@@ -537,3 +538,172 @@ class TestEdgeCases:
         manager.install(schedule)
         with pytest.raises(ReconfigurationError):
             cluster.run_until_quiescent()
+
+
+# ======================================================================
+# State-transfer regressions (found by the adaptive controller)
+# ======================================================================
+
+class TestStateTransferRegressions:
+    def test_regrant_after_drop_completes_and_stays_live(self):
+        """A replica re-gaining a register it once stored must catch up.
+
+        Regression: the bootstrap stream used to replay the register's
+        *full* history; the re-gainer's duplicate suppression silently
+        dropped the prefix it had already applied, the stream's position
+        counter never advanced past it, and the replica was left gated
+        behind an eternally-open state transfer — every later update to
+        the register became a liveness violation.
+        """
+        placement = figure5_placement()
+        schedule = ReconfigSchedule(
+            "regrant",
+            (
+                add_edge(40.0, 1, 3, register="y"),   # 3 gains y: transfer
+                remove_edge(80.0, 1, 3),              # 3 drops y again
+                add_edge(120.0, 1, 3, register="y"),  # 3 RE-gains y
+            ),
+        )
+        host, manager, result = churned_run(
+            "peer-to-peer", placement, schedule, duration=200.0
+        )
+        assert result.consistent
+        assert host.metrics.reconfigs == 3
+        assert not manager.warming_replicas()
+
+    def test_history_replay_is_not_an_apply_latency_sample(self):
+        """State transfer replays old updates; their issue→apply deltas
+        measure the history's age, not propagation, and must not pollute
+        the apply-latency distribution."""
+        placement = figure5_placement()
+        schedule = ReconfigSchedule(
+            "late-grant", (add_edge(150.0, 1, 3, register="y"),)
+        )
+        host, manager, result = churned_run(
+            "peer-to-peer", placement, schedule, duration=160.0
+        )
+        assert result.consistent
+        assert host.metrics.reconfigs == 1
+        transferred = [
+            record for record in host.metrics.reconfig_timeline
+            if record.kind == "transfer-start"
+        ]
+        assert transferred, "the late grant should have moved history"
+        assert host.metrics.apply_latencies, "run produced no applies"
+        assert max(host.metrics.apply_latencies) < 100.0, (
+            "a replayed t~0 update issued long before the t=150 grant "
+            "leaked into the apply-latency samples"
+        )
+
+
+# ======================================================================
+# Reconfiguration on measured topologies (LatencyDelayModel)
+# ======================================================================
+
+class TestLatencyDelayModelReconfig:
+    """Joins must extend a measured delay model's channel table.
+
+    ``LatencyDelayModel`` precomputed its per-channel base latencies over
+    the construction-time assignment only, so a replica joined through
+    ``sim/reconfig.py`` hit ``TopologyError`` from ``channel_base`` on its
+    first message — reconfiguration was impossible on measured topologies.
+    """
+
+    def _measured_cluster(self, seed=11, jitter=0.0):
+        topology = geo_regions(2, 3)
+        placement = path_placement_small()
+        nodes = sorted(topology.nodes)
+        assignment = {rid: nodes[rid - 1] for rid in placement.replica_ids}
+        model = LatencyDelayModel(topology, assignment, jitter=jitter)
+        graph = ShareGraph.from_placement(placement)
+        cluster = Cluster(graph, delay_model=model, seed=seed)
+        return topology, placement, assignment, model, cluster
+
+    def test_assign_extends_channel_table_with_shortest_paths(self):
+        topology, _, assignment, model, _ = self._measured_cluster()
+        joiner_node = sorted(topology.nodes)[-1]
+        model.assign(5, joiner_node)
+        assert model.node_of(5) == joiner_node
+        for rid, node in assignment.items():
+            expected = (
+                model.local_latency_ms if node == joiner_node
+                else topology.path_latency(node, joiner_node)
+            )
+            assert model.channel_base((rid, 5)) == expected
+            assert model.channel_base((5, rid)) == expected
+
+    def test_assign_rejects_unknown_node(self):
+        _, _, _, model, _ = self._measured_cluster()
+        with pytest.raises(TopologyError):
+            model.assign(5, "nowhere")
+
+    def test_join_mid_run_under_latency_model_stays_consistent(self):
+        """The bugfix scenario: a mid-run join on a measured topology.
+
+        Before the fix this run died with ``TopologyError: channel (5, 4)
+        has an unassigned endpoint`` the moment the joiner first spoke.
+        """
+        topology, placement, _, model, cluster = self._measured_cluster()
+        manager = ReconfigManager(cluster, window=3.0)
+        joiner_node = sorted(topology.nodes)[-1]
+        schedule = ReconfigSchedule(
+            "measured-join",
+            (join(40.0, 5, {"z", "link_5_4"}, grants={4: {"link_5_4"}},
+                  node=joiner_node),),
+        )
+        manager.install(schedule)
+        placements = schedule.placements_over(placement, window=3.0)
+        workload = poisson_workload_dynamic(
+            placements, rate=0.4, duration=120.0, seed=11
+        )
+        result = run_open_loop(cluster, workload)
+        assert result.consistent
+        assert cluster.metrics.reconfigs == 1
+        assert cluster.is_member(5)
+        assert model.node_of(5) == joiner_node
+        node_of_4 = model.node_of(4)
+        assert model.channel_base((5, 4)) == topology.path_latency(
+            joiner_node, node_of_4
+        )
+
+    def test_join_without_node_co_hosts_with_a_neighbor(self):
+        """Schedules that predate the ``node=`` knob (e.g. random churn)
+        still work: the joiner is co-hosted with its first share-graph
+        neighbor, paying loopback latency on that channel."""
+        topology, placement, _, model, cluster = self._measured_cluster()
+        manager = ReconfigManager(cluster, window=3.0)
+        schedule = ReconfigSchedule(
+            "implicit-join",
+            (join(40.0, 5, {"link_5_2"}, grants={2: {"link_5_2"}}),),
+        )
+        manager.install(schedule)
+        placements = schedule.placements_over(placement, window=3.0)
+        workload = poisson_workload_dynamic(
+            placements, rate=0.4, duration=120.0, seed=12
+        )
+        result = run_open_loop(cluster, workload)
+        assert result.consistent
+        assert model.node_of(5) == model.node_of(2)
+        assert model.channel_base((5, 2)) == model.local_latency_ms
+
+    def test_join_reaches_assign_through_fate_wrappers(self):
+        """The commit path unwraps ``ChannelFateWrapper`` chains to find
+        the measured model underneath (lossy links over a topology)."""
+        topology, placement, _, model, _ = self._measured_cluster()
+        graph = ShareGraph.from_placement(placement)
+        wrapped = LossyDelay(inner=model, drop_probability=0.0)
+        cluster = Cluster(graph, delay_model=wrapped, seed=13)
+        manager = ReconfigManager(cluster, window=3.0)
+        joiner_node = sorted(topology.nodes)[2]
+        schedule = ReconfigSchedule(
+            "wrapped-join",
+            (join(40.0, 5, {"z"}, node=joiner_node),),
+        )
+        manager.install(schedule)
+        placements = schedule.placements_over(placement, window=3.0)
+        workload = poisson_workload_dynamic(
+            placements, rate=0.4, duration=120.0, seed=13
+        )
+        result = run_open_loop(cluster, workload)
+        assert result.consistent
+        assert model.node_of(5) == joiner_node

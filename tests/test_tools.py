@@ -57,22 +57,30 @@ def test_profile_hotpath_sim_json(tmp_path, capsys):
 def traced_dump(tmp_path):
     """A small traced sim run dumped to JSONL, as trace_report input."""
     from repro.core.share_graph import ShareGraph
-    from repro.obs import registry_for_sim, write_trace_jsonl
+    from repro.obs import (
+        publish_epoch_segments,
+        registry_for_sim,
+        write_trace_jsonl,
+    )
     from repro.sim.cluster import Cluster
     from repro.sim.engine import BatchingConfig
+    from repro.sim.reconfig import ReconfigManager
     from repro.sim.topologies import clique_placement
     from repro.sim.workloads import run_open_loop, single_writer_workload
 
     graph = ShareGraph.from_placement(clique_placement(6))
     cluster = Cluster(graph, seed=3,
                       batching=BatchingConfig(max_messages=8, max_delay=2.0))
+    manager = ReconfigManager(cluster)
     recorder = cluster.enable_tracing()
     workload = single_writer_workload(graph, rate=4.0, duration=15.0, seed=3)
     run_open_loop(cluster, workload)
     trace_path = str(tmp_path / "trace.jsonl")
     metrics_path = str(tmp_path / "metrics.jsonl")
     write_trace_jsonl(recorder.events, trace_path)
-    registry_for_sim(cluster).write_jsonl(metrics_path)
+    registry = registry_for_sim(cluster)
+    publish_epoch_segments(registry, manager.epoch_segments())
+    registry.write_jsonl(metrics_path)
     return trace_path, metrics_path
 
 
@@ -97,6 +105,10 @@ def test_trace_report_end_to_end(traced_dump, tmp_path, capsys):
     assert "batch window" in report["breakdown"]
     assert report["critical_paths"]
     assert report["channels"]
+    assert "per-epoch metadata traffic" in stdout
+    assert [row["epoch"] for row in report["epochs"]] == [0]
+    assert report["epochs"][0]["messages"] > 0
+    assert 0.0 < report["epochs"][0]["counters_vs_bound"] <= 1.0
 
     with open(chrome_path, encoding="utf-8") as handle:
         chrome = json.load(handle)

@@ -14,9 +14,13 @@ live runs — see ``docs/ARCHITECTURE.md``, *Observability*) and prints:
 * with ``--metrics`` (a ``MetricsRegistry.write_jsonl`` dump) — the
   per-channel timestamp-bytes-vs-bound table: shipped timestamp bytes per
   message next to the paper's closed-form counter bound for the sender;
-  plus, when the dump carries node-level telemetry from a multi-tenant
-  live run, the per-node transport-footprint table (host-pair streams,
-  queue depths, WAL bytes/records/compactions);
+  when the dump carries per-epoch traffic books (``publish_epoch_segments``
+  over a ``ReconfigManager``), the per-epoch bytes-vs-bound table —
+  shipped metadata per message against each configuration's worst-sender
+  bound, one row per epoch a schedule or controller installed; plus, when
+  the dump carries node-level telemetry from a multi-tenant live run, the
+  per-node transport-footprint table (host-pair streams, queue depths,
+  WAL bytes/records/compactions);
 * with ``--chrome PATH`` — a Chrome ``trace_event`` JSON file; load it in
   ``chrome://tracing`` or https://ui.perfetto.dev to see every chain as a
   flame row (one process per destination replica, one row per source).
@@ -48,6 +52,7 @@ from repro.obs import (  # noqa: E402
     complete_chains,
     coverage,
     critical_paths,
+    epoch_byte_table,
     load_metrics_jsonl,
     load_trace_jsonl,
     node_transport_table,
@@ -91,6 +96,24 @@ def _print_channel_table(rows) -> None:
               f"{row['timestamp_bytes']:>9} {row['ts_bytes_per_message']:>9.2f} "
               f"{bound if bound is not None else '-':>10} "
               f"{f'{ratio:.2f}' if ratio is not None else '-':>7}")
+
+
+def _print_epoch_table(rows) -> None:
+    if not rows:
+        return
+    print()
+    print("per-epoch metadata traffic vs. the closed-form counter bound:")
+    print(f"{'epoch':<6} {'replicas':>8} {'msgs':>7} {'ts bytes':>9} "
+          f"{'ts B/msg':>9} {'ctrs/msg':>9} {'bound':>6} {'ctr/bound':>9}")
+    for row in rows:
+        bound = row["bound_counters"]
+        ratio = row["counters_vs_bound"]
+        print(f"{row['epoch']:<6} {row['replicas']:>8} {row['messages']:>7} "
+              f"{row['timestamp_bytes']:>9} "
+              f"{row['ts_bytes_per_message']:>9.2f} "
+              f"{row['counters_per_message']:>9.2f} "
+              f"{int(bound) if bound is not None else '-':>6} "
+              f"{f'{ratio:.2f}' if ratio is not None else '-':>9}")
 
 
 def _print_node_table(rows) -> None:
@@ -147,11 +170,14 @@ def main(argv=None) -> int:
     _print_critical_paths(paths)
 
     channel_rows = []
+    epoch_rows = []
     node_rows = []
     if args.metrics:
         metric_records = load_metrics_jsonl(args.metrics)
         channel_rows = channel_byte_table(metric_records)
         _print_channel_table(channel_rows)
+        epoch_rows = epoch_byte_table(metric_records)
+        _print_epoch_table(epoch_rows)
         node_rows = node_transport_table(metric_records)
         _print_node_table(node_rows)
 
@@ -178,6 +204,7 @@ def main(argv=None) -> int:
                 {**entry, "uid": list(entry["uid"])} for entry in paths
             ],
             "channels": channel_rows,
+            "epochs": epoch_rows,
             "nodes": node_rows,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
